@@ -1,0 +1,36 @@
+//! Wall-time ablations of the pipeline's design choices (the quality
+//! ablations live in the `ablation_quality` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use crat_core::{optimize, CratOptions, OptTlpSource};
+use crat_sim::GpuConfig;
+use crat_workloads::{build_kernel, launch_sized, suite};
+
+fn bench_pipeline_variants(c: &mut Criterion) {
+    let app = suite::spec("FDTD");
+    let kernel = build_kernel(app);
+    let gpu = GpuConfig::fermi();
+    let launch = launch_sized(app, 30);
+
+    let variants: Vec<(&str, CratOptions)> = vec![
+        (
+            "crat_shm_on",
+            CratOptions { opt_tlp: OptTlpSource::Given(2), ..CratOptions::new() },
+        ),
+        (
+            "crat_shm_off",
+            CratOptions { opt_tlp: OptTlpSource::Given(2), ..CratOptions::local_only() },
+        ),
+        ("crat_static", CratOptions::static_analysis(0.6)),
+    ];
+    for (name, opts) in variants {
+        c.bench_function(&format!("pipeline_fdtd_{name}"), |b| {
+            b.iter(|| optimize(black_box(&kernel), &gpu, &launch, &opts).unwrap())
+        });
+    }
+}
+
+criterion_group!(benches, bench_pipeline_variants);
+criterion_main!(benches);

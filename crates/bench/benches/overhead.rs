@@ -1,0 +1,61 @@
+//! Criterion benches backing the paper's §7.7 overhead comparison:
+//! profiled vs static OptTLP, and the full design-space exploration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use crat_core::{
+    analyze, estimate_opt_tlp, optimize, profile_opt_tlp, CratOptions, OptTlpSource,
+    ALLOC_FLOOR, STATIC_L1_HIT_RATE,
+};
+use crat_regalloc::{allocate, AllocOptions};
+use crat_sim::GpuConfig;
+use crat_workloads::{build_kernel, launch_sized, suite};
+
+fn bench_opt_tlp_sources(c: &mut Criterion) {
+    let app = suite::spec("CFD");
+    let kernel = build_kernel(app);
+    let gpu = GpuConfig::fermi();
+    let launch = launch_sized(app, 30);
+    let usage = analyze(&kernel, &gpu, &launch);
+    let alloc =
+        allocate(&kernel, &AllocOptions::new(usage.default_reg.max(ALLOC_FLOOR))).unwrap();
+
+    c.bench_function("opt_tlp_profiled_cfd", |b| {
+        b.iter(|| {
+            profile_opt_tlp(black_box(&alloc.kernel), &gpu, &launch, alloc.slots_used).unwrap()
+        })
+    });
+    c.bench_function("opt_tlp_static_cfd", |b| {
+        b.iter(|| {
+            estimate_opt_tlp(
+                black_box(&kernel),
+                &gpu,
+                usage.max_tlp,
+                gpu.warps_per_block(usage.block_size),
+                STATIC_L1_HIT_RATE,
+            )
+        })
+    });
+}
+
+fn bench_exploration(c: &mut Criterion) {
+    let app = suite::spec("CFD");
+    let kernel = build_kernel(app);
+    let gpu = GpuConfig::fermi();
+    let launch = launch_sized(app, 30);
+    c.bench_function("crat_explore_given_opt_tlp", |b| {
+        b.iter(|| {
+            optimize(
+                black_box(&kernel),
+                &gpu,
+                &launch,
+                &CratOptions { opt_tlp: OptTlpSource::Given(4), ..CratOptions::new() },
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_opt_tlp_sources, bench_exploration);
+criterion_main!(benches);

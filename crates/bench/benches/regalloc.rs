@@ -1,0 +1,58 @@
+//! Criterion benches for the compiler side: liveness, interference,
+//! coloring at several budgets, and the knapsack optimizer.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use crat_ptx::{Cfg, Liveness};
+use crat_regalloc::{allocate, knapsack_select, AllocOptions, InterferenceGraph, ShmSpillConfig};
+use crat_workloads::{build_kernel, suite};
+
+fn bench_analyses(c: &mut Criterion) {
+    let kernel = build_kernel(suite::spec("CFD"));
+    c.bench_function("cfg_build_cfd", |b| b.iter(|| Cfg::build(black_box(&kernel))));
+    let cfg = Cfg::build(&kernel);
+    c.bench_function("liveness_cfd", |b| {
+        b.iter(|| Liveness::compute(black_box(&kernel), black_box(&cfg)))
+    });
+    let lv = Liveness::compute(&kernel, &cfg);
+    c.bench_function("interference_cfd", |b| {
+        b.iter(|| InterferenceGraph::build(black_box(&kernel), &cfg, &lv))
+    });
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let kernel = build_kernel(suite::spec("CFD"));
+    for budget in [63u32, 42, 28] {
+        c.bench_function(&format!("allocate_cfd_{budget}"), |b| {
+            b.iter_batched(
+                || kernel.clone(),
+                |k| allocate(&k, &AllocOptions::new(budget)).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    c.bench_function("allocate_cfd_28_shm", |b| {
+        let opts = AllocOptions::new(28)
+            .with_shm_spill(ShmSpillConfig { spare_bytes: 24 * 1024, block_size: 192 });
+        b.iter(|| allocate(black_box(&kernel), &opts).unwrap())
+    });
+}
+
+fn bench_knapsack(c: &mut Criterion) {
+    let weights: Vec<u64> = (1..=8).map(|i| i * 768).collect();
+    let gains: Vec<u64> = (1..=8).map(|i| i * i * 10).collect();
+    c.bench_function("knapsack_8_items_48k", |b| {
+        b.iter(|| knapsack_select(black_box(&weights), black_box(&gains), 48 * 1024))
+    });
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let kernel = build_kernel(suite::spec("CFD"));
+    let text = kernel.to_ptx();
+    c.bench_function("parse_cfd_ptx", |b| b.iter(|| crat_ptx::parse(black_box(&text)).unwrap()));
+    c.bench_function("print_cfd_ptx", |b| b.iter(|| black_box(&kernel).to_ptx()));
+}
+
+criterion_group!(benches, bench_analyses, bench_allocation, bench_knapsack, bench_parser);
+criterion_main!(benches);

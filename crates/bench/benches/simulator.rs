@@ -1,0 +1,47 @@
+//! Criterion benches for the simulator substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use crat_sim::{simulate, GpuConfig, SchedulerKind};
+use crat_workloads::{build_kernel, launch_sized, suite};
+
+fn bench_simulate(c: &mut Criterion) {
+    let gpu = GpuConfig::fermi();
+    for abbr in ["CFD", "KMN", "BAK"] {
+        let app = suite::spec(abbr);
+        let kernel = build_kernel(app);
+        let launch = launch_sized(app, 30);
+        c.bench_function(&format!("simulate_{abbr}_30blocks"), |b| {
+            b.iter(|| simulate(black_box(&kernel), &gpu, &launch, 21, None).unwrap())
+        });
+    }
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let app = suite::spec("STE");
+    let kernel = build_kernel(app);
+    let launch = launch_sized(app, 30);
+    for sched in [SchedulerKind::Gto, SchedulerKind::Lrr] {
+        let mut gpu = GpuConfig::fermi();
+        gpu.scheduler = sched;
+        c.bench_function(&format!("simulate_ste_{sched:?}"), |b| {
+            b.iter(|| simulate(black_box(&kernel), &gpu, &launch, 21, None).unwrap())
+        });
+    }
+}
+
+fn bench_throttled(c: &mut Criterion) {
+    let app = suite::spec("KMN");
+    let kernel = build_kernel(app);
+    let launch = launch_sized(app, 30);
+    let gpu = GpuConfig::fermi();
+    for tlp in [1u32, 4] {
+        c.bench_function(&format!("simulate_kmn_tlp{tlp}"), |b| {
+            b.iter(|| simulate(black_box(&kernel), &gpu, &launch, 21, Some(tlp)).unwrap())
+        });
+    }
+}
+
+criterion_group!(benches, bench_simulate, bench_schedulers, bench_throttled);
+criterion_main!(benches);

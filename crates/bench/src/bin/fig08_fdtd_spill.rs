@@ -1,0 +1,88 @@
+//! Figure 8: register and shared-memory exploration for FDTD —
+//! (a) limiting registers helps; (b) *which* variable is spilled
+//! matters: the allocator must pick rarely-accessed long ranges
+//! (the paper's `var2`) rather than hot ones (`var1`).
+
+use crat_bench::{csv_flag, table::{f2, Table}};
+use crat_ptx::{Cfg, Liveness};
+use crat_regalloc::{allocate, AllocOptions, ShmSpillConfig, SpillKind};
+use crat_sim::{simulate, GpuConfig};
+use crat_workloads::{build_kernel, launch_sized, suite};
+
+fn main() {
+    let csv = csv_flag();
+    let app = suite::spec("FDTD");
+    let kernel = build_kernel(app);
+    let gpu = GpuConfig::fermi();
+    let launch = launch_sized(app, app.grid_blocks);
+
+    // (a) Performance vs register limit at the app's preferred TLP.
+    println!("(a) performance vs register limit (TLP fixed at 2):\n");
+    let mut ta = Table::new(&["reg limit", "slots used", "spilled vars", "speedup vs widest"]);
+    let widest = allocate(&kernel, &AllocOptions::new(63)).expect("allocation");
+    let base = simulate(&widest.kernel, &gpu, &launch, widest.slots_used, Some(2)).unwrap();
+    for reg in [63u32, 56, 48, 40, 32, 28] {
+        let Ok(alloc) = allocate(&kernel, &AllocOptions::new(reg)) else { continue };
+        let stats = simulate(&alloc.kernel, &gpu, &launch, alloc.slots_used, Some(2)).unwrap();
+        ta.row(vec![
+            reg.to_string(),
+            alloc.slots_used.to_string(),
+            alloc.spills.spilled.len().to_string(),
+            f2(stats.speedup_over(&base)),
+        ]);
+    }
+    ta.print(csv);
+
+    // (b) Spill-candidate quality: the chosen victims must be the cold
+    // variables (low weighted access frequency), and re-homing them to
+    // shared memory must beat local memory.
+    println!("\n(b) who gets spilled, and where:\n");
+    let cfg = Cfg::build(&kernel);
+    let lv = Liveness::compute(&kernel, &cfg);
+    let ranges = lv.ranges(&kernel, &cfg);
+    let budget = 30;
+    let local = allocate(&kernel, &AllocOptions::new(budget)).expect("allocation");
+    let shm = allocate(
+        &kernel,
+        &AllocOptions::new(budget).with_shm_spill(ShmSpillConfig {
+            spare_bytes: gpu.shmem_per_sm / 2,
+            block_size: app.block_size,
+        }),
+    )
+    .expect("allocation");
+
+    let avg_weight = |all: bool| {
+        let mut sum = 0u64;
+        let mut n = 0u64;
+        for r in &ranges {
+            let spilled = local.spills.spilled.iter().any(|s| s.vreg == r.vreg);
+            if r.accesses > 0 && (all || spilled) && kernel.reg_ty(r.vreg).reg_slots() > 0 {
+                sum += r.weighted_accesses;
+                n += 1;
+            }
+        }
+        if n == 0 { 0.0 } else { sum as f64 / n as f64 }
+    };
+    let mut tb = Table::new(&["metric", "value"]);
+    tb.row(vec!["avg weighted accesses (all vars)".into(), f2(avg_weight(true))]);
+    tb.row(vec!["avg weighted accesses (spilled vars)".into(), f2(avg_weight(false))]);
+    tb.row(vec![
+        "rematerialized".into(),
+        local
+            .spills
+            .spilled
+            .iter()
+            .filter(|s| s.kind == SpillKind::Remat)
+            .count()
+            .to_string(),
+    ]);
+    let st_local = simulate(&local.kernel, &gpu, &launch, local.slots_used, Some(2)).unwrap();
+    let st_shm = simulate(&shm.kernel, &gpu, &launch, shm.slots_used, Some(2)).unwrap();
+    tb.row(vec!["speedup: spill->local".into(), f2(st_local.speedup_over(&base))]);
+    tb.row(vec!["speedup: spill->shared".into(), f2(st_shm.speedup_over(&base))]);
+    tb.row(vec!["local mem insts (local)".into(), st_local.local_insts.to_string()]);
+    tb.row(vec!["local mem insts (shared)".into(), st_shm.local_insts.to_string()]);
+    tb.print(csv);
+    println!("\nPaper: spilling the cold var2 to shared memory reached 1.64x, spilling the hot");
+    println!("var1 only 1.41x — victims must be low-frequency, and shared beats local.");
+}

@@ -1,0 +1,34 @@
+//! Figure 19: the resource-insensitive applications — neither
+//! throttling nor CRAT should move the needle much.
+
+use crat_bench::{csv_flag, geomean, insensitive_apps, run_suite, table::{f2, Table}};
+use crat_core::Technique;
+use crat_sim::GpuConfig;
+
+fn main() {
+    let csv = csv_flag();
+    let gpu = GpuConfig::fermi();
+    let techniques = [Technique::MaxTlp, Technique::OptTlp, Technique::Crat];
+    let runs = run_suite(&insensitive_apps(), &gpu, &techniques);
+
+    let mut t = Table::new(&["app", "MaxTLP", "OptTLP", "CRAT"]);
+    let mut g = vec![Vec::new(); 3];
+    for r in &runs {
+        let mut cells = vec![r.app.abbr.to_string()];
+        for (i, &tech) in techniques.iter().enumerate() {
+            let s = r.speedup(tech, Technique::OptTlp);
+            g[i].push(s);
+            cells.push(f2(s));
+        }
+        t.row(cells);
+    }
+    t.row(vec![
+        "GMEAN".into(),
+        f2(geomean(g[0].clone())),
+        f2(geomean(g[1].clone())),
+        f2(geomean(g[2].clone())),
+    ]);
+    t.print(csv);
+    println!("\nPaper: no cache contention or register pressure here, so MaxTLP is already a");
+    println!("good solution and neither OptTLP nor CRAT improves it remarkably (Fig. 19).");
+}

@@ -1,0 +1,26 @@
+//! Figure 20: CRAT with profiled vs statically estimated OptTLP.
+
+use crat_bench::{csv_flag, geomean, run_suite, sensitive_apps, table::{f2, Table}};
+use crat_core::Technique;
+use crat_sim::GpuConfig;
+
+fn main() {
+    let csv = csv_flag();
+    let gpu = GpuConfig::fermi();
+    let techniques = [Technique::OptTlp, Technique::Crat, Technique::CratStatic];
+    let runs = run_suite(&sensitive_apps(), &gpu, &techniques);
+
+    let mut t = Table::new(&["app", "CRAT-profile", "CRAT-static"]);
+    let (mut gp, mut gs) = (Vec::new(), Vec::new());
+    for r in &runs {
+        let p = r.speedup(Technique::Crat, Technique::OptTlp);
+        let s = r.speedup(Technique::CratStatic, Technique::OptTlp);
+        gp.push(p);
+        gs.push(s);
+        t.row(vec![r.app.abbr.into(), f2(p), f2(s)]);
+    }
+    t.row(vec!["GMEAN".into(), f2(geomean(gp)), f2(geomean(gs))]);
+    t.print(csv);
+    println!("\nPaper: the static estimate achieves 1.22x vs 1.25x for profiling (Fig. 20),");
+    println!("at a fraction of the cost (see the `overhead` binary).");
+}

@@ -1,0 +1,27 @@
+//! Table 3: the evaluated applications and their synthetic parameters.
+
+use crat_bench::{csv_flag, table::Table};
+use crat_workloads::suite;
+
+fn main() {
+    let csv = csv_flag();
+    let mut t = Table::new(&[
+        "application", "kernel", "abbr", "suite", "category", "block", "hot", "cold",
+        "window(B)", "shm(B)",
+    ]);
+    for a in suite::all() {
+        t.row(vec![
+            a.name.into(),
+            a.kernel.into(),
+            a.abbr.into(),
+            a.suite.into(),
+            if a.is_sensitive() { "sensitive" } else { "insensitive" }.into(),
+            a.block_size.to_string(),
+            a.hot_vars.to_string(),
+            a.cold_vars.to_string(),
+            a.window_bytes.to_string(),
+            a.shmem_bytes.to_string(),
+        ]);
+    }
+    t.print(csv);
+}

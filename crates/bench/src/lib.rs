@@ -1,0 +1,143 @@
+//! Experiment harness: shared machinery for the binaries that
+//! regenerate every table and figure of the CRAT paper.
+//!
+//! Each figure has a binary in `src/bin/` (e.g. `fig13_performance`);
+//! run them with `cargo run --release -p crat-bench --bin <name>`.
+//! Pass `--csv` to any binary for machine-readable output.
+
+pub mod table;
+
+use crat_core::{evaluate, CratError, Evaluation, Technique};
+use crat_sim::GpuConfig;
+use crat_workloads::{build_kernel, launch_sized, suite, AppSpec};
+
+/// One application's results across techniques.
+#[derive(Debug)]
+pub struct AppRun {
+    /// The application.
+    pub app: &'static AppSpec,
+    /// One evaluation per requested technique, in order.
+    pub evals: Vec<Evaluation>,
+}
+
+impl AppRun {
+    /// The evaluation of `technique`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the technique was not part of the run.
+    pub fn of(&self, technique: Technique) -> &Evaluation {
+        self.evals
+            .iter()
+            .find(|e| e.technique == technique)
+            .unwrap_or_else(|| panic!("{technique} was not evaluated"))
+    }
+
+    /// Speedup of `a` over `b` (cycles ratio).
+    pub fn speedup(&self, a: Technique, b: Technique) -> f64 {
+        self.of(a).stats.speedup_over(&self.of(b).stats)
+    }
+}
+
+/// Evaluate `techniques` on one app (grid scaled to `grid_blocks`).
+///
+/// # Errors
+///
+/// Propagates the first pipeline failure.
+pub fn run_app(
+    app: &'static AppSpec,
+    gpu: &GpuConfig,
+    grid_blocks: u32,
+    techniques: &[Technique],
+) -> Result<AppRun, CratError> {
+    let kernel = build_kernel(app);
+    let launch = launch_sized(app, grid_blocks);
+    let evals = techniques
+        .iter()
+        .map(|&t| evaluate(&kernel, gpu, &launch, t))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(AppRun { app, evals })
+}
+
+/// Evaluate `techniques` over many apps, one thread per app.
+///
+/// # Panics
+///
+/// Panics if any app fails (experiment binaries want loud failures).
+pub fn run_suite(
+    apps: &[&'static AppSpec],
+    gpu: &GpuConfig,
+    techniques: &[Technique],
+) -> Vec<AppRun> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = apps
+            .iter()
+            .map(|&app| {
+                let gpu = gpu.clone();
+                let techniques = techniques.to_vec();
+                s.spawn(move || {
+                    run_app(app, &gpu, app.grid_blocks, &techniques)
+                        .unwrap_or_else(|e| panic!("{}: {e}", app.abbr))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("app thread")).collect()
+    })
+}
+
+/// The sensitive suite as a slice (paper Figure 13's x-axis order).
+pub fn sensitive_apps() -> Vec<&'static AppSpec> {
+    suite::sensitive().collect()
+}
+
+/// The insensitive suite as a slice (paper Figure 19).
+pub fn insensitive_apps() -> Vec<&'static AppSpec> {
+    suite::insensitive().collect()
+}
+
+/// Geometric mean (1.0 for an empty iterator).
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0f64, 0u32);
+    for v in values {
+        log_sum += v.max(f64::MIN_POSITIVE).ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Whether `--csv` was passed on the command line.
+pub fn csv_flag() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean([]), 1.0);
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean([1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suites_have_eleven_each() {
+        assert_eq!(sensitive_apps().len(), 11);
+        assert_eq!(insensitive_apps().len(), 11);
+    }
+
+    #[test]
+    fn run_app_produces_requested_techniques() {
+        let app = suite::spec("BAK");
+        let gpu = GpuConfig::fermi();
+        let run = run_app(app, &gpu, 30, &[Technique::MaxTlp, Technique::OptTlp]).unwrap();
+        assert_eq!(run.evals.len(), 2);
+        assert!(run.speedup(Technique::OptTlp, Technique::MaxTlp) > 0.0);
+        assert_eq!(run.of(Technique::MaxTlp).technique, Technique::MaxTlp);
+    }
+}

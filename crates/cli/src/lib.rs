@@ -1,0 +1,576 @@
+//! Implementation of the `crat` command-line driver.
+//!
+//! Subcommands:
+//!
+//! * `crat analyze <kernel.ptx>` — resource-usage analysis (Table 1);
+//! * `crat passes <kernel.ptx>` — run the scalar optimization passes;
+//! * `crat optimize <kernel.ptx>` — the full CRAT pipeline, emitting
+//!   optimized PTX and a solution report;
+//! * `crat simulate <kernel.ptx>` — run the kernel on the simulator.
+//!
+//! The library form exists so the argument parsing and command logic
+//! are unit-testable; `main.rs` is a thin shim.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crat_core::{analyze, optimize, CratOptions, OptTlpSource};
+use crat_ptx::{parse, passes, Kernel};
+use crat_regalloc::{allocate, AllocOptions};
+use crat_sim::{simulate, GpuConfig, LaunchConfig};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `crat app <ABBR>`: run a paper benchmark through the techniques.
+    App {
+        /// Application abbreviation (e.g. `CFD`).
+        abbr: String,
+        /// Common options.
+        opts: CommonOpts,
+    },
+    /// `crat analyze <file>`.
+    Analyze {
+        /// Input PTX path.
+        file: String,
+        /// Common options.
+        opts: CommonOpts,
+    },
+    /// `crat passes <file> [-o out]`.
+    Passes {
+        /// Input PTX path.
+        file: String,
+        /// Output path (stdout when absent).
+        output: Option<String>,
+    },
+    /// `crat optimize <file> [-o out]`.
+    Optimize {
+        /// Input PTX path.
+        file: String,
+        /// Output path (stdout when absent).
+        output: Option<String>,
+        /// Common options.
+        opts: CommonOpts,
+        /// Run the scalar passes first.
+        prepass: bool,
+    },
+    /// `crat simulate <file> [--regs N] [--tlp N]`.
+    Simulate {
+        /// Input PTX path.
+        file: String,
+        /// Registers per thread for occupancy (default: allocate first).
+        regs: Option<u32>,
+        /// TLP cap.
+        tlp: Option<u32>,
+        /// Common options.
+        opts: CommonOpts,
+    },
+    /// `crat help`.
+    Help,
+}
+
+/// Options shared by several subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonOpts {
+    /// GPU configuration (`fermi` or `kepler`).
+    pub gpu: GpuConfig,
+    /// Grid blocks.
+    pub grid: u32,
+    /// Threads per block.
+    pub block: u32,
+    /// Parameter bindings (`name=value`).
+    pub params: Vec<(String, u64)>,
+    /// OptTLP source for `optimize`.
+    pub opt_tlp: OptTlpSource,
+    /// Disable shared-memory spilling.
+    pub no_shm: bool,
+}
+
+impl Default for CommonOpts {
+    fn default() -> CommonOpts {
+        CommonOpts {
+            gpu: GpuConfig::fermi(),
+            grid: 60,
+            block: 128,
+            params: Vec::new(),
+            opt_tlp: OptTlpSource::Profiled,
+            no_shm: false,
+        }
+    }
+}
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Any pipeline failure, pre-rendered.
+    Tool(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}\n\n{USAGE}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Tool(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> CliError {
+        CliError::Io(e)
+    }
+}
+
+/// The help text.
+pub const USAGE: &str = "\
+crat — coordinated register allocation and TLP optimization for PTX kernels
+
+USAGE:
+  crat app      <ABBR> [--gpu fermi|kepler] [--grid N]
+                (run a paper benchmark: MaxTLP vs OptTLP vs CRAT)
+  crat analyze  <kernel.ptx> [--gpu fermi|kepler] [--block N]
+  crat passes   <kernel.ptx> [-o out.ptx]
+  crat optimize <kernel.ptx> [-o out.ptx] [--gpu fermi|kepler]
+                [--grid N] [--block N] [--param name=value]...
+                [--opt-tlp profile|static|<N>] [--no-shm] [--prepass]
+  crat simulate <kernel.ptx> [--gpu fermi|kepler] [--grid N] [--block N]
+                [--param name=value]... [--regs N] [--tlp N]
+  crat help
+
+Parameter values accept decimal or 0x-hex. Unbound pointer parameters
+are auto-bound to distinct synthetic addresses.";
+
+/// Parse a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] on malformed input.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter().peekable();
+    let sub = it.next().map(String::as_str).unwrap_or("help");
+    if sub == "help" || sub == "--help" || sub == "-h" {
+        return Ok(Command::Help);
+    }
+
+    let mut file = None;
+    let mut output = None;
+    let mut regs = None;
+    let mut tlp = None;
+    let mut prepass = false;
+    let mut opts = CommonOpts::default();
+
+    while let Some(a) = it.next() {
+        let value_of = |flag: &str, it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "-o" | "--output" => output = Some(value_of(a, &mut it)?),
+            "--gpu" => {
+                opts.gpu = match value_of(a, &mut it)?.as_str() {
+                    "fermi" => GpuConfig::fermi(),
+                    "kepler" => GpuConfig::kepler(),
+                    other => {
+                        return Err(CliError::Usage(format!("unknown GPU `{other}`")));
+                    }
+                }
+            }
+            "--grid" => opts.grid = parse_u32(&value_of(a, &mut it)?, "--grid")?,
+            "--block" => opts.block = parse_u32(&value_of(a, &mut it)?, "--block")?,
+            "--regs" => regs = Some(parse_u32(&value_of(a, &mut it)?, "--regs")?),
+            "--tlp" => tlp = Some(parse_u32(&value_of(a, &mut it)?, "--tlp")?),
+            "--no-shm" => opts.no_shm = true,
+            "--prepass" => prepass = true,
+            "--param" => {
+                let kv = value_of(a, &mut it)?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| CliError::Usage(format!("--param wants name=value, got `{kv}`")))?;
+                opts.params.push((k.to_string(), parse_u64(v, "--param")?));
+            }
+            "--opt-tlp" => {
+                let v = value_of(a, &mut it)?;
+                opts.opt_tlp = match v.as_str() {
+                    "profile" => OptTlpSource::Profiled,
+                    "static" => OptTlpSource::Static { l1_hit_rate: crat_core::STATIC_L1_HIT_RATE },
+                    n => OptTlpSource::Given(parse_u32(n, "--opt-tlp")?),
+                };
+            }
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
+            other => return Err(CliError::Usage(format!("unknown argument `{other}`"))),
+        }
+    }
+
+    let file = file.ok_or_else(|| CliError::Usage("missing input file".to_string()))?;
+    Ok(match sub {
+        "app" => Command::App { abbr: file, opts },
+        "analyze" => Command::Analyze { file, opts },
+        "passes" => Command::Passes { file, output },
+        "optimize" => Command::Optimize { file, output, opts, prepass },
+        "simulate" => Command::Simulate { file, regs, tlp, opts },
+        other => return Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
+    })
+}
+
+fn parse_u32(s: &str, flag: &str) -> Result<u32, CliError> {
+    parse_u64(s, flag).and_then(|v| {
+        u32::try_from(v).map_err(|_| CliError::Usage(format!("{flag}: `{s}` out of range")))
+    })
+}
+
+fn parse_u64(s: &str, flag: &str) -> Result<u64, CliError> {
+    let r = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    r.map_err(|_| CliError::Usage(format!("{flag}: `{s}` is not a number")))
+}
+
+/// Execute a command; returns the text to print.
+///
+/// # Errors
+///
+/// Propagates I/O and pipeline failures with rendered messages.
+pub fn run(cmd: Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::App { abbr, opts } => {
+            let app = crat_workloads::suite::APPS
+                .iter()
+                .find(|a| a.abbr.eq_ignore_ascii_case(&abbr))
+                .ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "unknown app `{abbr}`; known: {}",
+                        crat_workloads::suite::APPS
+                            .iter()
+                            .map(|a| a.abbr)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))
+                })?;
+            let kernel = crat_workloads::build_kernel(app);
+            let grid = if opts.grid == CommonOpts::default().grid {
+                app.grid_blocks
+            } else {
+                opts.grid
+            };
+            let launch = crat_workloads::launch_sized(app, grid);
+            let mut out = String::new();
+            let _ = writeln!(out, "{} ({} / {}), grid {grid} x {} threads:", app.name,
+                app.kernel, app.suite, app.block_size);
+            use crat_core::{evaluate, Technique};
+            let baseline = evaluate(&kernel, &opts.gpu, &launch, Technique::OptTlp)
+                .map_err(|e| CliError::Tool(format!("OptTLP failed: {e}")))?;
+            for t in [Technique::MaxTlp, Technique::OptTlp, Technique::Crat] {
+                let e = evaluate(&kernel, &opts.gpu, &launch, t)
+                    .map_err(|err| CliError::Tool(format!("{t} failed: {err}")))?;
+                let _ = writeln!(
+                    out,
+                    "  {:10} reg={:2} TLP={}  cycles={:9}  L1 hit={:5.1}%  vs OptTLP: {:.2}x",
+                    t.label(),
+                    e.reg,
+                    e.tlp,
+                    e.stats.cycles,
+                    e.stats.l1_hit_rate() * 100.0,
+                    e.stats.speedup_over(&baseline.stats),
+                );
+            }
+            Ok(out)
+        }
+        Command::Analyze { file, opts } => {
+            let kernel = load(&file)?;
+            let launch = build_launch(&kernel, &opts);
+            let usage = analyze(&kernel, &opts.gpu, &launch);
+            let mut out = String::new();
+            let _ = writeln!(out, "kernel `{}` on {}:", kernel.name(), opts.gpu.name);
+            let _ = writeln!(out, "  instructions        {}", kernel.num_insts());
+            let _ = writeln!(out, "  virtual registers   {}", kernel.num_regs());
+            let _ = writeln!(out, "  MaxReg              {}", usage.max_reg);
+            let _ = writeln!(out, "  MinReg              {}", usage.min_reg);
+            let _ = writeln!(out, "  default reg/thread  {}", usage.default_reg);
+            let _ = writeln!(out, "  BlockSize           {}", usage.block_size);
+            let _ = writeln!(out, "  MaxTLP              {}", usage.max_tlp);
+            let _ = writeln!(out, "  ShmSize             {} B", usage.shm_size);
+            Ok(out)
+        }
+        Command::Passes { file, output } => {
+            let mut kernel = load(&file)?;
+            let stats = passes::optimize(&mut kernel);
+            let text = kernel.to_ptx();
+            let report = format!(
+                "passes: {} folded, {} copies propagated, {} dead removed ({} iterations)\n",
+                stats.constants_folded,
+                stats.copies_propagated,
+                stats.dce_removed,
+                stats.iterations
+            );
+            emit(output.as_deref(), &text)?;
+            Ok(if output.is_some() { report } else { format!("{report}\n{text}") })
+        }
+        Command::Optimize { file, output, opts, prepass } => {
+            let mut kernel = load(&file)?;
+            let mut report = String::new();
+            if prepass {
+                let stats = passes::optimize(&mut kernel);
+                let _ = writeln!(
+                    report,
+                    "prepass: {} folded, {} copies, {} dead removed",
+                    stats.constants_folded, stats.copies_propagated, stats.dce_removed
+                );
+            }
+            let launch = build_launch(&kernel, &opts);
+            let mut copts = CratOptions { opt_tlp: opts.opt_tlp, ..CratOptions::new() };
+            if opts.no_shm {
+                copts.shm_spill = false;
+            }
+            let solution = optimize(&kernel, &opts.gpu, &launch, &copts)
+                .map_err(|e| CliError::Tool(format!("optimization failed: {e}")))?;
+            let _ = writeln!(
+                report,
+                "resource usage: MaxReg={} MinReg={} MaxTLP={} ShmSize={}B",
+                solution.usage.max_reg,
+                solution.usage.min_reg,
+                solution.usage.max_tlp,
+                solution.usage.shm_size
+            );
+            let _ = writeln!(report, "OptTLP: {}", solution.opt_tlp);
+            for (i, c) in solution.candidates.iter().enumerate() {
+                let _ = writeln!(
+                    report,
+                    "  {}candidate (reg={}, TLP={}) TPSC={:.4} spills(local={}, shm={})",
+                    if i == solution.chosen { "* " } else { "  " },
+                    c.point.reg,
+                    c.achieved_tlp,
+                    c.tpsc,
+                    c.allocation.spills.counts.total_local(),
+                    c.allocation.spills.counts.total_shared(),
+                );
+            }
+            let winner = solution.winner();
+            let _ = writeln!(
+                report,
+                "chosen: reg={} TLP={} ({} physical registers)",
+                winner.allocation.slots_used,
+                winner.achieved_tlp,
+                winner.allocation.kernel.num_regs()
+            );
+            let text = winner.allocation.kernel.to_ptx();
+            emit(output.as_deref(), &text)?;
+            Ok(if output.is_some() { report } else { format!("{report}\n{text}") })
+        }
+        Command::Simulate { file, regs, tlp, opts } => {
+            let kernel = load(&file)?;
+            let launch = build_launch(&kernel, &opts);
+            let regs = match regs {
+                Some(r) => r,
+                None => {
+                    let a = allocate(&kernel, &AllocOptions::new(opts.gpu.max_regs_per_thread))
+                        .map_err(|e| CliError::Tool(format!("allocation failed: {e}")))?;
+                    a.slots_used
+                }
+            };
+            let stats = simulate(&kernel, &opts.gpu, &launch, regs, tlp)
+                .map_err(|e| CliError::Tool(format!("simulation failed: {e}")))?;
+            let mut out = String::new();
+            let _ = writeln!(out, "simulated `{}` on {}:", kernel.name(), opts.gpu.name);
+            let _ = writeln!(out, "  cycles              {}", stats.cycles);
+            let _ = writeln!(out, "  warp instructions   {}", stats.warp_insts);
+            let _ = writeln!(out, "  IPC                 {:.3}", stats.ipc());
+            let _ = writeln!(out, "  resident blocks     {}", stats.resident_blocks);
+            let _ = writeln!(out, "  L1 hit rate         {:.1}%", stats.l1_hit_rate() * 100.0);
+            let _ = writeln!(out, "  reservation fails   {}", stats.l1_reservation_fails);
+            let _ = writeln!(out, "  DRAM transactions   {}", stats.dram_transactions);
+            let _ = writeln!(out, "  local-mem insts     {}", stats.local_insts);
+            Ok(out)
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Kernel, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    parse(&text).map_err(|e| CliError::Tool(format!("{path}: {e}")))
+}
+
+fn emit(path: Option<&str>, text: &str) -> Result<(), CliError> {
+    if let Some(p) = path {
+        std::fs::write(p, text)?;
+    }
+    Ok(())
+}
+
+/// Build a launch config, auto-binding any unbound pointer params to
+/// distinct synthetic addresses.
+fn build_launch(kernel: &Kernel, opts: &CommonOpts) -> LaunchConfig {
+    let mut launch = LaunchConfig::new(opts.grid, opts.block);
+    let bound: HashMap<&str, u64> =
+        opts.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let mut next_base = 0x1000_0000u64;
+    for p in kernel.params() {
+        let v = bound.get(p.name.as_str()).copied().unwrap_or_else(|| {
+            let v = next_base;
+            next_base += 0x1000_0000;
+            v
+        });
+        launch = launch.with_param(&p.name, v);
+    }
+    launch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_optimize_command() {
+        let cmd = parse_args(&s(&[
+            "optimize", "k.ptx", "-o", "out.ptx", "--gpu", "kepler", "--grid", "120",
+            "--block", "256", "--param", "input=0x1000", "--opt-tlp", "static", "--no-shm",
+            "--prepass",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Optimize { file, output, opts, prepass } => {
+                assert_eq!(file, "k.ptx");
+                assert_eq!(output.as_deref(), Some("out.ptx"));
+                assert_eq!(opts.gpu.name, "kepler");
+                assert_eq!(opts.grid, 120);
+                assert_eq!(opts.block, 256);
+                assert_eq!(opts.params, vec![("input".to_string(), 0x1000)]);
+                assert!(opts.no_shm);
+                assert!(prepass);
+                assert!(matches!(opts.opt_tlp, OptTlpSource::Static { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_numeric_opt_tlp_and_simulate() {
+        let cmd =
+            parse_args(&s(&["simulate", "k.ptx", "--regs", "32", "--tlp", "4"])).unwrap();
+        match cmd {
+            Command::Simulate { regs, tlp, .. } => {
+                assert_eq!(regs, Some(32));
+                assert_eq!(tlp, Some(4));
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse_args(&s(&["optimize", "k.ptx", "--opt-tlp", "3"])).unwrap();
+        match cmd {
+            Command::Optimize { opts, .. } => {
+                assert_eq!(opts.opt_tlp, OptTlpSource::Given(3));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(parse_args(&s(&["optimize"])), Err(CliError::Usage(_))));
+        assert!(matches!(parse_args(&s(&["frobnicate", "x"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&s(&["simulate", "k.ptx", "--regs", "many"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&s(&["optimize", "k.ptx", "--param", "noequals"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn help_paths() {
+        assert_eq!(parse_args(&s(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&s(&[])).unwrap(), Command::Help);
+        assert!(run(Command::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn end_to_end_on_a_temp_file() {
+        let dir = std::env::temp_dir().join("crat_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("k.ptx");
+        let ptx = "\
+.entry k (.param .u64 out)
+{
+    .reg .u32 %v0, %v1;
+    .reg .u64 %v2, %v3, %v4;
+BB0:
+    mov.u32 %v0, %tid.x;
+    mov.u32 %v1, 2;
+    mul.lo.u32 %v1, %v0, %v1;
+    ld.param.u64 %v2, [out];
+    cvt.u64.u32 %v3, %v1;
+    add.u64 %v4, %v2, %v3;
+    st.global.u32 [%v4], %v1;
+    ret;
+}
+";
+        std::fs::write(&path, ptx).unwrap();
+        let file = path.to_str().unwrap().to_string();
+
+        let out = run(Command::Analyze { file: file.clone(), opts: CommonOpts::default() })
+            .unwrap();
+        assert!(out.contains("MaxReg"));
+
+        let out = run(Command::Passes { file: file.clone(), output: None }).unwrap();
+        assert!(out.contains("passes:"));
+
+        let out = run(Command::Simulate {
+            file: file.clone(),
+            regs: Some(16),
+            tlp: None,
+            opts: CommonOpts::default(),
+        })
+        .unwrap();
+        assert!(out.contains("cycles"));
+
+        let out_path = dir.join("out.ptx");
+        let out = run(Command::Optimize {
+            file,
+            output: Some(out_path.to_str().unwrap().to_string()),
+            opts: CommonOpts {
+                opt_tlp: OptTlpSource::Given(4),
+                ..CommonOpts::default()
+            },
+            prepass: true,
+        })
+        .unwrap();
+        assert!(out.contains("chosen:"));
+        let emitted = std::fs::read_to_string(out_path).unwrap();
+        assert!(crat_ptx::parse(&emitted).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod app_tests {
+    use super::*;
+
+    #[test]
+    fn app_subcommand_runs_a_benchmark() {
+        let cmd = parse_args(&["app".to_string(), "BAK".to_string(), "--grid".to_string(),
+            "30".to_string()]).unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("MaxTLP"));
+        assert!(out.contains("CRAT"));
+    }
+
+    #[test]
+    fn app_subcommand_rejects_unknown() {
+        let cmd = parse_args(&["app".to_string(), "NOPE".to_string()]).unwrap();
+        assert!(matches!(run(cmd), Err(CliError::Usage(_))));
+    }
+}

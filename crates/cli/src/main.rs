@@ -1,0 +1,17 @@
+//! The `crat` command-line driver (thin shim over [`crat_cli`]).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match crat_cli::parse_args(&args).and_then(crat_cli::run) {
+        Ok(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Design-space enumeration and pruning (paper §4.2).
+//!
+//! The space of `(reg, TLP)` pairs forms a staircase (Figure 11): each
+//! TLP level admits a range of register budgets, and only the
+//! *rightmost* point of each stair (the largest budget that still
+//! sustains the TLP) can be optimal. Stairs whose TLP exceeds `OptTLP`
+//! are discarded: they would thrash the L1.
+
+use crat_sim::{max_regs_for_tlp, GpuConfig};
+
+use crate::resource::ResourceUsage;
+
+/// The smallest register budget the allocator can realistically work
+/// with (spill-stack bases plus temporaries need a handful of slots).
+pub const ALLOC_FLOOR: u32 = 12;
+
+/// One point of the design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignPoint {
+    /// Registers per thread.
+    pub reg: u32,
+    /// Concurrent thread blocks per SM.
+    pub tlp: u32,
+}
+
+/// The rightmost stair point for every TLP in `1..=max_tlp`: the full
+/// (unpruned) candidate staircase.
+pub fn staircase(usage: &ResourceUsage, gpu: &GpuConfig) -> Vec<DesignPoint> {
+    let reg_cap = usage.max_reg.min(gpu.max_regs_per_thread);
+    let mut points = Vec::new();
+    for tlp in 1..=usage.max_tlp {
+        let Some(reg) = max_regs_for_tlp(gpu, tlp, usage.shm_size, usage.block_size) else {
+            continue;
+        };
+        let reg = reg.min(reg_cap).max(ALLOC_FLOOR);
+        points.push(DesignPoint { reg, tlp });
+    }
+    points
+}
+
+/// The pruned candidate set: rightmost stair points with
+/// `TLP <= opt_tlp` (second pruning rule: higher TLP thrashes the L1),
+/// deduplicated so that among points with equal register budgets only
+/// the highest surviving TLP remains (identical single-thread
+/// performance with more parallelism dominates).
+pub fn prune(usage: &ResourceUsage, gpu: &GpuConfig, opt_tlp: u32) -> Vec<DesignPoint> {
+    let mut points: Vec<DesignPoint> = staircase(usage, gpu)
+        .into_iter()
+        .filter(|p| p.tlp <= opt_tlp)
+        .collect();
+    points.sort_by_key(|p| (p.reg, p.tlp));
+    points.dedup_by(|a, b| {
+        if a.reg == b.reg {
+            b.tlp = b.tlp.max(a.tlp);
+            true
+        } else {
+            false
+        }
+    });
+    points.sort_by_key(|p| p.tlp);
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crat_sim::occupancy;
+
+    fn usage(max_reg: u32, block: u32) -> ResourceUsage {
+        let gpu = GpuConfig::fermi();
+        ResourceUsage {
+            max_reg,
+            min_reg: gpu.min_reg(),
+            block_size: block,
+            max_tlp: 8,
+            shm_size: 0,
+            default_reg: max_reg.min(gpu.min_reg()),
+        }
+    }
+
+    #[test]
+    fn staircase_is_monotone() {
+        let gpu = GpuConfig::fermi();
+        let pts = staircase(&usage(60, 192), &gpu);
+        assert!(!pts.is_empty());
+        // Higher TLP ⇒ fewer registers.
+        for w in pts.windows(2) {
+            assert!(w[0].tlp < w[1].tlp);
+            assert!(w[0].reg >= w[1].reg);
+        }
+    }
+
+    #[test]
+    fn every_point_actually_sustains_its_tlp() {
+        let gpu = GpuConfig::fermi();
+        let u = usage(60, 192);
+        for p in staircase(&u, &gpu) {
+            let occ = occupancy(&gpu, p.reg, 0, 192).blocks;
+            assert!(occ >= p.tlp, "point {p:?} gives occupancy {occ}");
+        }
+    }
+
+    #[test]
+    fn points_are_rightmost() {
+        let gpu = GpuConfig::fermi();
+        let u = usage(60, 192);
+        for p in staircase(&u, &gpu) {
+            if p.reg < u.max_reg && p.reg < gpu.max_regs_per_thread {
+                let occ = occupancy(&gpu, p.reg + 1, 0, 192).blocks;
+                assert!(
+                    occ < p.tlp || p.reg == ALLOC_FLOOR,
+                    "one more register should break TLP {}",
+                    p.tlp
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_drops_thrashing_stairs() {
+        let gpu = GpuConfig::fermi();
+        let u = usage(60, 192);
+        let pruned = prune(&u, &gpu, 3);
+        assert!(!pruned.is_empty());
+        assert!(pruned.iter().all(|p| p.tlp <= 3));
+        assert!(pruned.len() <= staircase(&u, &gpu).len());
+    }
+
+    #[test]
+    fn small_kernels_collapse_to_max_reg_after_pruning() {
+        // With tiny register demand every stair saturates at MaxReg:
+        // after deduplication only the highest surviving TLP remains.
+        let gpu = GpuConfig::fermi();
+        let pts = prune(&usage(14, 192), &gpu, 8);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].tlp, 8);
+        assert_eq!(pts[0].reg, 14.max(ALLOC_FLOOR));
+        // Throttled hard, the dedup keeps the throttle's TLP.
+        let pts = prune(&usage(14, 192), &gpu, 2);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].tlp, 2);
+    }
+
+    #[test]
+    fn reg_floor_is_respected() {
+        let gpu = GpuConfig::fermi();
+        for p in staircase(&usage(60, 512), &gpu) {
+            assert!(p.reg >= ALLOC_FLOOR);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! CRAT: Coordinated Register Allocation and Thread-level parallelism
+//! optimization — the primary contribution of Xie et al. (MICRO 2015),
+//! reproduced in Rust.
+//!
+//! Given a PTX kernel, a GPU configuration, and a launch, CRAT:
+//!
+//! 1. **analyzes resource usage** ([`analyze`]): `MaxReg` from live-
+//!    variable analysis, `MinReg` from the architecture, block size,
+//!    `MaxTLP`, and shared-memory usage (paper §4.1);
+//! 2. **finds `OptTLP`** either by profiling ([`profile_opt_tlp`]) or
+//!    by static GTO-schedule mimicry ([`estimate_opt_tlp`], Figure 10);
+//! 3. **prunes the design space** ([`prune`]) to the rightmost point
+//!    of each occupancy stair with `TLP ≤ OptTLP` (§4.2, Figure 11);
+//! 4. **allocates registers** for every candidate through
+//!    [`crat_regalloc`], spilling to spare shared memory when
+//!    profitable (Algorithm 1);
+//! 5. **selects** the best tradeoff with the TPSC metric ([`tpsc`],
+//!    §6).
+//!
+//! [`evaluate`] runs the paper's comparison techniques (`MaxTLP`,
+//! `OptTLP`, `CRAT-local`, `CRAT`, `CRAT-static`) end to end on the
+//! simulator.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use crat_core::{optimize, CratOptions};
+//! use crat_sim::GpuConfig;
+//! use crat_workloads::{build_kernel, launch, suite};
+//!
+//! let app = suite::spec("CFD");
+//! let kernel = build_kernel(app);
+//! let solution = optimize(&kernel, &GpuConfig::fermi(), &launch(app), &CratOptions::new())?;
+//! println!("CRAT chose reg={} TLP={}", solution.point().reg, solution.point().tlp);
+//! # Ok::<(), crat_core::CratError>(())
+//! ```
+
+mod design_space;
+mod pipeline;
+mod profile_tlp;
+mod resource;
+mod segments;
+mod static_tlp;
+mod techniques;
+mod tpsc;
+
+use std::error::Error;
+use std::fmt;
+
+pub use design_space::{prune, staircase, DesignPoint, ALLOC_FLOOR};
+pub use pipeline::{optimize, optimize_oracle, Candidate, CratOptions, CratSolution, OptTlpSource};
+pub use profile_tlp::{profile_opt_tlp, TlpProfile};
+pub use resource::{analyze, ResourceUsage};
+pub use segments::{segment_kernel, Segment};
+pub use static_tlp::estimate_opt_tlp;
+pub use techniques::{evaluate, Evaluation, Technique, STATIC_L1_HIT_RATE};
+pub use tpsc::{tlp_gain, tpsc};
+
+/// Errors of the CRAT pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CratError {
+    /// Register allocation failed.
+    Alloc(crat_regalloc::AllocError),
+    /// A profiling or evaluation simulation failed.
+    Sim(crat_sim::SimError),
+    /// Pruning left no candidate design points.
+    NoCandidates,
+}
+
+impl fmt::Display for CratError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CratError::Alloc(e) => write!(f, "register allocation failed: {e}"),
+            CratError::Sim(e) => write!(f, "simulation failed: {e}"),
+            CratError::NoCandidates => f.write_str("design-space pruning left no candidates"),
+        }
+    }
+}
+
+impl Error for CratError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CratError::Alloc(e) => Some(e),
+            CratError::Sim(e) => Some(e),
+            CratError::NoCandidates => None,
+        }
+    }
+}
+
+impl From<crat_regalloc::AllocError> for CratError {
+    fn from(e: crat_regalloc::AllocError) -> CratError {
+        CratError::Alloc(e)
+    }
+}
+
+impl From<crat_sim::SimError> for CratError {
+    fn from(e: crat_sim::SimError) -> CratError {
+        CratError::Sim(e)
+    }
+}

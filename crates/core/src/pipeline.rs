@@ -1,0 +1,406 @@
+//! The end-to-end CRAT optimizer (paper Figure 9): resource analysis →
+//! design-space pruning → per-candidate register allocation (with the
+//! shared-memory spilling optimization) → TPSC selection.
+
+use crat_ptx::{Cfg, Kernel, Space};
+use crat_regalloc::{allocate, AllocError, AllocOptions, Allocation, ShmSpillConfig};
+use crat_sim::{occupancy, GpuConfig, LaunchConfig};
+
+use crate::design_space::{prune, DesignPoint};
+use crate::profile_tlp::profile_opt_tlp;
+use crate::resource::{analyze, ResourceUsage};
+use crate::static_tlp::estimate_opt_tlp;
+use crate::tpsc::tpsc;
+use crate::CratError;
+
+/// How the optimizer obtains `OptTLP`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptTlpSource {
+    /// Profile: run the default-allocation kernel once per TLP level
+    /// (the paper's `CRAT-profile`).
+    Profiled,
+    /// Static code analysis with the given assumed L1 hit rate (the
+    /// paper's `CRAT-static`; the ratio plays the role of the
+    /// empirically measured hit rate of §4.1).
+    Static {
+        /// Assumed L1 hit rate in `[0, 1]`.
+        l1_hit_rate: f64,
+    },
+    /// Caller-provided value (for experiments).
+    Given(u32),
+}
+
+/// Optimizer options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CratOptions {
+    /// Where `OptTLP` comes from.
+    pub opt_tlp: OptTlpSource,
+    /// Enable Algorithm 1 (spilling to spare shared memory). Disabled
+    /// gives the paper's `CRAT-local` variant.
+    pub shm_spill: bool,
+    /// Per-access cost of local memory in the TPSC spill term; `None`
+    /// derives it from the GPU's latencies.
+    pub cost_local: Option<f64>,
+    /// Per-access cost of shared memory; `None` derives it.
+    pub cost_shm: Option<f64>,
+}
+
+impl Default for CratOptions {
+    fn default() -> CratOptions {
+        CratOptions {
+            opt_tlp: OptTlpSource::Profiled,
+            shm_spill: true,
+            cost_local: None,
+            cost_shm: None,
+        }
+    }
+}
+
+impl CratOptions {
+    /// The paper's `CRAT` configuration (profiled OptTLP, shared-memory
+    /// spilling on).
+    pub fn new() -> CratOptions {
+        CratOptions::default()
+    }
+
+    /// The paper's `CRAT-local`: no shared-memory spilling.
+    pub fn local_only() -> CratOptions {
+        CratOptions { shm_spill: false, ..CratOptions::default() }
+    }
+
+    /// The paper's `CRAT-static`: OptTLP from static analysis.
+    pub fn static_analysis(l1_hit_rate: f64) -> CratOptions {
+        CratOptions { opt_tlp: OptTlpSource::Static { l1_hit_rate }, ..CratOptions::default() }
+    }
+}
+
+/// One evaluated candidate design point.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The design point.
+    pub point: DesignPoint,
+    /// The TLP actually achievable after allocation (normally equals
+    /// `point.tlp`).
+    pub achieved_tlp: u32,
+    /// Its TPSC score (smaller is better).
+    pub tpsc: f64,
+    /// The register allocation performed for it.
+    pub allocation: Allocation,
+}
+
+/// The optimizer's output.
+#[derive(Debug, Clone)]
+pub struct CratSolution {
+    /// The resource analysis.
+    pub usage: ResourceUsage,
+    /// The OptTLP used for pruning.
+    pub opt_tlp: u32,
+    /// All surviving candidates, in TLP order.
+    pub candidates: Vec<Candidate>,
+    /// Index of the chosen candidate.
+    pub chosen: usize,
+}
+
+impl CratSolution {
+    /// The winning candidate.
+    pub fn winner(&self) -> &Candidate {
+        &self.candidates[self.chosen]
+    }
+
+    /// The chosen `(reg, TLP)` point.
+    pub fn point(&self) -> DesignPoint {
+        self.winner().point
+    }
+}
+
+/// Rough per-thread execution cost of `kernel` in cycles (static
+/// latencies weighted by trip counts). Used to normalize the TPSC
+/// spill term; computed on the pre-allocation kernel so every
+/// candidate shares the same denominator.
+fn thread_work_cycles(kernel: &Kernel, gpu: &GpuConfig, cost_local: f64, cost_shm: f64) -> f64 {
+    let cfg = Cfg::build(kernel);
+    kernel
+        .blocks()
+        .iter()
+        .map(|b| {
+            let w = cfg.block_weight(b.id) as f64;
+            let sum: f64 = b
+                .insts
+                .iter()
+                .map(|i| match i.memory_space() {
+                    Some(Space::Global) | Some(Space::Local) => cost_local,
+                    Some(Space::Shared) => cost_shm,
+                    Some(Space::Param) => gpu.lat.param as f64,
+                    None => {
+                        if i.is_sfu() {
+                            gpu.lat.sfu as f64
+                        } else {
+                            gpu.lat.alu as f64
+                        }
+                    }
+                })
+                .sum();
+            w * (sum + gpu.lat.alu as f64)
+        })
+        .sum()
+}
+
+/// Allocate with escalating budgets: structural effects (pair
+/// alignment, spill temporaries) can push a kernel slightly past a
+/// tight budget, so nudge upward rather than fail.
+pub(crate) fn robust_allocate(
+    kernel: &Kernel,
+    budget: u32,
+    shm: Option<ShmSpillConfig>,
+) -> Result<(Allocation, u32), AllocError> {
+    let mut budget = budget;
+    for _ in 0..6 {
+        let mut opts = AllocOptions::new(budget);
+        if let Some(s) = shm {
+            opts = opts.with_shm_spill(s);
+        }
+        match allocate(kernel, &opts) {
+            Ok(a) => return Ok((a, budget)),
+            Err(AllocError::BudgetTooSmall { .. }) => budget += 2,
+            Err(e) => return Err(e),
+        }
+    }
+    let mut opts = AllocOptions::new(budget);
+    if let Some(s) = shm {
+        opts = opts.with_shm_spill(s);
+    }
+    allocate(kernel, &opts).map(|a| (a, budget))
+}
+
+/// Run the CRAT pipeline on one kernel.
+///
+/// # Errors
+///
+/// Fails if allocation fails at every candidate, if profiling
+/// simulation fails, or if pruning leaves no candidates.
+pub fn optimize(
+    kernel: &Kernel,
+    gpu: &GpuConfig,
+    launch: &LaunchConfig,
+    opts: &CratOptions,
+) -> Result<CratSolution, CratError> {
+    let usage = analyze(kernel, gpu, launch);
+    let cost_local = opts.cost_local.unwrap_or_else(|| {
+        (gpu.lat.l1_hit + (gpu.lat.l2 + gpu.lat.dram) / 2) as f64
+    });
+    let cost_shm = opts.cost_shm.unwrap_or(gpu.lat.shared as f64);
+
+    let opt_tlp = match opts.opt_tlp {
+        OptTlpSource::Given(t) => t.clamp(1, usage.max_tlp.max(1)),
+        OptTlpSource::Static { l1_hit_rate } => {
+            // Analyze the *default-allocated* kernel so spill traffic
+            // is visible — the profiled path throttles the same
+            // binary, and consistency matters (paper §4.1 measures
+            // with the tool-chain's allocation in place).
+            let (default_alloc, _) = robust_allocate(
+                kernel,
+                usage.default_reg.max(crate::design_space::ALLOC_FLOOR),
+                None,
+            )?;
+            estimate_opt_tlp(
+                &default_alloc.kernel,
+                gpu,
+                usage.max_tlp,
+                gpu.warps_per_block(usage.block_size),
+                l1_hit_rate,
+            )
+        }
+        OptTlpSource::Profiled => {
+            let (default_alloc, used_budget) =
+                robust_allocate(kernel, usage.default_reg.max(crate::design_space::ALLOC_FLOOR), None)?;
+            let _ = used_budget;
+            profile_opt_tlp(&default_alloc.kernel, gpu, launch, default_alloc.slots_used)?
+                .opt_tlp
+        }
+    };
+
+    let points = prune(&usage, gpu, opt_tlp);
+    if points.is_empty() {
+        return Err(CratError::NoCandidates);
+    }
+
+    let work = thread_work_cycles(kernel, gpu, cost_local, cost_shm).max(1.0);
+    let mut candidates = Vec::with_capacity(points.len());
+    for point in points {
+        // Spare shared memory at this TLP, leaving the app's own usage
+        // untouched (Algorithm 1's SpareShmSize). A small margin covers
+        // the 128-byte allocation rounding.
+        let shm = if opts.shm_spill {
+            let per_block = gpu.shmem_per_sm / point.tlp.max(1);
+            let spare = per_block
+                .saturating_sub(usage.shm_size.div_ceil(128) * 128)
+                .saturating_sub(128);
+            Some(ShmSpillConfig { spare_bytes: spare, block_size: usage.block_size })
+        } else {
+            None
+        };
+
+        let (allocation, _) = robust_allocate(kernel, point.reg, shm)?;
+        let total_shm = usage.shm_size + allocation.spills.shared_spill_bytes_per_block;
+        let achieved_tlp = occupancy(gpu, allocation.slots_used, total_shm, usage.block_size)
+            .blocks
+            .min(point.tlp);
+        let score = tpsc(
+            achieved_tlp.max(1),
+            usage.block_size,
+            gpu.max_threads_per_sm,
+            allocation.spill_cost(cost_local, cost_shm) / work,
+        );
+        candidates.push(Candidate { point, achieved_tlp, tpsc: score, allocation });
+    }
+
+    // Smallest TPSC wins; ties break toward more parallelism, then
+    // more registers.
+    let chosen = (0..candidates.len())
+        .min_by(|&a, &b| {
+            let (ca, cb) = (&candidates[a], &candidates[b]);
+            ca.tpsc
+                .partial_cmp(&cb.tpsc)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(cb.achieved_tlp.cmp(&ca.achieved_tlp))
+                .then(cb.point.reg.cmp(&ca.point.reg))
+        })
+        .expect("candidates is non-empty");
+
+    Ok(CratSolution { usage, opt_tlp, candidates, chosen })
+}
+
+/// Like [`optimize`], but select the winner by *simulating every
+/// candidate* instead of ranking with TPSC — the oracle the paper's §6
+/// claims TPSC approximates. Much more expensive (one full simulation
+/// per candidate); used by the ablation experiments.
+///
+/// # Errors
+///
+/// Same as [`optimize`], plus simulation failures on candidates.
+pub fn optimize_oracle(
+    kernel: &Kernel,
+    gpu: &GpuConfig,
+    launch: &LaunchConfig,
+    opts: &CratOptions,
+) -> Result<CratSolution, CratError> {
+    let mut solution = optimize(kernel, gpu, launch, opts)?;
+    let mut best: Option<(usize, u64)> = None;
+    for (i, c) in solution.candidates.iter().enumerate() {
+        let stats = crat_sim::simulate(
+            &c.allocation.kernel,
+            gpu,
+            launch,
+            c.allocation.slots_used,
+            Some(c.achieved_tlp),
+        )?;
+        if best.is_none_or(|(_, b)| stats.cycles < b) {
+            best = Some((i, stats.cycles));
+        }
+    }
+    solution.chosen = best.expect("candidates are non-empty").0;
+    Ok(solution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crat_workloads::{build_kernel, launch_sized, suite};
+
+    #[test]
+    fn cfd_chooses_more_registers_than_default() {
+        let app = suite::spec("CFD");
+        let kernel = build_kernel(app);
+        let gpu = GpuConfig::fermi();
+        let launch = launch_sized(app, 60);
+        let sol = optimize(&kernel, &gpu, &launch, &CratOptions::new()).unwrap();
+        // The paper's central claim for register-hungry apps: CRAT
+        // allocates more registers per thread than the occupancy-
+        // oriented default (21 on this configuration).
+        assert!(
+            sol.point().reg > sol.usage.default_reg,
+            "CRAT chose {:?} vs default {}",
+            sol.point(),
+            sol.usage.default_reg
+        );
+        assert!(sol.point().tlp <= sol.opt_tlp);
+        assert!(!sol.candidates.is_empty());
+    }
+
+    #[test]
+    fn kmn_keeps_default_registers() {
+        // KMN's default allocation is already optimal (paper §7.2):
+        // its MaxReg is below MinReg, so the only knob is TLP.
+        let app = suite::spec("KMN");
+        let kernel = build_kernel(app);
+        let gpu = GpuConfig::fermi();
+        let launch = launch_sized(app, 60);
+        let sol = optimize(&kernel, &gpu, &launch, &CratOptions::new()).unwrap();
+        assert!(sol.point().reg <= sol.usage.max_reg.max(crate::design_space::ALLOC_FLOOR));
+        assert!(sol.opt_tlp < sol.usage.max_tlp, "KMN must be throttled");
+    }
+
+    #[test]
+    fn candidates_respect_pruning() {
+        let app = suite::spec("FDTD");
+        let kernel = build_kernel(app);
+        let gpu = GpuConfig::fermi();
+        let launch = launch_sized(app, 45);
+        let sol = optimize(&kernel, &gpu, &launch, &CratOptions::new()).unwrap();
+        for c in &sol.candidates {
+            assert!(c.point.tlp <= sol.opt_tlp);
+            assert!(c.allocation.slots_used <= c.point.reg + 12);
+        }
+        let min = sol.candidates.iter().map(|c| c.tpsc).fold(f64::INFINITY, f64::min);
+        assert_eq!(sol.winner().tpsc, min);
+    }
+
+    #[test]
+    fn static_and_given_sources_work() {
+        let app = suite::spec("STE");
+        let kernel = build_kernel(app);
+        let gpu = GpuConfig::fermi();
+        let launch = launch_sized(app, 60);
+        let s = optimize(&kernel, &gpu, &launch, &CratOptions::static_analysis(0.6)).unwrap();
+        assert!(s.opt_tlp >= 1);
+        let g = optimize(
+            &kernel,
+            &gpu,
+            &launch,
+            &CratOptions { opt_tlp: OptTlpSource::Given(2), ..CratOptions::new() },
+        )
+        .unwrap();
+        assert_eq!(g.opt_tlp, 2);
+        assert!(g.candidates.iter().all(|c| c.point.tlp <= 2));
+    }
+
+    #[test]
+    fn oracle_never_picks_a_slower_candidate_than_tpsc() {
+        let app = suite::spec("FDTD");
+        let kernel = build_kernel(app);
+        let gpu = GpuConfig::fermi();
+        let launch = launch_sized(app, 30);
+        let opts = CratOptions { opt_tlp: OptTlpSource::Given(3), ..CratOptions::new() };
+        let tpsc_sol = optimize(&kernel, &gpu, &launch, &opts).unwrap();
+        let oracle_sol = optimize_oracle(&kernel, &gpu, &launch, &opts).unwrap();
+        let cycles = |s: &CratSolution| {
+            let w = s.winner();
+            crat_sim::simulate(&w.allocation.kernel, &gpu, &launch, w.allocation.slots_used, Some(w.achieved_tlp))
+                .unwrap()
+                .cycles
+        };
+        assert!(cycles(&oracle_sol) <= cycles(&tpsc_sol));
+    }
+
+    #[test]
+    fn local_only_never_uses_shared_spills() {
+        let app = suite::spec("CFD");
+        let kernel = build_kernel(app);
+        let gpu = GpuConfig::fermi();
+        let launch = launch_sized(app, 60);
+        let sol = optimize(&kernel, &gpu, &launch, &CratOptions::local_only()).unwrap();
+        for c in &sol.candidates {
+            assert_eq!(c.allocation.spills.counts.total_shared(), 0);
+        }
+    }
+}

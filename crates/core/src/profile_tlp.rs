@@ -1,0 +1,112 @@
+//! Profiled `OptTLP`: run the application once per TLP level and pick
+//! the fastest (the paper's thread-throttling baseline, Kayıran et
+//! al. PACT'13, determined "offline by exhaustively testing all the
+//! possible TLPs" — a small space, at most `MaxTLP` runs).
+
+use crat_ptx::Kernel;
+use crat_sim::{simulate, GpuConfig, LaunchConfig, SimError, SimStats};
+
+/// The outcome of the TLP profiling sweep.
+#[derive(Debug, Clone)]
+pub struct TlpProfile {
+    /// The fastest TLP found.
+    pub opt_tlp: u32,
+    /// Statistics per TLP level `(tlp, stats)`, ascending.
+    pub runs: Vec<(u32, SimStats)>,
+}
+
+impl TlpProfile {
+    /// The stats of the winning run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is empty (cannot happen for values
+    /// produced by [`profile_opt_tlp`]).
+    pub fn best(&self) -> &SimStats {
+        &self
+            .runs
+            .iter()
+            .find(|(t, _)| *t == self.opt_tlp)
+            .expect("winning run recorded")
+            .1
+    }
+}
+
+/// Sweep TLP from 1 to the kernel's occupancy limit and return the
+/// fastest level. `regs_per_thread` must match the allocation being
+/// profiled (the paper profiles with the default allocation).
+///
+/// # Errors
+///
+/// Propagates the first simulation failure.
+pub fn profile_opt_tlp(
+    kernel: &Kernel,
+    gpu: &GpuConfig,
+    launch: &LaunchConfig,
+    regs_per_thread: u32,
+) -> Result<TlpProfile, SimError> {
+    let max = crat_sim::occupancy(gpu, regs_per_thread, kernel.shared_bytes(), launch.block_size)
+        .blocks
+        .max(1);
+    let mut runs = Vec::with_capacity(max as usize);
+    let mut best = (1u32, u64::MAX);
+    for tlp in 1..=max {
+        let stats = simulate(kernel, gpu, launch, regs_per_thread, Some(tlp))?;
+        if stats.cycles < best.1 {
+            best = (tlp, stats.cycles);
+        }
+        runs.push((tlp, stats));
+    }
+    Ok(TlpProfile { opt_tlp: best.0, runs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crat_workloads::{build_kernel, launch_sized, suite};
+
+    #[test]
+    fn cache_thrasher_prefers_low_tlp() {
+        let app = suite::spec("KMN");
+        let k = build_kernel(app);
+        let gpu = GpuConfig::fermi();
+        let launch = launch_sized(app, 60);
+        let p = profile_opt_tlp(&k, &gpu, &launch, 21).unwrap();
+        let max_tlp = p.runs.last().unwrap().0;
+        assert!(
+            p.opt_tlp < max_tlp,
+            "KMN should be throttled: opt {} of max {max_tlp}",
+            p.opt_tlp
+        );
+        assert_eq!(p.best().cycles, p.runs.iter().map(|(_, s)| s.cycles).min().unwrap());
+    }
+
+    #[test]
+    fn insensitive_app_prefers_high_tlp() {
+        let app = suite::spec("BAK");
+        let k = build_kernel(app);
+        let gpu = GpuConfig::fermi();
+        let launch = launch_sized(app, 60);
+        let p = profile_opt_tlp(&k, &gpu, &launch, 16).unwrap();
+        // Running at full TLP must be about as fast as the optimum:
+        // the app does not benefit from throttling (paper Figure 19).
+        let full = &p.runs.last().unwrap().1;
+        let best = p.best();
+        assert!(
+            full.cycles as f64 <= best.cycles as f64 * 1.05,
+            "full TLP ({}) should match the optimum ({})",
+            full.cycles,
+            best.cycles
+        );
+    }
+
+    #[test]
+    fn profile_covers_every_tlp() {
+        let app = suite::spec("BAK");
+        let k = build_kernel(app);
+        let p = profile_opt_tlp(&k, &GpuConfig::fermi(), &launch_sized(app, 60), 16).unwrap();
+        let tlps: Vec<u32> = p.runs.iter().map(|(t, _)| *t).collect();
+        let expected: Vec<u32> = (1..=*tlps.last().unwrap()).collect();
+        assert_eq!(tlps, expected);
+    }
+}

@@ -1,0 +1,164 @@
+//! Kernel segmentation for the static `OptTLP` analysis (paper §4.1,
+//! Figure 10a): the thread lifetime is divided into computation and
+//! memory periods.
+
+use crat_ptx::{Cfg, Kernel, Space};
+use crat_sim::GpuConfig;
+
+/// One period of a thread block's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Segment {
+    /// Back-to-back non-memory instructions.
+    Compute {
+        /// Summed instruction latency in cycles (dependency view).
+        cycles: u32,
+        /// Number of instructions (issue-bandwidth view).
+        insts: u32,
+    },
+    /// One off-chip memory access (global or local).
+    Memory {
+        /// Average access latency given the assumed cache hit ratio.
+        cycles: u32,
+    },
+}
+
+impl Segment {
+    /// The segment's latency in cycles.
+    pub fn cycles(&self) -> u32 {
+        match *self {
+            Segment::Compute { cycles, .. } | Segment::Memory { cycles } => cycles,
+        }
+    }
+
+    /// Whether this is a memory period.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, Segment::Memory { .. })
+    }
+}
+
+/// Split the kernel into an execution trace of compute and memory
+/// segments for one warp, with loops expanded by their trip-count
+/// hints (bounded to keep the trace small — the schedule mimicry only
+/// needs the steady-state shape).
+///
+/// `l1_hit_rate` is the empirically measured cache hit ratio the paper
+/// plugs into the average memory latency.
+pub fn segment_kernel(kernel: &Kernel, gpu: &GpuConfig, l1_hit_rate: f64) -> Vec<Segment> {
+    let cfg = Cfg::build(kernel);
+    let lat = &gpu.lat;
+    let hit = l1_hit_rate.clamp(0.0, 1.0);
+    let mem_cycles = (hit * lat.l1_hit as f64
+        + (1.0 - hit) * (lat.l1_hit + lat.l2 + lat.dram) as f64)
+        .round() as u32;
+
+    // Spill traffic to local memory is L1-resident at realistic spill
+    // footprints; model it at L1-hit latency rather than the blended
+    // off-chip latency.
+    let local_cycles = lat.l1_hit;
+
+    let mut segs: Vec<Segment> = Vec::new();
+    let mut pending_compute = 0u32;
+    let mut pending_insts = 0u32;
+
+    // Expand each block `weight` times, capped so huge trip counts do
+    // not blow up the trace; relative proportions are preserved.
+    const EXPANSION_CAP: u64 = 64;
+
+    for block in kernel.blocks() {
+        let reps = cfg.block_weight(block.id).min(EXPANSION_CAP) as u32;
+        for _ in 0..reps {
+            for inst in &block.insts {
+                match inst.memory_space() {
+                    Some(space @ (Space::Global | Space::Local)) => {
+                        if pending_insts > 0 {
+                            segs.push(Segment::Compute {
+                                cycles: pending_compute,
+                                insts: pending_insts,
+                            });
+                            pending_compute = 0;
+                            pending_insts = 0;
+                        }
+                        let cycles =
+                            if space == Space::Local { local_cycles } else { mem_cycles };
+                        segs.push(Segment::Memory { cycles });
+                    }
+                    Some(Space::Shared) => {
+                        pending_compute += lat.shared;
+                        pending_insts += 1;
+                    }
+                    Some(Space::Param) => {
+                        pending_compute += lat.param;
+                        pending_insts += 1;
+                    }
+                    None => {
+                        pending_compute += if inst.is_sfu() { lat.sfu } else { lat.alu };
+                        pending_insts += 1;
+                    }
+                }
+            }
+            // The terminator costs one issue slot.
+            pending_compute += lat.alu;
+            pending_insts += 1;
+        }
+    }
+    if pending_insts > 0 {
+        segs.push(Segment::Compute { cycles: pending_compute, insts: pending_insts });
+    }
+    segs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crat_ptx::{Address, KernelBuilder, Operand, Type};
+
+    fn loopy_kernel(trips: i64) -> Kernel {
+        let mut b = KernelBuilder::new("k");
+        let inp = b.param_ptr("input");
+        let acc = b.mov(Type::U32, Operand::Imm(0));
+        let l = b.loop_range(0, Operand::Imm(trips), 1);
+        let a = b.wide_address(inp, l.counter, 4);
+        let v = b.ld(Space::Global, Type::U32, Address::reg(a));
+        b.binary_to(crat_ptx::BinOp::Add, Type::U32, acc, acc, v);
+        b.end_loop(l);
+        let out = b.param_ptr("out");
+        let tid = b.special_tid_x(Type::U32);
+        let oa = b.wide_address(out, tid, 4);
+        b.st(Space::Global, Type::U32, oa, acc);
+        b.finish()
+    }
+
+    #[test]
+    fn alternating_compute_memory_shape() {
+        let k = loopy_kernel(8);
+        let segs = segment_kernel(&k, &GpuConfig::fermi(), 0.5);
+        let mems = segs.iter().filter(|s| s.is_memory()).count();
+        // 8 loop loads + 1 store (expanded once each).
+        assert_eq!(mems, 9);
+        // Segments alternate: no two adjacent memory segments from this
+        // kernel (compute separates them).
+        for w in segs.windows(2) {
+            assert!(!(w[0].is_memory() && w[1].is_memory()));
+        }
+    }
+
+    #[test]
+    fn hit_rate_changes_memory_latency() {
+        let k = loopy_kernel(4);
+        let gpu = GpuConfig::fermi();
+        let hot = segment_kernel(&k, &gpu, 1.0);
+        let cold = segment_kernel(&k, &gpu, 0.0);
+        let mem_of = |segs: &[Segment]| {
+            segs.iter().find(|s| s.is_memory()).map(Segment::cycles).unwrap()
+        };
+        assert_eq!(mem_of(&hot), gpu.lat.l1_hit);
+        assert_eq!(mem_of(&cold), gpu.lat.l1_hit + gpu.lat.l2 + gpu.lat.dram);
+    }
+
+    #[test]
+    fn loop_expansion_is_capped() {
+        let big = loopy_kernel(100_000);
+        let segs = segment_kernel(&big, &GpuConfig::fermi(), 0.5);
+        assert!(segs.len() < 1_000);
+    }
+}

@@ -1,0 +1,202 @@
+//! Static `OptTLP` estimation (paper §4.1, Figure 10b).
+//!
+//! Recent work (Lee et al., HPCA'14) observed that a greedy-then-
+//! oldest schedule reveals the useful TLP: mimic GTO scheduling over
+//! the compute/memory segment traces of `MaxTLP` thread blocks until
+//! the first block finishes; the number of blocks that participated is
+//! the `OptTLP` estimate. The mimicry models memory bandwidth by
+//! serializing miss traffic through a single pipe.
+
+use crat_ptx::Kernel;
+use crat_sim::GpuConfig;
+
+use crate::segments::{segment_kernel, Segment};
+
+/// Estimate the optimal TLP for `kernel` by static analysis.
+///
+/// `l1_hit_rate` plays the role of the paper's empirically measured
+/// cache hit ratio (it shapes the average memory latency).
+pub fn estimate_opt_tlp(
+    kernel: &Kernel,
+    gpu: &GpuConfig,
+    max_tlp: u32,
+    warps_per_block: u32,
+    l1_hit_rate: f64,
+) -> u32 {
+    if max_tlp <= 1 {
+        return 1;
+    }
+    let trace = segment_kernel(kernel, gpu, l1_hit_rate);
+    if trace.is_empty() {
+        return max_tlp;
+    }
+    mimic_gto(&trace, gpu, max_tlp, warps_per_block, l1_hit_rate).clamp(1, max_tlp)
+}
+
+struct WarpState {
+    next: usize,
+    ready_at: u64,
+    issued_anything: bool,
+}
+
+fn mimic_gto(
+    trace: &[Segment],
+    gpu: &GpuConfig,
+    max_tlp: u32,
+    warps_per_block: u32,
+    l1_hit_rate: f64,
+) -> u32 {
+    let nwarps = (max_tlp * warps_per_block) as usize;
+    let mut warps: Vec<WarpState> = (0..nwarps)
+        .map(|_| WarpState { next: 0, ready_at: 0, issued_anything: false })
+        .collect();
+
+    // Compute throughput scales with the number of schedulers; memory
+    // misses serialize through the DRAM pipe.
+    let sched = gpu.num_schedulers.max(1) as u64;
+    let miss_service =
+        ((1.0 - l1_hit_rate.clamp(0.0, 1.0)) * (gpu.l1.line_bytes as f64 / gpu.dram_bytes_per_cycle))
+            .ceil() as u64;
+
+    let mut core_time = 0u64;
+    let mut pipe_free = 0u64;
+    let mut current: Option<usize> = None;
+    let warp_block = |w: usize| w / warps_per_block as usize;
+
+    loop {
+        // First thread block done?
+        let first_block_done = (0..warps_per_block as usize).all(|w| warps[w].next >= trace.len());
+        if first_block_done {
+            let involved: std::collections::HashSet<usize> = warps
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.issued_anything)
+                .map(|(i, _)| warp_block(i))
+                .collect();
+            return involved.len().max(1) as u32;
+        }
+
+        // GTO pick: stick with the current warp when it is runnable,
+        // else the oldest (lowest-index) ready warp.
+        let runnable = |w: &WarpState| w.next < trace.len() && w.ready_at <= core_time;
+
+        let pick = match current {
+            Some(c) if runnable(&warps[c]) => Some(c),
+            _ => (0..nwarps).find(|&i| runnable(&warps[i])),
+        };
+        let Some(i) = pick else {
+            // Nobody ready: advance to the earliest ready time.
+            let t = warps
+                .iter()
+                .filter(|w| w.next < trace.len())
+                .map(|w| w.ready_at)
+                .min()
+                .expect("some warp is unfinished");
+            core_time = core_time.max(t);
+            current = None;
+            continue;
+        };
+
+        warps[i].issued_anything = true;
+        match trace[warps[i].next] {
+            Segment::Compute { cycles, insts } => {
+                // The core is busy only for the ISSUE time; the warp
+                // itself is busy until its dependency tail drains, so
+                // other warps can be recruited meanwhile (the effect
+                // that makes extra TLP useful for ALU-latency-bound
+                // code).
+                let issue = (insts as u64).div_ceil(sched).max(1);
+                let avg_latency = (cycles / insts.max(1)) as u64;
+                let start = core_time;
+                core_time += issue;
+                warps[i].ready_at = start + issue + avg_latency;
+                current = Some(i);
+            }
+            Segment::Memory { cycles } => {
+                let start = core_time.max(pipe_free);
+                pipe_free = start + miss_service;
+                warps[i].ready_at = start + cycles as u64;
+                core_time += 1; // the issue slot
+                current = None; // greedy warp stalls; switch to oldest
+            }
+        }
+        warps[i].next += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crat_ptx::{Address, KernelBuilder, Operand, Space, Type};
+
+    /// `loads` memory accesses per iteration interleaved with `alus`
+    /// compute ops, `trips` iterations.
+    fn kernel_with_intensity(alus: usize, loads: usize, trips: i64) -> Kernel {
+        let mut b = KernelBuilder::new("k");
+        let inp = b.param_ptr("input");
+        let acc = b.mov(Type::F32, Operand::FImm(0.0));
+        let l = b.loop_range(0, Operand::Imm(trips), 1);
+        for _ in 0..loads {
+            let a = b.wide_address(inp, l.counter, 4);
+            let v = b.ld(Space::Global, Type::F32, Address::reg(a));
+            b.binary_to(crat_ptx::BinOp::Add, Type::F32, acc, acc, v);
+        }
+        for k in 0..alus {
+            b.mad_to(Type::F32, acc, acc, Operand::FImm(1.001), Operand::FImm(k as f64));
+        }
+        b.end_loop(l);
+        let out = b.param_ptr("out");
+        let tid = b.special_tid_x(Type::U32);
+        let oa = b.wide_address(out, tid, 4);
+        b.st(Space::Global, Type::F32, oa, acc);
+        b.finish()
+    }
+
+    #[test]
+    fn estimate_is_within_bounds() {
+        let k = kernel_with_intensity(8, 2, 32);
+        let gpu = GpuConfig::fermi();
+        for max_tlp in [1, 2, 4, 8] {
+            let e = estimate_opt_tlp(&k, &gpu, max_tlp, 4, 0.5);
+            assert!((1..=max_tlp).contains(&e), "estimate {e} for max {max_tlp}");
+        }
+    }
+
+    #[test]
+    fn compute_bound_kernels_need_few_blocks() {
+        // Heavy compute, almost no memory: a couple of blocks keep the
+        // core busy, so the estimate is far below MaxTLP.
+        let k = kernel_with_intensity(64, 1, 32);
+        let e = estimate_opt_tlp(&k, &GpuConfig::fermi(), 8, 8, 0.9);
+        assert!(e < 8, "compute-bound estimate {e}");
+    }
+
+    #[test]
+    fn memory_bound_kernels_want_more_blocks() {
+        let mem = kernel_with_intensity(1, 6, 32);
+        let cpu = kernel_with_intensity(64, 1, 32);
+        let gpu = GpuConfig::fermi();
+        let e_mem = estimate_opt_tlp(&mem, &gpu, 8, 2, 0.2);
+        let e_cpu = estimate_opt_tlp(&cpu, &gpu, 8, 2, 0.2);
+        assert!(
+            e_mem >= e_cpu,
+            "memory-bound ({e_mem}) should want at least as many blocks as compute-bound ({e_cpu})"
+        );
+    }
+
+    #[test]
+    fn max_tlp_one_short_circuits() {
+        let k = kernel_with_intensity(4, 1, 8);
+        assert_eq!(estimate_opt_tlp(&k, &GpuConfig::fermi(), 1, 4, 0.5), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let k = kernel_with_intensity(8, 3, 16);
+        let gpu = GpuConfig::fermi();
+        assert_eq!(
+            estimate_opt_tlp(&k, &gpu, 8, 6, 0.5),
+            estimate_opt_tlp(&k, &gpu, 8, 6, 0.5)
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! The TPSC selection metric (paper §6): Thread-level Parallelism and
+//! Spill Cost. Smaller is better.
+
+/// The paper's `TLP_gain` term:
+/// `1 - (TLP·BlockSize) / (TLP·BlockSize + MaxThread)`.
+///
+/// Increasing TLP has diminishing returns once enough threads hide
+/// latency; this term shrinks (improves) with TLP but saturates.
+///
+/// # Examples
+///
+/// ```
+/// use crat_core::tlp_gain;
+/// // Each extra resident block improves (shrinks) the term, but the
+/// // eighth block buys much less than the second.
+/// let step_low = tlp_gain(1, 256, 1536) - tlp_gain(2, 256, 1536);
+/// let step_high = tlp_gain(7, 256, 1536) - tlp_gain(8, 256, 1536);
+/// assert!(step_low > step_high);
+/// ```
+pub fn tlp_gain(tlp: u32, block_size: u32, max_threads: u32) -> f64 {
+    let t = (tlp * block_size) as f64;
+    1.0 - t / (t + max_threads as f64)
+}
+
+/// `TPSC = TLP_gain · Spill_cost`.
+///
+/// `relative_spill_cost` is the allocator-reported
+/// `Num_local·Cost_local + Num_shm·Cost_shm + Num_others` *divided by
+/// an estimate of the thread's total execution cost*, so the spill
+/// term expresses the fraction of single-thread time lost to spilling.
+/// (The paper compares raw spill costs; normalizing makes the term
+/// commensurable with `TLP_gain` across candidates whose instruction
+/// counts differ, and reduces to the paper's ordering whenever every
+/// candidate spills.) Spill-free candidates rank purely by TLP.
+pub fn tpsc(tlp: u32, block_size: u32, max_threads: u32, relative_spill_cost: f64) -> f64 {
+    tlp_gain(tlp, block_size, max_threads) * (1.0 + relative_spill_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_decreases_with_tlp() {
+        let g1 = tlp_gain(1, 256, 1536);
+        let g4 = tlp_gain(4, 256, 1536);
+        let g8 = tlp_gain(8, 256, 1536);
+        assert!(g1 > g4 && g4 > g8);
+        assert!(g1 < 1.0 && g8 > 0.0);
+    }
+
+    #[test]
+    fn gain_has_diminishing_steps() {
+        // The drop from 1→2 blocks is larger than from 7→8.
+        let d12 = tlp_gain(1, 256, 1536) - tlp_gain(2, 256, 1536);
+        let d78 = tlp_gain(7, 256, 1536) - tlp_gain(8, 256, 1536);
+        assert!(d12 > d78);
+    }
+
+    #[test]
+    fn spill_cost_scales_tpsc() {
+        let cheap = tpsc(4, 256, 1536, 0.0);
+        let pricey = tpsc(4, 256, 1536, 10.0);
+        assert!(pricey > cheap * 5.0);
+    }
+
+    #[test]
+    fn captures_the_paper_tradeoff() {
+        // A high-TLP point losing half its time to spilling loses to a
+        // lower-TLP point without spills...
+        let high_tlp_spilling = tpsc(7, 192, 1536, 0.9);
+        let low_tlp_clean = tpsc(5, 192, 1536, 0.0);
+        assert!(low_tlp_clean < high_tlp_spilling);
+        // ...but a *mild* spill burden is worth the extra parallelism...
+        let high_tlp_mild = tpsc(4, 192, 1536, 0.05);
+        let low_tlp_clean = tpsc(3, 192, 1536, 0.0);
+        assert!(high_tlp_mild < low_tlp_clean);
+        // ...and with equal spill burdens, more TLP always wins.
+        assert!(tpsc(7, 192, 1536, 0.3) < tpsc(5, 192, 1536, 0.3));
+    }
+}

@@ -1,0 +1,137 @@
+//! Basic blocks and terminators.
+
+use std::fmt;
+
+use crate::inst::Instruction;
+use crate::reg::VReg;
+
+/// Identifier of a basic block within a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block's index, usable into per-block tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BB{}", self.0)
+    }
+}
+
+/// How control leaves a basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// `bra TARGET;` — unconditional branch.
+    Bra(BlockId),
+    /// `@%p bra TAKEN; bra NOT_TAKEN;` — conditional branch on a
+    /// predicate register.
+    CondBra {
+        /// Predicate register controlling the branch.
+        pred: VReg,
+        /// If `true`, branch when the predicate is *false* (`@!%p`).
+        negated: bool,
+        /// Successor when the guard fires.
+        taken: BlockId,
+        /// Successor otherwise.
+        not_taken: BlockId,
+    },
+    /// `ret;` / `exit;` — thread terminates.
+    Exit,
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator, in `(taken, not_taken)` order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Bra(t) => vec![*t],
+            Terminator::CondBra { taken, not_taken, .. } => vec![*taken, *not_taken],
+            Terminator::Exit => vec![],
+        }
+    }
+
+    /// The predicate register this terminator reads, if any.
+    pub fn used_reg(&self) -> Option<VReg> {
+        match self {
+            Terminator::CondBra { pred, .. } => Some(*pred),
+            _ => None,
+        }
+    }
+
+    /// Rewrite the predicate register through `f` (used by spill rewriting).
+    pub fn map_reg(&mut self, f: impl FnOnce(VReg) -> VReg) {
+        if let Terminator::CondBra { pred, .. } = self {
+            *pred = f(*pred);
+        }
+    }
+}
+
+/// A basic block: a label, straight-line instructions, one terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    /// This block's id (equals its index in the kernel's block list).
+    pub id: BlockId,
+    /// The block's instructions, in program order.
+    pub insts: Vec<Instruction>,
+    /// How control leaves the block.
+    pub terminator: Terminator,
+}
+
+impl BasicBlock {
+    /// An empty block that falls through to `Exit` (builder patches it).
+    pub fn new(id: BlockId) -> BasicBlock {
+        BasicBlock { id, insts: Vec::new(), terminator: Terminator::Exit }
+    }
+
+    /// Number of instructions, excluding the terminator.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the block holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Exit.successors(), vec![]);
+        assert_eq!(Terminator::Bra(BlockId(3)).successors(), vec![BlockId(3)]);
+        let c = Terminator::CondBra {
+            pred: VReg(0),
+            negated: false,
+            taken: BlockId(1),
+            not_taken: BlockId(2),
+        };
+        assert_eq!(c.successors(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(c.used_reg(), Some(VReg(0)));
+    }
+
+    #[test]
+    fn map_reg_renames_pred() {
+        let mut t = Terminator::CondBra {
+            pred: VReg(4),
+            negated: true,
+            taken: BlockId(0),
+            not_taken: BlockId(1),
+        };
+        t.map_reg(|_| VReg(9));
+        assert_eq!(t.used_reg(), Some(VReg(9)));
+    }
+
+    #[test]
+    fn new_block_is_empty_exit() {
+        let b = BasicBlock::new(BlockId(0));
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.terminator, Terminator::Exit);
+    }
+}

@@ -1,0 +1,485 @@
+//! Ergonomic construction of PTX kernels.
+//!
+//! [`KernelBuilder`] appends instructions to a current block, minting a
+//! fresh virtual register for every result (the SSA-like style real
+//! PTX uses before register allocation). Structured counted loops are
+//! available through [`KernelBuilder::loop_range`].
+
+use crate::block::{BlockId, Terminator};
+use crate::inst::{Instruction, Op};
+use crate::kernel::{Kernel, VarDecl};
+use crate::operand::{Address, Operand};
+use crate::reg::{Guard, SpecialReg, VReg};
+use crate::types::{BinOp, CmpOp, Space, Type, UnOp};
+
+/// Builder for [`Kernel`]s.
+///
+/// # Examples
+///
+/// ```
+/// use crat_ptx::{KernelBuilder, Type, Space, Operand};
+///
+/// let mut b = KernelBuilder::new("saxpy");
+/// let x = b.param_ptr("x");
+/// let tid = b.special_tid_x(Type::U32);
+/// let addr = b.wide_address(x, tid, 4);
+/// let v = b.ld(Space::Global, Type::F32, addr);
+/// let two = b.mov(Type::F32, Operand::FImm(2.0));
+/// let scaled = b.mul(Type::F32, v, two);
+/// let a2 = b.wide_address(x, tid, 4);
+/// b.st(Space::Global, Type::F32, a2, Operand::Reg(scaled));
+/// let kernel = b.finish();
+/// assert!(kernel.validate().is_ok());
+/// ```
+#[derive(Debug)]
+pub struct KernelBuilder {
+    kernel: Kernel,
+    current: BlockId,
+}
+
+/// Bookkeeping for a counted loop opened by [`KernelBuilder::loop_range`].
+#[derive(Debug, Clone, Copy)]
+pub struct LoopHandle {
+    /// The loop-header block (condition check).
+    pub header: BlockId,
+    /// The first body block.
+    pub body: BlockId,
+    /// The block control reaches after the loop.
+    pub exit: BlockId,
+    /// The loop counter register (`u32`).
+    pub counter: VReg,
+    step: i64,
+}
+
+impl KernelBuilder {
+    /// Start building a kernel with the given name.
+    pub fn new(name: impl Into<String>) -> KernelBuilder {
+        let kernel = Kernel::new(name);
+        let current = kernel.entry();
+        KernelBuilder { kernel, current }
+    }
+
+    /// The block instructions are currently appended to.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Read-only view of the kernel under construction.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Finish and return the kernel.
+    pub fn finish(self) -> Kernel {
+        self.kernel
+    }
+
+    // ------------------------------------------------------------------
+    // Declarations
+
+    /// Declare a pointer parameter and load it into a `u64` register.
+    pub fn param_ptr(&mut self, name: &str) -> VReg {
+        let name = name.to_string();
+        self.kernel.add_param(name.clone(), Type::U64);
+        let dst = self.kernel.new_reg(Type::U64);
+        self.push(Op::Ld {
+            space: Space::Param,
+            ty: Type::U64,
+            dst,
+            addr: Address::param(name),
+        });
+        dst
+    }
+
+    /// Declare a scalar `u32` parameter and load it into a register.
+    pub fn param_u32(&mut self, name: &str) -> VReg {
+        let name = name.to_string();
+        self.kernel.add_param(name.clone(), Type::U32);
+        let dst = self.kernel.new_reg(Type::U32);
+        self.push(Op::Ld {
+            space: Space::Param,
+            ty: Type::U32,
+            dst,
+            addr: Address::param(name),
+        });
+        dst
+    }
+
+    /// Declare a `.shared` array.
+    pub fn shared_var(&mut self, name: &str, size: u32) {
+        self.kernel.add_var(VarDecl { name: name.to_string(), space: Space::Shared, align: 4, size });
+    }
+
+    /// Declare a `.local` array.
+    pub fn local_var(&mut self, name: &str, size: u32) {
+        self.kernel.add_var(VarDecl { name: name.to_string(), space: Space::Local, align: 4, size });
+    }
+
+    // ------------------------------------------------------------------
+    // Values
+
+    /// Allocate a fresh register of `ty` without defining it (rarely
+    /// needed; prefer the instruction helpers).
+    pub fn fresh(&mut self, ty: Type) -> VReg {
+        self.kernel.new_reg(ty)
+    }
+
+    /// `mov` an operand into a fresh register.
+    pub fn mov(&mut self, ty: Type, src: impl Into<Operand>) -> VReg {
+        let dst = self.kernel.new_reg(ty);
+        self.push(Op::Mov { ty, dst, src: src.into() });
+        dst
+    }
+
+    /// `mov` into an existing register (e.g. loop-carried updates).
+    pub fn mov_to(&mut self, ty: Type, dst: VReg, src: impl Into<Operand>) {
+        self.push(Op::Mov { ty, dst, src: src.into() });
+    }
+
+    /// Read `%tid.x` into a fresh register.
+    pub fn special_tid_x(&mut self, ty: Type) -> VReg {
+        self.special(ty, SpecialReg::TidX)
+    }
+
+    /// Read `%ntid.x` into a fresh register.
+    pub fn special_ntid_x(&mut self, ty: Type) -> VReg {
+        self.special(ty, SpecialReg::NtidX)
+    }
+
+    /// Read `%ctaid.x` into a fresh register.
+    pub fn special_ctaid_x(&mut self, ty: Type) -> VReg {
+        self.special(ty, SpecialReg::CtaidX)
+    }
+
+    /// Read `%nctaid.x` into a fresh register.
+    pub fn special_nctaid_x(&mut self, ty: Type) -> VReg {
+        self.special(ty, SpecialReg::NctaidX)
+    }
+
+    /// Read any special register into a fresh register.
+    pub fn special(&mut self, ty: Type, sr: SpecialReg) -> VReg {
+        let dst = self.kernel.new_reg(ty);
+        self.push(Op::Mov { ty, dst, src: Operand::Special(sr) });
+        dst
+    }
+
+    // ------------------------------------------------------------------
+    // Arithmetic
+
+    /// A binary operation into a fresh register.
+    pub fn binary(
+        &mut self,
+        op: BinOp,
+        ty: Type,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> VReg {
+        let dst = self.kernel.new_reg(ty);
+        self.push(Op::Binary { op, ty, dst, a: a.into(), b: b.into() });
+        dst
+    }
+
+    /// A binary operation writing an existing register.
+    pub fn binary_to(
+        &mut self,
+        op: BinOp,
+        ty: Type,
+        dst: VReg,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) {
+        self.push(Op::Binary { op, ty, dst, a: a.into(), b: b.into() });
+    }
+
+    /// `add` into a fresh register.
+    pub fn add(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.binary(BinOp::Add, ty, a, b)
+    }
+
+    /// `sub` into a fresh register.
+    pub fn sub(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.binary(BinOp::Sub, ty, a, b)
+    }
+
+    /// `mul` into a fresh register.
+    pub fn mul(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.binary(BinOp::Mul, ty, a, b)
+    }
+
+    /// `and` into a fresh register.
+    pub fn and(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.binary(BinOp::And, ty, a, b)
+    }
+
+    /// `rem` into a fresh register.
+    pub fn rem(&mut self, ty: Type, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.binary(BinOp::Rem, ty, a, b)
+    }
+
+    /// `mad`/`fma` (`dst = a*b + c`) into a fresh register; uses `fma`
+    /// for float types.
+    pub fn mad(
+        &mut self,
+        ty: Type,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        c: impl Into<Operand>,
+    ) -> VReg {
+        let dst = self.kernel.new_reg(ty);
+        self.mad_to(ty, dst, a, b, c);
+        dst
+    }
+
+    /// `mad`/`fma` writing an existing register.
+    pub fn mad_to(
+        &mut self,
+        ty: Type,
+        dst: VReg,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        c: impl Into<Operand>,
+    ) {
+        let (a, b, c) = (a.into(), b.into(), c.into());
+        if ty.is_float() {
+            self.push(Op::Fma { ty, dst, a, b, c });
+        } else {
+            self.push(Op::Mad { ty, dst, a, b, c });
+        }
+    }
+
+    /// A unary operation into a fresh register.
+    pub fn unary(&mut self, op: UnOp, ty: Type, src: impl Into<Operand>) -> VReg {
+        let dst = self.kernel.new_reg(ty);
+        self.push(Op::Unary { op, ty, dst, src: src.into() });
+        dst
+    }
+
+    /// A unary operation writing an existing register.
+    pub fn unary_to(&mut self, op: UnOp, ty: Type, dst: VReg, src: impl Into<Operand>) {
+        self.push(Op::Unary { op, ty, dst, src: src.into() });
+    }
+
+    /// Type conversion into a fresh register.
+    pub fn cvt(&mut self, dst_ty: Type, src_ty: Type, src: impl Into<Operand>) -> VReg {
+        let dst = self.kernel.new_reg(dst_ty);
+        self.push(Op::Cvt { dst_ty, src_ty, dst, src: src.into() });
+        dst
+    }
+
+    /// Compute `base + index*elem_size` as a `u64` address register.
+    pub fn wide_address(&mut self, base: VReg, index: VReg, elem_size: u32) -> VReg {
+        let wide = self.cvt(Type::U64, Type::U32, index);
+        let scaled = self.binary(BinOp::Mul, Type::U64, wide, Operand::Imm(elem_size as i64));
+        self.binary(BinOp::Add, Type::U64, base, scaled)
+    }
+
+    // ------------------------------------------------------------------
+    // Memory
+
+    /// Load into a fresh register.
+    pub fn ld(&mut self, space: Space, ty: Type, addr: impl Into<Address>) -> VReg {
+        let dst = self.kernel.new_reg(ty);
+        self.push(Op::Ld { space, ty, dst, addr: addr.into() });
+        dst
+    }
+
+    /// Store a value.
+    pub fn st(&mut self, space: Space, ty: Type, addr: impl Into<Address>, src: impl Into<Operand>) {
+        self.push(Op::St { space, ty, addr: addr.into(), src: src.into() });
+    }
+
+    /// Block-wide barrier.
+    pub fn bar_sync(&mut self) {
+        self.push(Op::BarSync);
+    }
+
+    // ------------------------------------------------------------------
+    // Predicates and control flow
+
+    /// Compare into a fresh predicate register.
+    pub fn setp(
+        &mut self,
+        cmp: CmpOp,
+        ty: Type,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> VReg {
+        let dst = self.kernel.new_reg(Type::Pred);
+        self.push(Op::Setp { cmp, ty, dst, a: a.into(), b: b.into() });
+        dst
+    }
+
+    /// Select into a fresh register.
+    pub fn selp(
+        &mut self,
+        ty: Type,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        pred: VReg,
+    ) -> VReg {
+        let dst = self.kernel.new_reg(ty);
+        self.push(Op::Selp { ty, dst, a: a.into(), b: b.into(), pred });
+        dst
+    }
+
+    /// Append a raw (optionally guarded) instruction.
+    pub fn push_guarded(&mut self, guard: Option<Guard>, op: Op) {
+        self.kernel.block_mut(self.current).insts.push(Instruction { guard, op });
+    }
+
+    fn push(&mut self, op: Op) {
+        self.push_guarded(None, op);
+    }
+
+    /// Create a new (empty) block without switching to it.
+    pub fn new_block(&mut self) -> BlockId {
+        self.kernel.add_block()
+    }
+
+    /// Continue appending instructions to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = block;
+    }
+
+    /// Terminate the current block with an unconditional branch and
+    /// switch to the target.
+    pub fn branch(&mut self, target: BlockId) {
+        self.kernel.block_mut(self.current).terminator = Terminator::Bra(target);
+        self.current = target;
+    }
+
+    /// Terminate the current block with a conditional branch. Does not
+    /// switch blocks (callers pick where to continue).
+    pub fn cond_branch(&mut self, pred: VReg, taken: BlockId, not_taken: BlockId) {
+        self.kernel.block_mut(self.current).terminator =
+            Terminator::CondBra { pred, negated: false, taken, not_taken };
+    }
+
+    /// Terminate the current block with `ret`.
+    pub fn exit(&mut self) {
+        self.kernel.block_mut(self.current).terminator = Terminator::Exit;
+    }
+
+    /// Open a counted loop `for i in (start..end).step_by(step)`.
+    ///
+    /// Creates header/body/exit blocks, emits the counter and the
+    /// bounds check, records a trip-count hint, and leaves the builder
+    /// positioned in the body. Close it with [`KernelBuilder::end_loop`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step == 0`.
+    pub fn loop_range(&mut self, start: i64, end: impl Into<Operand>, step: i64) -> LoopHandle {
+        assert!(step != 0, "loop step must be nonzero");
+        let end = end.into();
+        let counter = self.mov(Type::U32, Operand::Imm(start));
+        let header = self.new_block();
+        let body = self.new_block();
+        let exit = self.new_block();
+        self.branch(header);
+        // header: p = counter < end ; @p bra body ; bra exit
+        let p = self.setp(CmpOp::Lt, Type::U32, counter, end);
+        self.cond_branch(p, body, exit);
+        if let Operand::Imm(n) = end {
+            let trips = ((n - start).max(0) as u64 / step.unsigned_abs()).max(1);
+            self.kernel.set_trip_hint(header, trips.min(u32::MAX as u64) as u32);
+        }
+        self.switch_to(body);
+        LoopHandle { header, body, exit, counter, step }
+    }
+
+    /// Close a loop opened by [`KernelBuilder::loop_range`]: increments
+    /// the counter, branches back to the header, and continues in the
+    /// exit block.
+    pub fn end_loop(&mut self, l: LoopHandle) {
+        self.binary_to(BinOp::Add, Type::U32, l.counter, l.counter, Operand::Imm(l.step));
+        self.branch(l.header);
+        self.switch_to(l.exit);
+    }
+
+    /// Record a trip-count hint for a loop header created manually.
+    pub fn set_trip_hint(&mut self, header: BlockId, trips: u32) {
+        self.kernel.set_trip_hint(header, trips);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::liveness::Liveness;
+
+    #[test]
+    fn builds_valid_straight_line_kernel() {
+        let mut b = KernelBuilder::new("k");
+        let out = b.param_ptr("out");
+        let tid = b.special_tid_x(Type::U32);
+        let addr = b.wide_address(out, tid, 4);
+        b.st(Space::Global, Type::U32, Address::reg(addr), tid);
+        let k = b.finish();
+        assert!(k.validate().is_ok());
+        assert_eq!(k.blocks().len(), 1);
+    }
+
+    #[test]
+    fn loop_range_builds_valid_cfg() {
+        let mut b = KernelBuilder::new("k");
+        let acc = b.mov(Type::U32, Operand::Imm(0));
+        let l = b.loop_range(0, Operand::Imm(8), 1);
+        b.binary_to(BinOp::Add, Type::U32, acc, acc, l.counter);
+        b.end_loop(l);
+        let k = b.finish();
+        assert!(k.validate().is_ok());
+        // entry, header, body, exit.
+        assert_eq!(k.blocks().len(), 4);
+        assert_eq!(k.trip_hint(l.header), Some(8));
+
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.loop_depth(l.body), 1);
+        assert_eq!(cfg.loop_depth(l.exit), 0);
+
+        // The accumulator must be live around the back edge.
+        let lv = Liveness::compute(&k, &cfg);
+        assert!(lv.live_in(l.header).contains(acc.index()));
+    }
+
+    #[test]
+    fn nested_loops() {
+        let mut b = KernelBuilder::new("k");
+        let outer = b.loop_range(0, Operand::Imm(4), 1);
+        let inner = b.loop_range(0, Operand::Imm(8), 1);
+        let _x = b.add(Type::U32, outer.counter, inner.counter);
+        b.end_loop(inner);
+        b.end_loop(outer);
+        let k = b.finish();
+        assert!(k.validate().is_ok());
+        let cfg = Cfg::build(&k);
+        // Inner body depth 2.
+        assert_eq!(cfg.loop_depth(inner.body), 2);
+        assert_eq!(cfg.block_weight(inner.body), 32);
+    }
+
+    #[test]
+    fn built_kernel_round_trips_text() {
+        let mut b = KernelBuilder::new("rt");
+        let out = b.param_ptr("out");
+        let l = b.loop_range(0, Operand::Imm(16), 2);
+        let a = b.wide_address(out, l.counter, 8);
+        let v = b.ld(Space::Global, Type::F64, Address::reg(a));
+        let s = b.unary(UnOp::Sqrt, Type::F64, v);
+        b.st(Space::Global, Type::F64, Address::reg(a), s);
+        b.end_loop(l);
+        let k = b.finish();
+        assert!(k.validate().is_ok());
+        let text = k.to_ptx();
+        let k2 = crate::parse(&text).unwrap();
+        assert_eq!(k, k2);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be nonzero")]
+    fn zero_step_panics() {
+        let mut b = KernelBuilder::new("k");
+        b.loop_range(0, Operand::Imm(4), 0);
+    }
+}

@@ -1,0 +1,450 @@
+//! Control-flow graph utilities: successors, predecessors, orderings,
+//! and natural-loop detection with nesting depth.
+
+use crate::block::BlockId;
+use crate::kernel::Kernel;
+
+/// Loop information for one basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopInfo {
+    /// Nesting depth (0 = not inside any loop).
+    pub depth: u32,
+    /// Estimated number of times the block executes per kernel launch,
+    /// from trip-count hints (default 16 per loop level when no hint).
+    pub weight: u64,
+}
+
+/// A control-flow graph computed from a [`Kernel`].
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    loops: Vec<LoopInfo>,
+    back_edges: Vec<(BlockId, BlockId)>,
+    ipdom: Vec<Option<BlockId>>,
+}
+
+/// Trip count assumed for loops without an explicit hint.
+pub const DEFAULT_TRIP_COUNT: u32 = 16;
+
+impl Cfg {
+    /// Build the CFG, reverse postorder, and loop nests of `kernel`.
+    pub fn build(kernel: &Kernel) -> Cfg {
+        let n = kernel.blocks().len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for b in kernel.blocks() {
+            for s in b.terminator.successors() {
+                succs[b.id.index()].push(s);
+                preds[s.index()].push(b.id);
+            }
+        }
+
+        let rpo = reverse_postorder(n, &succs);
+        let back_edges = find_back_edges(n, &succs);
+        let loops = compute_loops(kernel, n, &preds, &back_edges);
+        let ipdom = immediate_post_dominators(n, &succs);
+
+        Cfg { succs, preds, rpo, loops, back_edges, ipdom }
+    }
+
+    /// Successor blocks of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessor blocks of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Blocks in reverse postorder from the entry (unreachable blocks
+    /// appended at the end in index order).
+    pub fn reverse_postorder(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Loop info for `b`.
+    pub fn loop_info(&self, b: BlockId) -> LoopInfo {
+        self.loops[b.index()]
+    }
+
+    /// The loop nesting depth of `b` (0 = straight-line code).
+    pub fn loop_depth(&self, b: BlockId) -> u32 {
+        self.loops[b.index()].depth
+    }
+
+    /// Estimated executions of `b` per kernel launch.
+    pub fn block_weight(&self, b: BlockId) -> u64 {
+        self.loops[b.index()].weight
+    }
+
+    /// Back edges `(tail, header)` found by depth-first search.
+    pub fn back_edges(&self) -> &[(BlockId, BlockId)] {
+        &self.back_edges
+    }
+
+    /// The immediate post-dominator of `b` — the reconvergence point a
+    /// SIMT stack uses for branches diverging in `b`. `None` for
+    /// blocks that exit directly (their post-dominator is the virtual
+    /// exit).
+    pub fn immediate_post_dominator(&self, b: BlockId) -> Option<BlockId> {
+        self.ipdom[b.index()]
+    }
+
+    /// Headers of natural loops, deduplicated, in id order.
+    pub fn loop_headers(&self) -> Vec<BlockId> {
+        let mut hs: Vec<BlockId> = self.back_edges.iter().map(|&(_, h)| h).collect();
+        hs.sort();
+        hs.dedup();
+        hs
+    }
+}
+
+fn reverse_postorder(n: usize, succs: &[Vec<BlockId>]) -> Vec<BlockId> {
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS computing postorder.
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    if n > 0 {
+        visited[0] = true;
+        stack.push((0, 0));
+    }
+    while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+        if *next < succs[node].len() {
+            let s = succs[node][*next].index();
+            *next += 1;
+            if !visited[s] {
+                visited[s] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(BlockId(node as u32));
+            stack.pop();
+        }
+    }
+    post.reverse();
+    // Append unreachable blocks so every block appears exactly once.
+    for (i, v) in visited.iter().enumerate() {
+        if !v {
+            post.push(BlockId(i as u32));
+        }
+    }
+    post
+}
+
+fn find_back_edges(n: usize, succs: &[Vec<BlockId>]) -> Vec<(BlockId, BlockId)> {
+    // Classic DFS edge classification: an edge to a node currently on
+    // the DFS stack is a back edge.
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Unseen,
+        Active,
+        Done,
+    }
+    let mut state = vec![State::Unseen; n];
+    let mut edges = Vec::new();
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    if n > 0 {
+        state[0] = State::Active;
+        stack.push((0, 0));
+    }
+    while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+        if *next < succs[node].len() {
+            let s = succs[node][*next].index();
+            *next += 1;
+            match state[s] {
+                State::Unseen => {
+                    state[s] = State::Active;
+                    stack.push((s, 0));
+                }
+                State::Active => edges.push((BlockId(node as u32), BlockId(s as u32))),
+                State::Done => {}
+            }
+        } else {
+            state[node] = State::Done;
+            stack.pop();
+        }
+    }
+    edges
+}
+
+/// Immediate post-dominators via iterative dataflow on the reverse
+/// CFG with a virtual exit node joining every `Exit` block.
+fn immediate_post_dominators(n: usize, succs: &[Vec<BlockId>]) -> Vec<Option<BlockId>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    // Node n is the virtual exit. pdom sets as bit-vectors over n+1.
+    let total = n + 1;
+    let full: Vec<bool> = vec![true; total];
+    let mut pdom: Vec<Vec<bool>> = (0..total).map(|_| full.clone()).collect();
+    // Virtual exit post-dominates only itself.
+    pdom[n] = vec![false; total];
+    pdom[n][n] = true;
+
+    let exits: Vec<usize> =
+        (0..n).filter(|&i| succs[i].is_empty()).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..n).rev() {
+            // Intersect over successors (virtual exit for exit blocks).
+            let mut inter = vec![true; total];
+            let mut any = false;
+            if succs[b].is_empty() {
+                for (x, p) in inter.iter_mut().zip(&pdom[n]) {
+                    *x &= p;
+                }
+                any = true;
+            } else {
+                for s in &succs[b] {
+                    for (x, p) in inter.iter_mut().zip(&pdom[s.index()]) {
+                        *x &= p;
+                    }
+                    any = true;
+                }
+            }
+            if !any {
+                continue;
+            }
+            inter[b] = true;
+            if inter != pdom[b] {
+                pdom[b] = inter;
+                changed = true;
+            }
+        }
+    }
+    let _ = exits;
+
+    // ipdom(b): the post-dominator (≠ b) post-dominated by every other
+    // strict post-dominator of b.
+    (0..n)
+        .map(|b| {
+            let strict: Vec<usize> =
+                (0..total).filter(|&d| d != b && pdom[b][d]).collect();
+            strict
+                .iter()
+                .copied()
+                .find(|&c| strict.iter().all(|&d| pdom[c][d]))
+                .and_then(|c| if c < n { Some(BlockId(c as u32)) } else { None })
+        })
+        .collect()
+}
+
+fn compute_loops(
+    kernel: &Kernel,
+    n: usize,
+    preds: &[Vec<BlockId>],
+    back_edges: &[(BlockId, BlockId)],
+) -> Vec<LoopInfo> {
+    let mut depth = vec![0u32; n];
+    let mut weight = vec![1u64; n];
+    for &(tail, header) in back_edges {
+        // Natural loop body: header plus all nodes that reach `tail`
+        // without passing through `header`.
+        let mut body = vec![false; n];
+        body[header.index()] = true;
+        let mut work = vec![tail];
+        while let Some(b) = work.pop() {
+            if body[b.index()] {
+                continue;
+            }
+            body[b.index()] = true;
+            for &p in &preds[b.index()] {
+                if !body[p.index()] {
+                    work.push(p);
+                }
+            }
+        }
+        let trips = kernel.trip_hint(header).unwrap_or(DEFAULT_TRIP_COUNT) as u64;
+        for (i, in_body) in body.iter().enumerate() {
+            if *in_body {
+                depth[i] += 1;
+                weight[i] = weight[i].saturating_mul(trips.max(1));
+            }
+        }
+    }
+    (0..n).map(|i| LoopInfo { depth: depth[i], weight: weight[i] }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Terminator;
+    use crate::inst::{Instruction, Op};
+    use crate::operand::Operand;
+    use crate::types::{CmpOp, Type};
+
+    /// entry -> header <-> body, header -> exit
+    fn loop_kernel() -> Kernel {
+        let mut k = Kernel::new("loop");
+        let header = k.add_block();
+        let body = k.add_block();
+        let exit = k.add_block();
+        let p = k.new_reg(Type::Pred);
+        let i = k.new_reg(Type::U32);
+        k.block_mut(BlockId(0)).insts.push(Instruction::new(Op::Mov {
+            ty: Type::U32,
+            dst: i,
+            src: Operand::Imm(0),
+        }));
+        k.block_mut(BlockId(0)).terminator = Terminator::Bra(header);
+        k.block_mut(header).insts.push(Instruction::new(Op::Setp {
+            cmp: CmpOp::Lt,
+            ty: Type::U32,
+            dst: p,
+            a: Operand::Reg(i),
+            b: Operand::Imm(10),
+        }));
+        k.block_mut(header).terminator =
+            Terminator::CondBra { pred: p, negated: false, taken: body, not_taken: exit };
+        k.block_mut(body).terminator = Terminator::Bra(header);
+        k.set_trip_hint(header, 10);
+        k
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let k = loop_kernel();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1)]);
+        assert_eq!(cfg.preds(BlockId(1)), &[BlockId(0), BlockId(2)]);
+        assert_eq!(cfg.succs(BlockId(3)), &[] as &[BlockId]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_all() {
+        let k = loop_kernel();
+        let cfg = Cfg::build(&k);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+        let mut sorted: Vec<_> = rpo.to_vec();
+        sorted.sort();
+        assert_eq!(sorted, vec![BlockId(0), BlockId(1), BlockId(2), BlockId(3)]);
+    }
+
+    #[test]
+    fn back_edge_and_loop_depth() {
+        let k = loop_kernel();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.back_edges(), &[(BlockId(2), BlockId(1))]);
+        assert_eq!(cfg.loop_headers(), vec![BlockId(1)]);
+        assert_eq!(cfg.loop_depth(BlockId(0)), 0);
+        assert_eq!(cfg.loop_depth(BlockId(1)), 1);
+        assert_eq!(cfg.loop_depth(BlockId(2)), 1);
+        assert_eq!(cfg.loop_depth(BlockId(3)), 0);
+    }
+
+    #[test]
+    fn block_weight_uses_trip_hint() {
+        let k = loop_kernel();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.block_weight(BlockId(0)), 1);
+        assert_eq!(cfg.block_weight(BlockId(1)), 10);
+        assert_eq!(cfg.block_weight(BlockId(2)), 10);
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let k = Kernel::new("k");
+        let cfg = Cfg::build(&k);
+        assert!(cfg.back_edges().is_empty());
+        assert_eq!(cfg.loop_depth(BlockId(0)), 0);
+        assert_eq!(cfg.block_weight(BlockId(0)), 1);
+    }
+
+    #[test]
+    fn nested_loops_multiply_weights() {
+        // entry -> h1 -> h2 <-> b2 ; h2 -> l1latch -> h1 ; h1 -> exit
+        let mut k = Kernel::new("nested");
+        let h1 = k.add_block();
+        let h2 = k.add_block();
+        let b2 = k.add_block();
+        let latch = k.add_block();
+        let exit = k.add_block();
+        let p = k.new_reg(Type::Pred);
+        k.block_mut(BlockId(0)).terminator = Terminator::Bra(h1);
+        k.block_mut(h1).terminator =
+            Terminator::CondBra { pred: p, negated: false, taken: h2, not_taken: exit };
+        k.block_mut(h2).terminator =
+            Terminator::CondBra { pred: p, negated: false, taken: b2, not_taken: latch };
+        k.block_mut(b2).terminator = Terminator::Bra(h2);
+        k.block_mut(latch).terminator = Terminator::Bra(h1);
+        k.set_trip_hint(h1, 4);
+        k.set_trip_hint(h2, 8);
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.loop_depth(b2), 2);
+        assert_eq!(cfg.block_weight(b2), 32);
+        assert_eq!(cfg.loop_depth(latch), 1);
+        assert_eq!(cfg.block_weight(latch), 4);
+    }
+}
+
+#[cfg(test)]
+mod ipdom_tests {
+    use super::*;
+    use crate::block::Terminator;
+    use crate::kernel::Kernel;
+    use crate::reg::VReg;
+
+    /// Diamond: 0 -> {1, 2} -> 3 -> exit.
+    fn diamond() -> Kernel {
+        let mut k = Kernel::new("d");
+        let p = k.new_reg(crate::types::Type::Pred);
+        let b1 = k.add_block();
+        let b2 = k.add_block();
+        let b3 = k.add_block();
+        k.block_mut(BlockId(0)).terminator =
+            Terminator::CondBra { pred: p, negated: false, taken: b1, not_taken: b2 };
+        k.block_mut(b1).terminator = Terminator::Bra(b3);
+        k.block_mut(b2).terminator = Terminator::Bra(b3);
+        k
+    }
+
+    #[test]
+    fn diamond_reconverges_at_join() {
+        let k = diamond();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.immediate_post_dominator(BlockId(0)), Some(BlockId(3)));
+        assert_eq!(cfg.immediate_post_dominator(BlockId(1)), Some(BlockId(3)));
+        assert_eq!(cfg.immediate_post_dominator(BlockId(2)), Some(BlockId(3)));
+        // The join exits directly: its ipdom is the virtual exit.
+        assert_eq!(cfg.immediate_post_dominator(BlockId(3)), None);
+    }
+
+    #[test]
+    fn triangle_reconverges_at_else_edge() {
+        // 0 -> {1, 2}; 1 -> 2; 2 -> exit (if-then, no else).
+        let mut k = Kernel::new("t");
+        let p = k.new_reg(crate::types::Type::Pred);
+        let b1 = k.add_block();
+        let b2 = k.add_block();
+        k.block_mut(BlockId(0)).terminator =
+            Terminator::CondBra { pred: p, negated: false, taken: b1, not_taken: b2 };
+        k.block_mut(b1).terminator = Terminator::Bra(b2);
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.immediate_post_dominator(BlockId(0)), Some(b2));
+        assert_eq!(cfg.immediate_post_dominator(b1), Some(b2));
+    }
+
+    #[test]
+    fn loop_body_postdominated_by_header_exit() {
+        // entry -> header; header -> {body, exit}; body -> header.
+        let mut k = Kernel::new("l");
+        let p = k.new_reg(crate::types::Type::Pred);
+        let header = k.add_block();
+        let body = k.add_block();
+        let exit = k.add_block();
+        k.block_mut(BlockId(0)).terminator = Terminator::Bra(header);
+        k.block_mut(header).terminator =
+            Terminator::CondBra { pred: p, negated: false, taken: body, not_taken: exit };
+        k.block_mut(body).terminator = Terminator::Bra(header);
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.immediate_post_dominator(body), Some(header));
+        assert_eq!(cfg.immediate_post_dominator(header), Some(exit));
+        let _ = VReg(0);
+    }
+}

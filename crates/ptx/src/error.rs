@@ -1,0 +1,140 @@
+//! Error types for parsing and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::block::BlockId;
+use crate::reg::VReg;
+use crate::types::{Space, Type};
+
+/// A PTX parse error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line where the error occurred.
+    pub line: usize,
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> ParseError {
+        ParseError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// A structural or type violation found by [`Kernel::validate`].
+///
+/// [`Kernel::validate`]: crate::Kernel::validate
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A block's id does not equal its index in the block list.
+    BlockIdMismatch {
+        /// The index the block sits at.
+        expected: usize,
+        /// The id the block carries.
+        found: BlockId,
+    },
+    /// A terminator targets a block that does not exist.
+    DanglingBlock {
+        /// The branching block.
+        from: BlockId,
+        /// The missing target.
+        target: BlockId,
+    },
+    /// A register id outside the kernel's register table.
+    UnknownReg {
+        /// The out-of-range register.
+        reg: VReg,
+        /// The block containing the reference.
+        block: BlockId,
+    },
+    /// A register used at a type other than its declared type.
+    TypeMismatch {
+        /// The offending register.
+        reg: VReg,
+        /// The type required by the instruction.
+        expected: Type,
+        /// The register's declared type.
+        found: Type,
+        /// The block containing the reference.
+        block: BlockId,
+    },
+    /// A reference to an undeclared kernel variable.
+    UnknownVar {
+        /// The missing variable name.
+        name: String,
+        /// The block containing the reference.
+        block: BlockId,
+    },
+    /// A reference to an undeclared kernel parameter.
+    UnknownParam {
+        /// The missing parameter name.
+        name: String,
+        /// The block containing the reference.
+        block: BlockId,
+    },
+    /// A memory access whose space does not match the variable's space.
+    SpaceMismatch {
+        /// The variable name.
+        name: String,
+        /// The space of the access.
+        expected: Space,
+        /// The declared space of the variable.
+        found: Space,
+        /// The block containing the reference.
+        block: BlockId,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::BlockIdMismatch { expected, found } => {
+                write!(f, "block at index {expected} carries id {found}")
+            }
+            ValidateError::DanglingBlock { from, target } => {
+                write!(f, "block {from} branches to nonexistent block {target}")
+            }
+            ValidateError::UnknownReg { reg, block } => {
+                write!(f, "register {reg} in {block} is not in the register table")
+            }
+            ValidateError::TypeMismatch { reg, expected, found, block } => write!(
+                f,
+                "register {reg} in {block} used as {expected} but declared {found}"
+            ),
+            ValidateError::UnknownVar { name, block } => {
+                write!(f, "variable `{name}` referenced in {block} is not declared")
+            }
+            ValidateError::UnknownParam { name, block } => {
+                write!(f, "parameter `{name}` referenced in {block} is not declared")
+            }
+            ValidateError::SpaceMismatch { name, expected, found, block } => write!(
+                f,
+                "`{name}` accessed as {expected} in {block} but declared {found}"
+            ),
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty() {
+        let e = ParseError::new(3, "bad token");
+        assert!(e.to_string().contains("line 3"));
+        let v = ValidateError::DanglingBlock { from: BlockId(0), target: BlockId(9) };
+        assert!(v.to_string().contains("BB9"));
+    }
+}

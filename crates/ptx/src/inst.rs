@@ -1,0 +1,384 @@
+//! Instructions of the PTX subset.
+
+use std::fmt;
+
+use crate::operand::{AddrBase, Address, Operand};
+use crate::reg::{Guard, SpecialReg, VReg};
+use crate::types::{BinOp, CmpOp, Space, Type, UnOp};
+
+/// The operation performed by an [`Instruction`].
+///
+/// Every operation defines at most one register. Branches are not
+/// instructions: they live in each block's [`Terminator`].
+///
+/// [`Terminator`]: crate::Terminator
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `mov.<ty> dst, src` — copy a value (or read a special register,
+    /// or take the address of a kernel variable via [`Op::MovVarAddr`]).
+    Mov { ty: Type, dst: VReg, src: Operand },
+    /// `mov.u64 dst, Var` — materialize the address of a named
+    /// `.shared`/`.local` variable, as in the paper's Listing 4
+    /// (`mov.u64 %d0, SpillStack`).
+    MovVarAddr { dst: VReg, var: String },
+    /// `op.<ty> dst, a` — unary arithmetic (SFU operations included).
+    Unary { op: UnOp, ty: Type, dst: VReg, src: Operand },
+    /// `op.<ty> dst, a, b` — binary arithmetic/logic.
+    Binary { op: BinOp, ty: Type, dst: VReg, a: Operand, b: Operand },
+    /// `mad.lo.<ty> dst, a, b, c` — multiply-add (`dst = a*b + c`).
+    Mad { ty: Type, dst: VReg, a: Operand, b: Operand, c: Operand },
+    /// `fma.rn.<ty> dst, a, b, c` — fused multiply-add for floats.
+    Fma { ty: Type, dst: VReg, a: Operand, b: Operand, c: Operand },
+    /// `cvt.<dst_ty>.<src_ty> dst, src` — type conversion.
+    Cvt { dst_ty: Type, src_ty: Type, dst: VReg, src: Operand },
+    /// `ld.<space>.<ty> dst, [addr]` — load.
+    Ld { space: Space, ty: Type, dst: VReg, addr: Address },
+    /// `st.<space>.<ty> [addr], src` — store.
+    St { space: Space, ty: Type, addr: Address, src: Operand },
+    /// `setp.<cmp>.<ty> dst, a, b` — compare, producing a predicate.
+    Setp { cmp: CmpOp, ty: Type, dst: VReg, a: Operand, b: Operand },
+    /// `selp.<ty> dst, a, b, pred` — select `a` if `pred` else `b`.
+    Selp { ty: Type, dst: VReg, a: Operand, b: Operand, pred: VReg },
+    /// `bar.sync 0` — block-wide barrier.
+    BarSync,
+}
+
+/// A (possibly guarded) instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    /// Optional predication guard (`@%p` / `@!%p`).
+    pub guard: Option<Guard>,
+    /// The operation.
+    pub op: Op,
+}
+
+/// How a register appears in an instruction, for [`Instruction::map_regs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegAccess {
+    /// The register is written.
+    Def,
+    /// The register is read.
+    Use,
+}
+
+impl Instruction {
+    /// An unguarded instruction.
+    pub fn new(op: Op) -> Instruction {
+        Instruction { guard: None, op }
+    }
+
+    /// A guarded instruction.
+    pub fn guarded(guard: Guard, op: Op) -> Instruction {
+        Instruction { guard: Some(guard), op }
+    }
+
+    /// The register defined by this instruction, if any.
+    ///
+    /// A guarded instruction's definition is conditional, but for
+    /// liveness purposes it is still treated as a def *and* the old
+    /// value stays live; callers handling guards must consult
+    /// [`Instruction::is_conditional_def`].
+    pub fn def(&self) -> Option<VReg> {
+        match &self.op {
+            Op::Mov { dst, .. }
+            | Op::MovVarAddr { dst, .. }
+            | Op::Unary { dst, .. }
+            | Op::Binary { dst, .. }
+            | Op::Mad { dst, .. }
+            | Op::Fma { dst, .. }
+            | Op::Cvt { dst, .. }
+            | Op::Ld { dst, .. }
+            | Op::Setp { dst, .. }
+            | Op::Selp { dst, .. } => Some(*dst),
+            Op::St { .. } | Op::BarSync => None,
+        }
+    }
+
+    /// Whether the def only happens conditionally (guarded def): the
+    /// previous value of the destination may survive.
+    pub fn is_conditional_def(&self) -> bool {
+        self.guard.is_some() && self.def().is_some()
+    }
+
+    /// Append every register read by this instruction (including the
+    /// guard predicate and address base registers) to `out`.
+    pub fn collect_uses(&self, out: &mut Vec<VReg>) {
+        fn op_use(o: &Operand, out: &mut Vec<VReg>) {
+            if let Operand::Reg(r) = o {
+                out.push(*r);
+            }
+        }
+        fn addr_use(a: &Address, out: &mut Vec<VReg>) {
+            if let AddrBase::Reg(r) = a.base {
+                out.push(r);
+            }
+        }
+        if let Some(g) = &self.guard {
+            out.push(g.pred);
+        }
+        match &self.op {
+            Op::Mov { src, .. } | Op::Unary { src, .. } | Op::Cvt { src, .. } => op_use(src, out),
+            Op::MovVarAddr { .. } | Op::BarSync => {}
+            Op::Binary { a, b, .. } | Op::Setp { a, b, .. } => {
+                op_use(a, out);
+                op_use(b, out);
+            }
+            Op::Mad { a, b, c, .. } | Op::Fma { a, b, c, .. } => {
+                op_use(a, out);
+                op_use(b, out);
+                op_use(c, out);
+            }
+            Op::Selp { a, b, pred, .. } => {
+                op_use(a, out);
+                op_use(b, out);
+                out.push(*pred);
+            }
+            Op::Ld { addr, .. } => addr_use(addr, out),
+            Op::St { addr, src, .. } => {
+                addr_use(addr, out);
+                op_use(src, out);
+            }
+        }
+    }
+
+    /// The registers read by this instruction, as a fresh vector.
+    pub fn uses(&self) -> Vec<VReg> {
+        let mut v = Vec::with_capacity(4);
+        self.collect_uses(&mut v);
+        v
+    }
+
+    /// Rewrite every register in the instruction through `f`, which
+    /// receives the register and whether it is a def or a use.
+    pub fn map_regs(&mut self, mut f: impl FnMut(VReg, RegAccess) -> VReg) {
+        fn map_op(o: &mut Operand, f: &mut impl FnMut(VReg, RegAccess) -> VReg) {
+            if let Operand::Reg(r) = o {
+                *r = f(*r, RegAccess::Use);
+            }
+        }
+        fn map_addr(a: &mut Address, f: &mut impl FnMut(VReg, RegAccess) -> VReg) {
+            if let AddrBase::Reg(r) = &mut a.base {
+                *r = f(*r, RegAccess::Use);
+            }
+        }
+        if let Some(g) = &mut self.guard {
+            g.pred = f(g.pred, RegAccess::Use);
+        }
+        match &mut self.op {
+            Op::Mov { dst, src, .. } => {
+                map_op(src, &mut f);
+                *dst = f(*dst, RegAccess::Def);
+            }
+            Op::MovVarAddr { dst, .. } => *dst = f(*dst, RegAccess::Def),
+            Op::Unary { dst, src, .. } => {
+                map_op(src, &mut f);
+                *dst = f(*dst, RegAccess::Def);
+            }
+            Op::Cvt { dst, src, .. } => {
+                map_op(src, &mut f);
+                *dst = f(*dst, RegAccess::Def);
+            }
+            Op::Binary { dst, a, b, .. } => {
+                map_op(a, &mut f);
+                map_op(b, &mut f);
+                *dst = f(*dst, RegAccess::Def);
+            }
+            Op::Setp { dst, a, b, .. } => {
+                map_op(a, &mut f);
+                map_op(b, &mut f);
+                *dst = f(*dst, RegAccess::Def);
+            }
+            Op::Mad { dst, a, b, c, .. } | Op::Fma { dst, a, b, c, .. } => {
+                map_op(a, &mut f);
+                map_op(b, &mut f);
+                map_op(c, &mut f);
+                *dst = f(*dst, RegAccess::Def);
+            }
+            Op::Selp { dst, a, b, pred, .. } => {
+                map_op(a, &mut f);
+                map_op(b, &mut f);
+                *pred = f(*pred, RegAccess::Use);
+                *dst = f(*dst, RegAccess::Def);
+            }
+            Op::Ld { dst, addr, .. } => {
+                map_addr(addr, &mut f);
+                *dst = f(*dst, RegAccess::Def);
+            }
+            Op::St { addr, src, .. } => {
+                map_addr(addr, &mut f);
+                map_op(src, &mut f);
+            }
+            Op::BarSync => {}
+        }
+    }
+
+    /// Whether this instruction accesses memory (in any space).
+    pub fn is_memory(&self) -> bool {
+        matches!(self.op, Op::Ld { .. } | Op::St { .. })
+    }
+
+    /// The state space accessed, if this is a load or store.
+    pub fn memory_space(&self) -> Option<Space> {
+        match &self.op {
+            Op::Ld { space, .. } | Op::St { space, .. } => Some(*space),
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction executes on the special function unit.
+    pub fn is_sfu(&self) -> bool {
+        match &self.op {
+            Op::Unary { op, .. } => op.is_sfu(),
+            Op::Binary { op: BinOp::Div | BinOp::Rem, .. } => true,
+            _ => false,
+        }
+    }
+
+    /// A short mnemonic for diagnostics (e.g. `"ld.global"`).
+    pub fn mnemonic(&self) -> String {
+        match &self.op {
+            Op::Mov { .. } | Op::MovVarAddr { .. } => "mov".to_string(),
+            Op::Unary { op, .. } => op.mnemonic().to_string(),
+            Op::Binary { op, .. } => op.mnemonic().to_string(),
+            Op::Mad { .. } => "mad".to_string(),
+            Op::Fma { .. } => "fma".to_string(),
+            Op::Cvt { .. } => "cvt".to_string(),
+            Op::Ld { space, .. } => format!("ld.{}", space.suffix()),
+            Op::St { space, .. } => format!("st.{}", space.suffix()),
+            Op::Setp { .. } => "setp".to_string(),
+            Op::Selp { .. } => "selp".to_string(),
+            Op::BarSync => "bar.sync".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::printer::write_instruction(f, self)
+    }
+}
+
+/// Convenience constructors used by the builder and by tests.
+impl Op {
+    /// `mov` reading a special register.
+    pub fn mov_special(ty: Type, dst: VReg, sr: SpecialReg) -> Op {
+        Op::Mov { ty, dst, src: Operand::Special(sr) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u32) -> VReg {
+        VReg(n)
+    }
+
+    #[test]
+    fn def_and_uses_of_binary() {
+        let i = Instruction::new(Op::Binary {
+            op: BinOp::Add,
+            ty: Type::U32,
+            dst: r(2),
+            a: Operand::Reg(r(0)),
+            b: Operand::Reg(r(1)),
+        });
+        assert_eq!(i.def(), Some(r(2)));
+        assert_eq!(i.uses(), vec![r(0), r(1)]);
+        assert!(!i.is_memory());
+    }
+
+    #[test]
+    fn store_has_no_def() {
+        let i = Instruction::new(Op::St {
+            space: Space::Global,
+            ty: Type::F32,
+            addr: Address::reg(r(5)),
+            src: Operand::Reg(r(6)),
+        });
+        assert_eq!(i.def(), None);
+        assert_eq!(i.uses(), vec![r(5), r(6)]);
+        assert_eq!(i.memory_space(), Some(Space::Global));
+    }
+
+    #[test]
+    fn guard_counts_as_use() {
+        let i = Instruction::guarded(
+            Guard::when(r(9)),
+            Op::Mov { ty: Type::U32, dst: r(1), src: Operand::Imm(0) },
+        );
+        assert_eq!(i.uses(), vec![r(9)]);
+        assert!(i.is_conditional_def());
+    }
+
+    #[test]
+    fn map_regs_renames_all_positions() {
+        let mut i = Instruction::new(Op::Mad {
+            ty: Type::F32,
+            dst: r(3),
+            a: Operand::Reg(r(0)),
+            b: Operand::Reg(r(1)),
+            c: Operand::Reg(r(2)),
+        });
+        i.map_regs(|v, _| VReg(v.0 + 10));
+        assert_eq!(i.def(), Some(r(13)));
+        assert_eq!(i.uses(), vec![r(10), r(11), r(12)]);
+    }
+
+    #[test]
+    fn map_regs_distinguishes_def_from_use() {
+        let mut i = Instruction::new(Op::Binary {
+            op: BinOp::Add,
+            ty: Type::U32,
+            dst: r(0),
+            a: Operand::Reg(r(0)),
+            b: Operand::Imm(1),
+        });
+        // Rename only defs.
+        i.map_regs(|v, acc| if acc == RegAccess::Def { VReg(v.0 + 1) } else { v });
+        assert_eq!(i.def(), Some(r(1)));
+        assert_eq!(i.uses(), vec![r(0)]);
+    }
+
+    #[test]
+    fn sfu_detection() {
+        let sqrt = Instruction::new(Op::Unary {
+            op: UnOp::Sqrt,
+            ty: Type::F32,
+            dst: r(1),
+            src: Operand::Reg(r(0)),
+        });
+        assert!(sqrt.is_sfu());
+        let div = Instruction::new(Op::Binary {
+            op: BinOp::Div,
+            ty: Type::F32,
+            dst: r(1),
+            a: Operand::Reg(r(0)),
+            b: Operand::Reg(r(0)),
+        });
+        assert!(div.is_sfu());
+    }
+
+    #[test]
+    fn selp_uses_pred() {
+        let i = Instruction::new(Op::Selp {
+            ty: Type::U32,
+            dst: r(3),
+            a: Operand::Reg(r(0)),
+            b: Operand::Reg(r(1)),
+            pred: r(2),
+        });
+        assert_eq!(i.uses(), vec![r(0), r(1), r(2)]);
+    }
+
+    #[test]
+    fn address_base_is_a_use() {
+        let i = Instruction::new(Op::Ld {
+            space: Space::Shared,
+            ty: Type::U32,
+            dst: r(1),
+            addr: Address::reg_offset(r(0), 16),
+        });
+        assert_eq!(i.uses(), vec![r(0)]);
+    }
+}

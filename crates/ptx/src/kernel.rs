@@ -1,0 +1,440 @@
+//! Kernels: the top-level IR container.
+
+use std::collections::HashMap;
+
+use crate::block::{BasicBlock, BlockId};
+use crate::error::ValidateError;
+use crate::inst::{Instruction, Op};
+use crate::operand::{AddrBase, Operand};
+use crate::reg::VReg;
+use crate::types::{Space, Type};
+
+/// A kernel parameter (`.param`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name, unique within the kernel.
+    pub name: String,
+    /// Parameter type; pointers are `u64`.
+    pub ty: Type,
+}
+
+/// A kernel-scope variable declaration: a `.shared` or `.local` array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Variable name, unique within the kernel.
+    pub name: String,
+    /// `.shared` or `.local`.
+    pub space: Space,
+    /// Alignment in bytes.
+    pub align: u32,
+    /// Size in bytes.
+    pub size: u32,
+}
+
+/// A PTX kernel: parameters, variables, a typed virtual register
+/// table, and a list of basic blocks (block 0 is the entry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    name: String,
+    params: Vec<Param>,
+    vars: Vec<VarDecl>,
+    reg_types: Vec<Type>,
+    blocks: Vec<BasicBlock>,
+    /// Estimated trip count for loops headed by a block, used by the
+    /// static analyses. Keys are loop-header block ids.
+    trip_hints: HashMap<BlockId, u32>,
+}
+
+impl Kernel {
+    /// An empty kernel with a single empty entry block.
+    pub fn new(name: impl Into<String>) -> Kernel {
+        Kernel {
+            name: name.into(),
+            params: Vec::new(),
+            vars: Vec::new(),
+            reg_types: Vec::new(),
+            blocks: vec![BasicBlock::new(BlockId(0))],
+            trip_hints: HashMap::new(),
+        }
+    }
+
+    /// The kernel's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The kernel's parameters.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Look up a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&Param> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// Add a parameter. Returns its index.
+    pub fn add_param(&mut self, name: impl Into<String>, ty: Type) -> usize {
+        self.params.push(Param { name: name.into(), ty });
+        self.params.len() - 1
+    }
+
+    /// The kernel's variable declarations.
+    pub fn vars(&self) -> &[VarDecl] {
+        &self.vars
+    }
+
+    /// Look up a variable by name.
+    pub fn var(&self, name: &str) -> Option<&VarDecl> {
+        self.vars.iter().find(|v| v.name == name)
+    }
+
+    /// Declare a `.shared`/`.local` array variable.
+    pub fn add_var(&mut self, var: VarDecl) {
+        self.vars.push(var);
+    }
+
+    /// Remove a variable declaration by name (used when spill stacks
+    /// are re-homed from local to shared memory).
+    pub fn remove_var(&mut self, name: &str) -> Option<VarDecl> {
+        let idx = self.vars.iter().position(|v| v.name == name)?;
+        Some(self.vars.remove(idx))
+    }
+
+    /// Total bytes of `.shared` variables declared by the kernel.
+    pub fn shared_bytes(&self) -> u32 {
+        self.vars.iter().filter(|v| v.space == Space::Shared).map(|v| v.size).sum()
+    }
+
+    /// Total bytes of `.local` variables declared by the kernel.
+    pub fn local_bytes(&self) -> u32 {
+        self.vars.iter().filter(|v| v.space == Space::Local).map(|v| v.size).sum()
+    }
+
+    /// Allocate a fresh virtual register of type `ty`.
+    pub fn new_reg(&mut self, ty: Type) -> VReg {
+        self.reg_types.push(ty);
+        VReg((self.reg_types.len() - 1) as u32)
+    }
+
+    /// The type of a virtual register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` was not allocated by this kernel.
+    pub fn reg_ty(&self, r: VReg) -> Type {
+        self.reg_types[r.index()]
+    }
+
+    /// Number of virtual registers allocated so far.
+    pub fn num_regs(&self) -> usize {
+        self.reg_types.len()
+    }
+
+    /// The register type table, indexed by register id.
+    pub fn reg_types(&self) -> &[Type] {
+        &self.reg_types
+    }
+
+    /// The kernel's basic blocks; block ids equal indices.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Mutable access to the basic blocks (passes rewrite in place).
+    pub fn blocks_mut(&mut self) -> &mut [BasicBlock] {
+        &mut self.blocks
+    }
+
+    /// A block by id.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// A block by id, mutably.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BasicBlock {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Append a new empty block and return its id.
+    pub fn add_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BasicBlock::new(id));
+        id
+    }
+
+    /// The entry block id (always `BB0`).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Total instruction count across all blocks (terminators excluded).
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Iterate over every instruction with its location.
+    pub fn insts(&self) -> impl Iterator<Item = (BlockId, usize, &Instruction)> {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.insts.iter().enumerate().map(move |(i, inst)| (b.id, i, inst)))
+    }
+
+    /// Record an estimated trip count for the loop headed by `header`.
+    pub fn set_trip_hint(&mut self, header: BlockId, trips: u32) {
+        self.trip_hints.insert(header, trips);
+    }
+
+    /// The estimated trip count for the loop headed by `header`, if any.
+    pub fn trip_hint(&self, header: BlockId) -> Option<u32> {
+        self.trip_hints.get(&header).copied()
+    }
+
+    /// All trip-count hints.
+    pub fn trip_hints(&self) -> &HashMap<BlockId, u32> {
+        &self.trip_hints
+    }
+
+    /// Render the kernel as PTX text. See [`crate::parse`] for the inverse.
+    pub fn to_ptx(&self) -> String {
+        crate::printer::print_kernel(self)
+    }
+
+    /// Check structural and type invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found: dangling block targets,
+    /// out-of-range registers, type mismatches in typed positions,
+    /// references to undeclared params/vars, or non-`u64` address
+    /// bases.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        for (idx, b) in self.blocks.iter().enumerate() {
+            if b.id.index() != idx {
+                return Err(ValidateError::BlockIdMismatch { expected: idx, found: b.id });
+            }
+            for target in b.terminator.successors() {
+                if target.index() >= self.blocks.len() {
+                    return Err(ValidateError::DanglingBlock { from: b.id, target });
+                }
+            }
+            if let Some(p) = b.terminator.used_reg() {
+                self.check_reg(p, Type::Pred, b.id)?;
+            }
+            for inst in &b.insts {
+                self.validate_inst(b.id, inst)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_reg(&self, r: VReg, expect: Type, block: BlockId) -> Result<(), ValidateError> {
+        if r.index() >= self.reg_types.len() {
+            return Err(ValidateError::UnknownReg { reg: r, block });
+        }
+        let actual = self.reg_ty(r);
+        if actual != expect {
+            return Err(ValidateError::TypeMismatch { reg: r, expected: expect, found: actual, block });
+        }
+        Ok(())
+    }
+
+    fn check_operand(&self, o: &Operand, expect: Type, block: BlockId) -> Result<(), ValidateError> {
+        match o {
+            Operand::Reg(r) => self.check_reg(*r, expect, block),
+            _ => Ok(()),
+        }
+    }
+
+    fn check_addr(
+        &self,
+        addr: &crate::operand::Address,
+        space: Space,
+        block: BlockId,
+    ) -> Result<(), ValidateError> {
+        match &addr.base {
+            AddrBase::Reg(r) => self.check_reg(*r, Type::U64, block),
+            AddrBase::Var(name) => {
+                let var = self
+                    .var(name)
+                    .ok_or_else(|| ValidateError::UnknownVar { name: name.clone(), block })?;
+                if var.space != space {
+                    return Err(ValidateError::SpaceMismatch {
+                        name: name.clone(),
+                        expected: space,
+                        found: var.space,
+                        block,
+                    });
+                }
+                Ok(())
+            }
+            AddrBase::Param(name) => {
+                if space != Space::Param {
+                    return Err(ValidateError::SpaceMismatch {
+                        name: name.clone(),
+                        expected: space,
+                        found: Space::Param,
+                        block,
+                    });
+                }
+                if self.param(name).is_none() {
+                    return Err(ValidateError::UnknownParam { name: name.clone(), block });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn validate_inst(&self, block: BlockId, inst: &Instruction) -> Result<(), ValidateError> {
+        if let Some(g) = &inst.guard {
+            self.check_reg(g.pred, Type::Pred, block)?;
+        }
+        match &inst.op {
+            Op::Mov { ty, dst, src } => {
+                self.check_reg(*dst, *ty, block)?;
+                self.check_operand(src, *ty, block)
+            }
+            Op::MovVarAddr { dst, var } => {
+                self.check_reg(*dst, Type::U64, block)?;
+                if self.var(var).is_none() {
+                    return Err(ValidateError::UnknownVar { name: var.clone(), block });
+                }
+                Ok(())
+            }
+            Op::Unary { ty, dst, src, .. } => {
+                self.check_reg(*dst, *ty, block)?;
+                self.check_operand(src, *ty, block)
+            }
+            Op::Binary { ty, dst, a, b, .. } => {
+                self.check_reg(*dst, *ty, block)?;
+                self.check_operand(a, *ty, block)?;
+                self.check_operand(b, *ty, block)
+            }
+            Op::Mad { ty, dst, a, b, c } | Op::Fma { ty, dst, a, b, c } => {
+                self.check_reg(*dst, *ty, block)?;
+                self.check_operand(a, *ty, block)?;
+                self.check_operand(b, *ty, block)?;
+                self.check_operand(c, *ty, block)
+            }
+            Op::Cvt { dst_ty, src_ty, dst, src } => {
+                self.check_reg(*dst, *dst_ty, block)?;
+                self.check_operand(src, *src_ty, block)
+            }
+            Op::Ld { space, ty, dst, addr } => {
+                self.check_reg(*dst, *ty, block)?;
+                self.check_addr(addr, *space, block)
+            }
+            Op::St { space, ty, addr, src } => {
+                self.check_addr(addr, *space, block)?;
+                self.check_operand(src, *ty, block)
+            }
+            Op::Setp { ty, dst, a, b, .. } => {
+                self.check_reg(*dst, Type::Pred, block)?;
+                self.check_operand(a, *ty, block)?;
+                self.check_operand(b, *ty, block)
+            }
+            Op::Selp { ty, dst, a, b, pred } => {
+                self.check_reg(*dst, *ty, block)?;
+                self.check_operand(a, *ty, block)?;
+                self.check_operand(b, *ty, block)?;
+                self.check_reg(*pred, Type::Pred, block)
+            }
+            Op::BarSync => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Terminator;
+    use crate::operand::Address;
+
+    #[test]
+    fn new_kernel_has_entry_block() {
+        let k = Kernel::new("k");
+        assert_eq!(k.name(), "k");
+        assert_eq!(k.blocks().len(), 1);
+        assert_eq!(k.entry(), BlockId(0));
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn reg_allocation_is_sequential_and_typed() {
+        let mut k = Kernel::new("k");
+        let a = k.new_reg(Type::U32);
+        let b = k.new_reg(Type::F64);
+        assert_eq!(a, VReg(0));
+        assert_eq!(b, VReg(1));
+        assert_eq!(k.reg_ty(a), Type::U32);
+        assert_eq!(k.reg_ty(b), Type::F64);
+        assert_eq!(k.num_regs(), 2);
+    }
+
+    #[test]
+    fn validate_catches_dangling_branch() {
+        let mut k = Kernel::new("k");
+        k.block_mut(BlockId(0)).terminator = Terminator::Bra(BlockId(7));
+        assert!(matches!(k.validate(), Err(ValidateError::DanglingBlock { .. })));
+    }
+
+    #[test]
+    fn validate_catches_type_mismatch() {
+        let mut k = Kernel::new("k");
+        let f = k.new_reg(Type::F32);
+        k.block_mut(BlockId(0)).insts.push(Instruction::new(Op::Mov {
+            ty: Type::U32,
+            dst: f,
+            src: Operand::Imm(0),
+        }));
+        assert!(matches!(k.validate(), Err(ValidateError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn validate_catches_unknown_var() {
+        let mut k = Kernel::new("k");
+        let d = k.new_reg(Type::U32);
+        k.block_mut(BlockId(0)).insts.push(Instruction::new(Op::Ld {
+            space: Space::Shared,
+            ty: Type::U32,
+            dst: d,
+            addr: Address::var("nosuch", 0),
+        }));
+        assert!(matches!(k.validate(), Err(ValidateError::UnknownVar { .. })));
+    }
+
+    #[test]
+    fn validate_catches_space_mismatch() {
+        let mut k = Kernel::new("k");
+        k.add_var(VarDecl { name: "buf".into(), space: Space::Local, align: 4, size: 16 });
+        let d = k.new_reg(Type::U32);
+        k.block_mut(BlockId(0)).insts.push(Instruction::new(Op::Ld {
+            space: Space::Shared,
+            ty: Type::U32,
+            dst: d,
+            addr: Address::var("buf", 0),
+        }));
+        assert!(matches!(k.validate(), Err(ValidateError::SpaceMismatch { .. })));
+    }
+
+    #[test]
+    fn shared_and_local_byte_totals() {
+        let mut k = Kernel::new("k");
+        k.add_var(VarDecl { name: "a".into(), space: Space::Shared, align: 4, size: 256 });
+        k.add_var(VarDecl { name: "b".into(), space: Space::Shared, align: 4, size: 128 });
+        k.add_var(VarDecl { name: "c".into(), space: Space::Local, align: 4, size: 64 });
+        assert_eq!(k.shared_bytes(), 384);
+        assert_eq!(k.local_bytes(), 64);
+        assert_eq!(k.remove_var("b").unwrap().size, 128);
+        assert_eq!(k.shared_bytes(), 256);
+    }
+
+    #[test]
+    fn trip_hints_round_trip() {
+        let mut k = Kernel::new("k");
+        let b = k.add_block();
+        k.set_trip_hint(b, 64);
+        assert_eq!(k.trip_hint(b), Some(64));
+        assert_eq!(k.trip_hint(BlockId(0)), None);
+    }
+}

@@ -1,0 +1,70 @@
+//! A PTX-subset intermediate representation for GPU kernels.
+//!
+//! This crate provides the compiler substrate of the CRAT framework
+//! (Xie et al., MICRO 2015): an SSA-style, virtual-register IR modeled
+//! on NVIDIA's Parallel Thread Execution (PTX) format, together with
+//! the analyses CRAT's passes need.
+//!
+//! The IR deliberately mirrors the properties of real PTX that the
+//! paper relies on:
+//!
+//! * an **infinite virtual register set** — each new value gets a fresh
+//!   register, so register allocation is a separate, later decision;
+//! * **typed instructions** over typed registers (`u32`, `s32`, `u64`,
+//!   `f32`, `f64`, and predicates);
+//! * explicit **state spaces** (`global`, `local`, `shared`, `param`)
+//!   on loads and stores, so spill code to local or shared memory is
+//!   representable exactly as in the paper's Listing 4;
+//! * structured kernels with labeled basic blocks, conditional
+//!   branches, and barriers.
+//!
+//! # Quick example
+//!
+//! ```
+//! use crat_ptx::{KernelBuilder, Type, Space, Operand};
+//!
+//! let mut b = KernelBuilder::new("kernel");
+//! let out = b.param_ptr("output");
+//! let tid = b.special_tid_x(Type::U32);
+//! let ctaid = b.special_ctaid_x(Type::U32);
+//! let ntid = b.special_ntid_x(Type::U32);
+//! let prod = b.mul(Type::U32, ctaid, ntid);
+//! let gid = b.add(Type::U32, tid, prod);
+//! let addr = b.wide_address(out, gid, 4);
+//! b.st(Space::Global, Type::U32, addr, Operand::Reg(gid));
+//! let kernel = b.finish();
+//!
+//! assert_eq!(kernel.name(), "kernel");
+//! let text = kernel.to_ptx();
+//! let reparsed = crat_ptx::parse(&text).unwrap();
+//! assert_eq!(reparsed.to_ptx(), text);
+//! ```
+
+mod block;
+mod builder;
+mod cfg;
+mod error;
+pub mod eval;
+mod inst;
+mod kernel;
+mod liveness;
+mod operand;
+mod parser;
+pub mod passes;
+mod printer;
+mod reg;
+mod types;
+mod util;
+
+pub use block::{BasicBlock, BlockId, Terminator};
+pub use builder::{KernelBuilder, LoopHandle};
+pub use cfg::{Cfg, LoopInfo};
+pub use error::{ParseError, ValidateError};
+pub use inst::{Instruction, Op};
+pub use kernel::{Kernel, Param, VarDecl};
+pub use liveness::{LiveRange, Liveness, ProgramPoint};
+pub use operand::{AddrBase, Address, Operand};
+pub use parser::parse;
+pub use reg::{Guard, SpecialReg, VReg};
+pub use types::{BinOp, CmpOp, Space, Type, UnOp};
+pub use util::BitSet;

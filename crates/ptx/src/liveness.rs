@@ -1,0 +1,479 @@
+//! Live-variable analysis.
+//!
+//! Backward dataflow over the CFG producing per-block live-in/live-out
+//! sets, plus linearized live ranges and (loop-weighted) access counts
+//! used by the spill heuristics of the register allocator.
+
+use crate::block::BlockId;
+use crate::cfg::Cfg;
+use crate::kernel::Kernel;
+use crate::reg::VReg;
+use crate::util::BitSet;
+
+/// A linear program point. Instructions are numbered consecutively
+/// across blocks in block-id order; each block's terminator gets one
+/// extra point at its end.
+pub type ProgramPoint = u32;
+
+/// The conservative live range of one virtual register, as a hull
+/// `[start, end]` over linear program points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveRange {
+    /// The register this range describes.
+    pub vreg: VReg,
+    /// First point at which the register is defined.
+    pub start: ProgramPoint,
+    /// Last point at which the register is read (inclusive).
+    pub end: ProgramPoint,
+    /// Static number of reads and writes.
+    pub accesses: u32,
+    /// Reads and writes weighted by estimated block execution counts
+    /// (loop trip hints), the paper's "access frequency".
+    pub weighted_accesses: u64,
+}
+
+impl LiveRange {
+    /// Length of the hull in program points.
+    pub fn len(&self) -> u32 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the register is defined but never live between points.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Whether two hulls overlap.
+    pub fn overlaps(&self, other: &LiveRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// The result of live-variable analysis on a kernel.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<BitSet>,
+    live_out: Vec<BitSet>,
+    block_start: Vec<ProgramPoint>,
+    num_points: ProgramPoint,
+    num_regs: usize,
+}
+
+impl Liveness {
+    /// Run the analysis to fixpoint.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use crat_ptx::{Cfg, KernelBuilder, Liveness, Operand, Type};
+    ///
+    /// // The paper's Listing 2: five virtual registers...
+    /// let mut b = KernelBuilder::new("listing2");
+    /// let tid = b.special_tid_x(Type::U32);
+    /// let ctaid = b.special_ctaid_x(Type::U32);
+    /// let ntid = b.special_ntid_x(Type::U32);
+    /// let prod = b.mul(Type::U32, ntid, ctaid);
+    /// let _gid = b.add(Type::U32, tid, prod);
+    /// let kernel = b.finish();
+    ///
+    /// let cfg = Cfg::build(&kernel);
+    /// let liveness = Liveness::compute(&kernel, &cfg);
+    /// // ...but only three are ever simultaneously live (Listing 3).
+    /// assert_eq!(liveness.max_live_slots(&kernel), 3);
+    /// ```
+    pub fn compute(kernel: &Kernel, cfg: &Cfg) -> Liveness {
+        let nblocks = kernel.blocks().len();
+        let nregs = kernel.num_regs();
+
+        // Per-block upward-exposed uses (`ue`) and kills (`def`).
+        let mut ue = vec![BitSet::new(nregs); nblocks];
+        let mut def = vec![BitSet::new(nregs); nblocks];
+        let mut uses_buf = Vec::new();
+        for b in kernel.blocks() {
+            let i = b.id.index();
+            for inst in &b.insts {
+                uses_buf.clear();
+                inst.collect_uses(&mut uses_buf);
+                for &u in &uses_buf {
+                    if !def[i].contains(u.index()) {
+                        ue[i].insert(u.index());
+                    }
+                }
+                if let Some(d) = inst.def() {
+                    if inst.is_conditional_def() {
+                        // A guarded def may leave the old value in
+                        // place: it reads as well as writes.
+                        if !def[i].contains(d.index()) {
+                            ue[i].insert(d.index());
+                        }
+                    } else {
+                        def[i].insert(d.index());
+                    }
+                }
+            }
+            if let Some(p) = b.terminator.used_reg() {
+                if !def[i].contains(p.index()) {
+                    ue[i].insert(p.index());
+                }
+            }
+        }
+
+        let mut live_in = vec![BitSet::new(nregs); nblocks];
+        let mut live_out = vec![BitSet::new(nregs); nblocks];
+
+        // Iterate in postorder (reverse of RPO) until stable.
+        let order: Vec<BlockId> = cfg.reverse_postorder().iter().rev().copied().collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let i = b.index();
+                let mut out = BitSet::new(nregs);
+                for &s in cfg.succs(b) {
+                    out.union_with(&live_in[s.index()]);
+                }
+                let out_changed = out != live_out[i];
+                live_out[i] = out;
+                if out_changed || live_in[i].is_empty() {
+                    let mut inn = live_out[i].clone();
+                    inn.subtract(&def[i]);
+                    inn.union_with(&ue[i]);
+                    if inn != live_in[i] {
+                        live_in[i] = inn;
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Linear point numbering: each block occupies len+1 points.
+        let mut block_start = Vec::with_capacity(nblocks);
+        let mut next = 0u32;
+        for b in kernel.blocks() {
+            block_start.push(next);
+            next += b.insts.len() as u32 + 1;
+        }
+
+        Liveness { live_in, live_out, block_start, num_points: next, num_regs: nregs }
+    }
+
+    /// Registers live at entry to `b`.
+    pub fn live_in(&self, b: BlockId) -> &BitSet {
+        &self.live_in[b.index()]
+    }
+
+    /// Registers live at exit from `b`.
+    pub fn live_out(&self, b: BlockId) -> &BitSet {
+        &self.live_out[b.index()]
+    }
+
+    /// The linear point of instruction `idx` in block `b` (the block's
+    /// terminator is at `idx == block len`).
+    pub fn point(&self, b: BlockId, idx: usize) -> ProgramPoint {
+        self.block_start[b.index()] + idx as u32
+    }
+
+    /// The first linear point of block `b`.
+    pub fn block_start(&self, b: BlockId) -> ProgramPoint {
+        self.block_start[b.index()]
+    }
+
+    /// One past the last linear point of the kernel.
+    pub fn num_points(&self) -> ProgramPoint {
+        self.num_points
+    }
+
+    /// Number of virtual registers covered by the analysis.
+    pub fn num_regs(&self) -> usize {
+        self.num_regs
+    }
+
+    /// Build conservative live-range hulls plus access statistics for
+    /// every virtual register.
+    ///
+    /// Registers that are never defined nor used get an empty range at
+    /// point 0 with zero accesses.
+    pub fn ranges(&self, kernel: &Kernel, cfg: &Cfg) -> Vec<LiveRange> {
+        let n = self.num_regs;
+        let mut start = vec![ProgramPoint::MAX; n];
+        let mut end = vec![0 as ProgramPoint; n];
+        let mut accesses = vec![0u32; n];
+        let mut weighted = vec![0u64; n];
+
+        let touch = |v: VReg, p: ProgramPoint, w: u64, acc: &mut Vec<u32>, wacc: &mut Vec<u64>,
+                         start: &mut Vec<ProgramPoint>, end: &mut Vec<ProgramPoint>| {
+            let i = v.index();
+            start[i] = start[i].min(p);
+            end[i] = end[i].max(p);
+            acc[i] += 1;
+            wacc[i] = wacc[i].saturating_add(w);
+        };
+
+        let mut uses_buf = Vec::new();
+        for b in kernel.blocks() {
+            let bi = b.id.index();
+            let w = cfg.block_weight(b.id);
+            let bstart = self.block_start[bi];
+            let bend = bstart + b.insts.len() as u32; // terminator point
+
+            // Registers live across the block boundary extend their
+            // hull over the whole block.
+            for v in self.live_in[bi].iter() {
+                start[v] = start[v].min(bstart);
+                end[v] = end[v].max(bstart);
+            }
+            for v in self.live_out[bi].iter() {
+                start[v] = start[v].min(bend);
+                end[v] = end[v].max(bend);
+            }
+
+            for (idx, inst) in b.insts.iter().enumerate() {
+                let p = bstart + idx as u32;
+                uses_buf.clear();
+                inst.collect_uses(&mut uses_buf);
+                for &u in &uses_buf {
+                    touch(u, p, w, &mut accesses, &mut weighted, &mut start, &mut end);
+                }
+                if let Some(d) = inst.def() {
+                    touch(d, p, w, &mut accesses, &mut weighted, &mut start, &mut end);
+                }
+            }
+            if let Some(p) = b.terminator.used_reg() {
+                touch(p, bend, w, &mut accesses, &mut weighted, &mut start, &mut end);
+            }
+        }
+
+        (0..n)
+            .map(|i| LiveRange {
+                vreg: VReg(i as u32),
+                start: if start[i] == ProgramPoint::MAX { 0 } else { start[i] },
+                end: end[i],
+                accesses: accesses[i],
+                weighted_accesses: weighted[i],
+            })
+            .collect()
+    }
+
+    /// The maximum number of 32-bit register slots simultaneously live
+    /// at any instruction boundary — the paper's `MaxReg` (the number
+    /// of registers per thread needed to hold all variables without
+    /// spilling). Predicates occupy no slots.
+    pub fn max_live_slots(&self, kernel: &Kernel) -> u32 {
+        let mut max = 0u32;
+        let mut uses_buf = Vec::new();
+        for b in kernel.blocks() {
+            let mut live = self.live_out[b.id.index()].clone();
+            let slots_of = |set: &BitSet| -> u32 {
+                set.iter().map(|v| kernel.reg_ty(VReg(v as u32)).reg_slots()).sum()
+            };
+            max = max.max(slots_of(&live));
+            for inst in b.insts.iter().rev() {
+                if let Some(d) = inst.def() {
+                    if !inst.is_conditional_def() {
+                        live.remove(d.index());
+                    } else {
+                        live.insert(d.index());
+                    }
+                }
+                uses_buf.clear();
+                inst.collect_uses(&mut uses_buf);
+                for &u in &uses_buf {
+                    live.insert(u.index());
+                }
+                max = max.max(slots_of(&live));
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Terminator;
+    use crate::inst::{Instruction, Op};
+    use crate::operand::Operand;
+    use crate::types::{BinOp, CmpOp, Type};
+
+    /// Builds the paper's Listing 2 kernel:
+    /// r0=tid, r1=ctaid, r2=ntid, r3=r2*r1, r4=r0+r3.
+    fn listing2() -> Kernel {
+        let mut k = Kernel::new("listing2");
+        let r: Vec<VReg> = (0..5).map(|_| k.new_reg(Type::U32)).collect();
+        let b = k.block_mut(BlockId(0));
+        b.insts.push(Instruction::new(Op::mov_special(
+            Type::U32,
+            r[0],
+            crate::reg::SpecialReg::TidX,
+        )));
+        b.insts.push(Instruction::new(Op::mov_special(
+            Type::U32,
+            r[1],
+            crate::reg::SpecialReg::CtaidX,
+        )));
+        b.insts.push(Instruction::new(Op::mov_special(
+            Type::U32,
+            r[2],
+            crate::reg::SpecialReg::NtidX,
+        )));
+        b.insts.push(Instruction::new(Op::Binary {
+            op: BinOp::Mul,
+            ty: Type::U32,
+            dst: r[3],
+            a: Operand::Reg(r[2]),
+            b: Operand::Reg(r[1]),
+        }));
+        b.insts.push(Instruction::new(Op::Binary {
+            op: BinOp::Add,
+            ty: Type::U32,
+            dst: r[4],
+            a: Operand::Reg(r[0]),
+            b: Operand::Reg(r[3]),
+        }));
+        k
+    }
+
+    #[test]
+    fn straight_line_liveness_is_local() {
+        let k = listing2();
+        let cfg = Cfg::build(&k);
+        let lv = Liveness::compute(&k, &cfg);
+        assert!(lv.live_in(BlockId(0)).is_empty());
+        assert!(lv.live_out(BlockId(0)).is_empty());
+    }
+
+    /// The paper's Listing 3 observation: only 3 registers are needed
+    /// for Listing 2 because not all 5 variables are live at once.
+    #[test]
+    fn listing2_max_live_is_three() {
+        let k = listing2();
+        let cfg = Cfg::build(&k);
+        let lv = Liveness::compute(&k, &cfg);
+        assert_eq!(lv.max_live_slots(&k), 3);
+    }
+
+    #[test]
+    fn ranges_track_hulls_and_counts() {
+        let k = listing2();
+        let cfg = Cfg::build(&k);
+        let lv = Liveness::compute(&k, &cfg);
+        let ranges = lv.ranges(&k, &cfg);
+        // r0 defined at point 0, last used at point 4.
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges[0].end, 4);
+        assert_eq!(ranges[0].accesses, 2);
+        // r3 defined at 3, used at 4.
+        assert_eq!(ranges[3].start, 3);
+        assert_eq!(ranges[3].end, 4);
+        // r1 and r3 do not overlap... r1 [1,3], r3 [3,4]: hulls touch
+        // at 3 where r1 dies and r3 is born.
+        assert!(ranges[1].overlaps(&ranges[3]) == (ranges[1].end > ranges[3].start));
+    }
+
+    #[test]
+    fn loop_carried_value_is_live_around_backedge() {
+        // entry: i=0 -> header: p = i<10 -> body: i=i+1 -> header; exit.
+        let mut k = Kernel::new("loop");
+        let header = k.add_block();
+        let body = k.add_block();
+        let exit = k.add_block();
+        let i = k.new_reg(Type::U32);
+        let p = k.new_reg(Type::Pred);
+        k.block_mut(BlockId(0)).insts.push(Instruction::new(Op::Mov {
+            ty: Type::U32,
+            dst: i,
+            src: Operand::Imm(0),
+        }));
+        k.block_mut(BlockId(0)).terminator = Terminator::Bra(header);
+        k.block_mut(header).insts.push(Instruction::new(Op::Setp {
+            cmp: CmpOp::Lt,
+            ty: Type::U32,
+            dst: p,
+            a: Operand::Reg(i),
+            b: Operand::Imm(10),
+        }));
+        k.block_mut(header).terminator =
+            Terminator::CondBra { pred: p, negated: false, taken: body, not_taken: exit };
+        k.block_mut(body).insts.push(Instruction::new(Op::Binary {
+            op: BinOp::Add,
+            ty: Type::U32,
+            dst: i,
+            a: Operand::Reg(i),
+            b: Operand::Imm(1),
+        }));
+        k.block_mut(body).terminator = Terminator::Bra(header);
+        k.set_trip_hint(header, 10);
+
+        let cfg = Cfg::build(&k);
+        let lv = Liveness::compute(&k, &cfg);
+        assert!(lv.live_in(header).contains(i.index()));
+        assert!(lv.live_out(body).contains(i.index()));
+        assert!(!lv.live_in(BlockId(0)).contains(i.index()));
+
+        // Accesses inside the loop get the trip-count weight.
+        let ranges = lv.ranges(&k, &cfg);
+        assert!(ranges[i.index()].weighted_accesses > ranges[i.index()].accesses as u64);
+    }
+
+    #[test]
+    fn guarded_def_keeps_old_value_live() {
+        // r0 = 1; @p r0 = 2; use r0 — the unguarded def must not kill
+        // r0's liveness across the guarded def.
+        let mut k = Kernel::new("g");
+        let r0 = k.new_reg(Type::U32);
+        let p = k.new_reg(Type::Pred);
+        let sink = k.new_reg(Type::U32);
+        let b0 = BlockId(0);
+        let b = k.block_mut(b0);
+        b.insts.push(Instruction::new(Op::Setp {
+            cmp: CmpOp::Eq,
+            ty: Type::U32,
+            dst: p,
+            a: Operand::Imm(0),
+            b: Operand::Imm(0),
+        }));
+        b.insts.push(Instruction::new(Op::Mov { ty: Type::U32, dst: r0, src: Operand::Imm(1) }));
+        b.insts.push(Instruction::guarded(
+            crate::reg::Guard::when(p),
+            Op::Mov { ty: Type::U32, dst: r0, src: Operand::Imm(2) },
+        ));
+        b.insts.push(Instruction::new(Op::Mov {
+            ty: Type::U32,
+            dst: sink,
+            src: Operand::Reg(r0),
+        }));
+        let cfg = Cfg::build(&k);
+        let lv = Liveness::compute(&k, &cfg);
+        // r0 and p and sink: max live slots should count r0 + sink? At
+        // the guarded mov point, r0 (old value) and p are live; pred
+        // has no slots, so max is 2 at most (r0 + nothing else until
+        // sink's def kills r0's use).
+        assert!(lv.max_live_slots(&k) >= 1);
+        let ranges = lv.ranges(&k, &cfg);
+        // r0 hull spans from its first def (point 1) to final use (point 3).
+        assert_eq!(ranges[r0.index()].start, 1);
+        assert_eq!(ranges[r0.index()].end, 3);
+    }
+
+    #[test]
+    fn wide_registers_count_two_slots() {
+        let mut k = Kernel::new("wide");
+        let a = k.new_reg(Type::U64);
+        let b2 = k.new_reg(Type::U64);
+        let c = k.new_reg(Type::U64);
+        let blk = k.block_mut(BlockId(0));
+        blk.insts.push(Instruction::new(Op::Mov { ty: Type::U64, dst: a, src: Operand::Imm(1) }));
+        blk.insts.push(Instruction::new(Op::Mov { ty: Type::U64, dst: b2, src: Operand::Imm(2) }));
+        blk.insts.push(Instruction::new(Op::Binary {
+            op: BinOp::Add,
+            ty: Type::U64,
+            dst: c,
+            a: Operand::Reg(a),
+            b: Operand::Reg(b2),
+        }));
+        let cfg = Cfg::build(&k);
+        let lv = Liveness::compute(&k, &cfg);
+        // a and b live together: 2 regs × 2 slots = 4.
+        assert_eq!(lv.max_live_slots(&k), 4);
+    }
+}

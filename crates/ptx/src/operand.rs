@@ -1,0 +1,195 @@
+//! Instruction operands and memory addresses.
+
+use std::fmt;
+
+use crate::reg::{SpecialReg, VReg};
+
+/// A source operand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// A virtual register.
+    Reg(VReg),
+    /// An integer immediate (stored sign-extended).
+    Imm(i64),
+    /// A floating-point immediate.
+    FImm(f64),
+    /// A built-in special register (`%tid.x`, ...).
+    Special(SpecialReg),
+}
+
+impl Operand {
+    /// The register this operand reads, if any.
+    pub fn as_reg(&self) -> Option<VReg> {
+        match self {
+            Operand::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Whether this operand is a compile-time constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Operand::Imm(_) | Operand::FImm(_))
+    }
+}
+
+impl From<VReg> for Operand {
+    fn from(r: VReg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+impl From<f64> for Operand {
+    fn from(v: f64) -> Operand {
+        Operand::FImm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+            // Print floats in a round-trippable way: always keep a
+            // decimal point or exponent so the parser can tell them
+            // from integers.
+            Operand::FImm(v) => {
+                let s = format!("{v}");
+                if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                    write!(f, "0f{}", f64_bits_hex(*v))
+                } else {
+                    write!(f, "0f{}", f64_bits_hex(*v))
+                }
+            }
+            Operand::Special(sr) => write!(f, "{sr}"),
+        }
+    }
+}
+
+/// Hex encoding of an `f64`'s bits, PTX `0f`/`0d` style (we always use
+/// 64-bit bits for exactness).
+fn f64_bits_hex(v: f64) -> String {
+    format!("{:016X}", v.to_bits())
+}
+
+/// Parse the hex bit pattern printed by [`Operand::FImm`]'s `Display`.
+#[cfg(test)]
+pub(crate) fn f64_from_bits_hex(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// The base of a memory address.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AddrBase {
+    /// An address held in a (64-bit) register.
+    Reg(VReg),
+    /// A named kernel variable (a `.shared` or `.local` array), as in
+    /// `st.local.u32 [SpillStack], %r0`.
+    Var(String),
+    /// A kernel parameter, for `ld.param`.
+    Param(String),
+}
+
+/// A memory address: a base plus a constant byte offset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Address {
+    /// The address base.
+    pub base: AddrBase,
+    /// Constant byte offset added to the base.
+    pub offset: i64,
+}
+
+impl Address {
+    /// Address through a register base with no offset.
+    pub fn reg(base: VReg) -> Address {
+        Address { base: AddrBase::Reg(base), offset: 0 }
+    }
+
+    /// Address through a register base plus a byte offset.
+    pub fn reg_offset(base: VReg, offset: i64) -> Address {
+        Address { base: AddrBase::Reg(base), offset }
+    }
+
+    /// Address of a named kernel variable plus a byte offset.
+    pub fn var(name: impl Into<String>, offset: i64) -> Address {
+        Address { base: AddrBase::Var(name.into()), offset }
+    }
+
+    /// Address of a kernel parameter (for `ld.param`).
+    pub fn param(name: impl Into<String>) -> Address {
+        Address { base: AddrBase::Param(name.into()), offset: 0 }
+    }
+
+    /// The register this address reads, if its base is a register.
+    pub fn base_reg(&self) -> Option<VReg> {
+        match self.base {
+            AddrBase::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl From<VReg> for Address {
+    /// Address through a (64-bit) register base with zero offset.
+    fn from(r: VReg) -> Address {
+        Address::reg(r)
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let base = match &self.base {
+            AddrBase::Reg(r) => r.to_string(),
+            AddrBase::Var(name) | AddrBase::Param(name) => name.clone(),
+        };
+        if self.offset == 0 {
+            write!(f, "[{base}]")
+        } else if self.offset > 0 {
+            write!(f, "[{base}+{}]", self.offset)
+        } else {
+            write!(f, "[{base}{}]", self.offset)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(VReg(2)), Operand::Reg(VReg(2)));
+        assert_eq!(Operand::from(5i64), Operand::Imm(5));
+        assert!(Operand::from(1.5f64).is_const());
+        assert_eq!(Operand::Reg(VReg(1)).as_reg(), Some(VReg(1)));
+        assert_eq!(Operand::Imm(0).as_reg(), None);
+    }
+
+    #[test]
+    fn fimm_hex_round_trip() {
+        for v in [0.0, -1.5, 3.25e10, f64::MIN_POSITIVE] {
+            let shown = Operand::FImm(v).to_string();
+            let hex = shown.strip_prefix("0f").unwrap();
+            assert_eq!(f64_from_bits_hex(hex), Some(v));
+        }
+    }
+
+    #[test]
+    fn address_display() {
+        assert_eq!(Address::reg(VReg(0)).to_string(), "[%v0]");
+        assert_eq!(Address::reg_offset(VReg(0), 8).to_string(), "[%v0+8]");
+        assert_eq!(Address::reg_offset(VReg(0), -4).to_string(), "[%v0-4]");
+        assert_eq!(Address::var("SpillStack", 4).to_string(), "[SpillStack+4]");
+    }
+
+    #[test]
+    fn address_base_reg() {
+        assert_eq!(Address::reg(VReg(9)).base_reg(), Some(VReg(9)));
+        assert_eq!(Address::var("a", 0).base_reg(), None);
+    }
+}

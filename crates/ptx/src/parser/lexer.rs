@@ -1,0 +1,265 @@
+//! Tokenizer for the PTX subset.
+
+use crate::error::ParseError;
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub line: usize,
+    pub kind: Tok,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Tok {
+    /// Bare identifier: mnemonics, labels, variable names.
+    Ident(String),
+    /// Dot-prefixed word: `.u32`, `.entry`, `.lo`, ...
+    Dot(String),
+    /// Percent-prefixed name, possibly dotted: `%v0`, `%tid.x`.
+    Percent(String),
+    /// Integer literal (possibly negative).
+    Int(i64),
+    /// `0f<hex>` float literal, carried as raw bits.
+    FloatBits(u64),
+    /// Double-quoted string (pragmas).
+    Str(String),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Plus,
+    At,
+    Bang,
+}
+
+/// Tokenize PTX text. `//` line comments are skipped.
+pub(crate) fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+
+    let ident_char = |c: u8| c.is_ascii_alphanumeric() || c == b'_' || c == b'$';
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                toks.push(Token { line, kind: Tok::LParen });
+                i += 1;
+            }
+            b')' => {
+                toks.push(Token { line, kind: Tok::RParen });
+                i += 1;
+            }
+            b'{' => {
+                toks.push(Token { line, kind: Tok::LBrace });
+                i += 1;
+            }
+            b'}' => {
+                toks.push(Token { line, kind: Tok::RBrace });
+                i += 1;
+            }
+            b'[' => {
+                toks.push(Token { line, kind: Tok::LBracket });
+                i += 1;
+            }
+            b']' => {
+                toks.push(Token { line, kind: Tok::RBracket });
+                i += 1;
+            }
+            b',' => {
+                toks.push(Token { line, kind: Tok::Comma });
+                i += 1;
+            }
+            b';' => {
+                toks.push(Token { line, kind: Tok::Semi });
+                i += 1;
+            }
+            b':' => {
+                toks.push(Token { line, kind: Tok::Colon });
+                i += 1;
+            }
+            b'+' => {
+                toks.push(Token { line, kind: Tok::Plus });
+                i += 1;
+            }
+            b'@' => {
+                toks.push(Token { line, kind: Tok::At });
+                i += 1;
+            }
+            b'!' => {
+                toks.push(Token { line, kind: Tok::Bang });
+                i += 1;
+            }
+            b'"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    if bytes[j] == b'\n' {
+                        return Err(ParseError::new(line, "unterminated string"));
+                    }
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ParseError::new(line, "unterminated string"));
+                }
+                toks.push(Token { line, kind: Tok::Str(src[start..j].to_string()) });
+                i = j + 1;
+            }
+            b'.' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && ident_char(bytes[j]) {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(ParseError::new(line, "lone `.`"));
+                }
+                toks.push(Token { line, kind: Tok::Dot(src[start..j].to_string()) });
+                i = j;
+            }
+            b'%' => {
+                // Percent names may contain dots: %tid.x
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len() && (ident_char(bytes[j]) || bytes[j] == b'.') {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    return Err(ParseError::new(line, "lone `%`"));
+                }
+                toks.push(Token { line, kind: Tok::Percent(src[start..j].to_string()) });
+                i = j;
+            }
+            b'-' => {
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    return Err(ParseError::new(line, "`-` not followed by digits"));
+                }
+                let v: i64 = src[start..j]
+                    .parse()
+                    .map_err(|_| ParseError::new(line, "integer overflow"))?;
+                toks.push(Token { line, kind: Tok::Int(v) });
+                i = j;
+            }
+            b'0' if i + 1 < bytes.len() && bytes[i + 1] == b'f' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len() && bytes[j].is_ascii_hexdigit() {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(ParseError::new(line, "`0f` without hex digits"));
+                }
+                let bits = u64::from_str_radix(&src[start..j], 16)
+                    .map_err(|_| ParseError::new(line, "float bits overflow"))?;
+                toks.push(Token { line, kind: Tok::FloatBits(bits) });
+                i = j;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let v: i64 = src[start..j]
+                    .parse()
+                    .map_err(|_| ParseError::new(line, "integer overflow"))?;
+                toks.push(Token { line, kind: Tok::Int(v) });
+                i = j;
+            }
+            c if ident_char(c) => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && ident_char(bytes[j]) {
+                    j += 1;
+                }
+                toks.push(Token { line, kind: Tok::Ident(src[start..j].to_string()) });
+                i = j;
+            }
+            other => {
+                return Err(ParseError::new(line, format!("unexpected byte `{}`", other as char)));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_instruction() {
+        assert_eq!(
+            kinds("mov.u32 %v0, %tid.x;"),
+            vec![
+                Tok::Ident("mov".into()),
+                Tok::Dot("u32".into()),
+                Tok::Percent("%v0".into()),
+                Tok::Comma,
+                Tok::Percent("%tid.x".into()),
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_negative_offset() {
+        assert_eq!(
+            kinds("[%v1-8]"),
+            vec![Tok::LBracket, Tok::Percent("%v1".into()), Tok::Int(-8), Tok::RBracket]
+        );
+    }
+
+    #[test]
+    fn lexes_float_bits() {
+        assert_eq!(kinds("0f3FF0000000000000"), vec![Tok::FloatBits(0x3FF0000000000000)]);
+    }
+
+    #[test]
+    fn skips_comments_and_counts_lines() {
+        let toks = lex("// hi\nret;").unwrap();
+        assert_eq!(toks[0].line, 2);
+    }
+
+    #[test]
+    fn lexes_string() {
+        assert_eq!(kinds("\"trip BB1 64\""), vec![Tok::Str("trip BB1 64".into())]);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_byte() {
+        assert!(lex("mov ?").is_err());
+    }
+}

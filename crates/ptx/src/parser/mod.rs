@@ -1,0 +1,680 @@
+//! Recursive-descent parser for the PTX subset.
+
+mod lexer;
+
+use std::collections::HashMap;
+
+use crate::block::{BlockId, Terminator};
+use crate::error::ParseError;
+use crate::inst::{Instruction, Op};
+use crate::kernel::{Kernel, VarDecl};
+use crate::operand::{AddrBase, Address, Operand};
+use crate::reg::{Guard, SpecialReg, VReg};
+use crate::types::{BinOp, CmpOp, Space, Type, UnOp};
+
+use lexer::{lex, Tok, Token};
+
+/// Parse a kernel from PTX text (the format produced by
+/// [`Kernel::to_ptx`]).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with line information on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// let text = "\
+/// .entry k ()
+/// {
+///     .reg .u32 %v0;
+/// BB0:
+///     mov.u32 %v0, %tid.x;
+///     ret;
+/// }";
+/// let kernel = crat_ptx::parse(text).unwrap();
+/// assert_eq!(kernel.name(), "k");
+/// assert_eq!(kernel.num_insts(), 1);
+/// ```
+///
+/// [`Kernel::to_ptx`]: crate::Kernel::to_ptx
+pub fn parse(src: &str) -> Result<Kernel, ParseError> {
+    let toks = lex(src)?;
+    Parser { toks, pos: 0 }.kernel()
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks.get(self.pos).map_or_else(
+            || self.toks.last().map_or(1, |t| t.line),
+            |t| t.line,
+        )
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.line(), msg)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn next(&mut self) -> Result<Tok, ParseError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t.kind)
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        let got = self.next()?;
+        if &got == want {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.toks[self.pos - 1].line,
+                format!("expected {want:?}, found {got:?}"),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_dot(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Tok::Dot(s) => Ok(s),
+            other => Err(self.err(format!("expected `.suffix`, found {other:?}"))),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, ParseError> {
+        match self.next()? {
+            Tok::Int(v) => Ok(v),
+            other => Err(self.err(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn dot_type(&mut self) -> Result<Type, ParseError> {
+        let s = self.expect_dot()?;
+        Type::from_suffix(&s).ok_or_else(|| self.err(format!("unknown type `.{s}`")))
+    }
+
+    fn vreg(&mut self) -> Result<VReg, ParseError> {
+        match self.next()? {
+            Tok::Percent(name) => parse_vreg(&name)
+                .ok_or_else(|| self.err(format!("expected virtual register, found `{name}`"))),
+            other => Err(self.err(format!("expected register, found {other:?}"))),
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        match self.next()? {
+            Tok::Percent(name) => {
+                if let Some(v) = parse_vreg(&name) {
+                    Ok(Operand::Reg(v))
+                } else if let Some(sr) = SpecialReg::from_name(&name) {
+                    Ok(Operand::Special(sr))
+                } else {
+                    Err(self.err(format!("unknown register `{name}`")))
+                }
+            }
+            Tok::Int(v) => Ok(Operand::Imm(v)),
+            Tok::FloatBits(bits) => Ok(Operand::FImm(f64::from_bits(bits))),
+            other => Err(self.err(format!("expected operand, found {other:?}"))),
+        }
+    }
+
+    fn address(&mut self, space: Space) -> Result<Address, ParseError> {
+        self.expect(&Tok::LBracket)?;
+        let base = match self.next()? {
+            Tok::Percent(name) => AddrBase::Reg(
+                parse_vreg(&name)
+                    .ok_or_else(|| self.err(format!("bad address register `{name}`")))?,
+            ),
+            Tok::Ident(name) => {
+                if space == Space::Param {
+                    AddrBase::Param(name)
+                } else {
+                    AddrBase::Var(name)
+                }
+            }
+            other => return Err(self.err(format!("expected address base, found {other:?}"))),
+        };
+        let offset = match self.peek() {
+            Some(Tok::Plus) => {
+                self.next()?;
+                self.expect_int()?
+            }
+            Some(Tok::Int(v)) if *v < 0 => {
+                let v = *v;
+                self.next()?;
+                v
+            }
+            _ => 0,
+        };
+        self.expect(&Tok::RBracket)?;
+        Ok(Address { base, offset })
+    }
+
+    fn kernel(&mut self) -> Result<Kernel, ParseError> {
+        // Header: .entry name ( params )
+        let d = self.expect_dot()?;
+        if d != "entry" {
+            return Err(self.err(format!("expected `.entry`, found `.{d}`")));
+        }
+        let name = self.expect_ident()?;
+        let mut kernel = Kernel::new(name);
+        self.expect(&Tok::LParen)?;
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                let d = self.expect_dot()?;
+                if d != "param" {
+                    return Err(self.err(format!("expected `.param`, found `.{d}`")));
+                }
+                let ty = self.dot_type()?;
+                let pname = self.expect_ident()?;
+                kernel.add_param(pname, ty);
+                if self.peek() == Some(&Tok::Comma) {
+                    self.next()?;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::LBrace)?;
+
+        // Declarations.
+        let mut reg_types: HashMap<u32, Type> = HashMap::new();
+        let mut trip_hints: Vec<(u32, u32)> = Vec::new();
+        while let Some(Tok::Dot(d)) = self.peek() {
+            let d = d.clone();
+            self.next()?;
+            match d.as_str() {
+                "reg" => {
+                    let ty = self.dot_type()?;
+                    loop {
+                        let v = self.vreg()?;
+                        if reg_types.insert(v.0, ty).is_some() {
+                            return Err(self.err(format!("register {v} declared twice")));
+                        }
+                        if self.peek() == Some(&Tok::Comma) {
+                            self.next()?;
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(&Tok::Semi)?;
+                }
+                "shared" | "local" => {
+                    let space =
+                        if d == "shared" { Space::Shared } else { Space::Local };
+                    let a = self.expect_dot()?;
+                    if a != "align" {
+                        return Err(self.err(format!("expected `.align`, found `.{a}`")));
+                    }
+                    let align = self.expect_int()? as u32;
+                    let b8 = self.expect_dot()?;
+                    if b8 != "b8" {
+                        return Err(self.err(format!("expected `.b8`, found `.{b8}`")));
+                    }
+                    let vname = self.expect_ident()?;
+                    self.expect(&Tok::LBracket)?;
+                    let size = self.expect_int()? as u32;
+                    self.expect(&Tok::RBracket)?;
+                    self.expect(&Tok::Semi)?;
+                    kernel.add_var(VarDecl { name: vname, space, align, size });
+                }
+                "pragma" => {
+                    let s = match self.next()? {
+                        Tok::Str(s) => s,
+                        other => {
+                            return Err(self.err(format!("expected string, found {other:?}")))
+                        }
+                    };
+                    self.expect(&Tok::Semi)?;
+                    let parts: Vec<&str> = s.split_whitespace().collect();
+                    if parts.len() == 3 && parts[0] == "trip" {
+                        let b: u32 = parts[1]
+                            .strip_prefix("BB")
+                            .and_then(|n| n.parse().ok())
+                            .ok_or_else(|| self.err("bad trip pragma block"))?;
+                        let t: u32 = parts[2]
+                            .parse()
+                            .map_err(|_| self.err("bad trip pragma count"))?;
+                        trip_hints.push((b, t));
+                    }
+                    // Unknown pragmas are ignored.
+                }
+                other => return Err(self.err(format!("unexpected directive `.{other}`"))),
+            }
+        }
+
+        // Install the register table.
+        if !reg_types.is_empty() {
+            let max = *reg_types.keys().max().unwrap();
+            for id in 0..=max {
+                let ty = *reg_types
+                    .get(&id)
+                    .ok_or_else(|| self.err(format!("register %v{id} not declared")))?;
+                kernel.new_reg(ty);
+            }
+        }
+
+        // Blocks.
+        let mut next_block = 0u32;
+        loop {
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.next()?;
+                    break;
+                }
+                Some(Tok::Ident(label)) if label.starts_with("BB") => {
+                    let label = label.clone();
+                    self.next()?;
+                    self.expect(&Tok::Colon)?;
+                    let id: u32 = label[2..]
+                        .parse()
+                        .map_err(|_| self.err(format!("bad block label `{label}`")))?;
+                    if id != next_block {
+                        return Err(self.err(format!(
+                            "block labels must be sequential: expected BB{next_block}, found {label}"
+                        )));
+                    }
+                    if id > 0 {
+                        kernel.add_block();
+                    }
+                    next_block += 1;
+                    self.block_body(&mut kernel, BlockId(id))?;
+                }
+                other => return Err(self.err(format!("expected block label, found {other:?}"))),
+            }
+        }
+
+        for (b, t) in trip_hints {
+            if b as usize >= kernel.blocks().len() {
+                return Err(self.err(format!("trip pragma names unknown block BB{b}")));
+            }
+            kernel.set_trip_hint(BlockId(b), t);
+        }
+        Ok(kernel)
+    }
+
+    /// Parse statements until this block's terminator is complete.
+    fn block_body(&mut self, kernel: &mut Kernel, id: BlockId) -> Result<(), ParseError> {
+        loop {
+            // Guard prefix?
+            let guard = if self.peek() == Some(&Tok::At) {
+                self.next()?;
+                let negated = if self.peek() == Some(&Tok::Bang) {
+                    self.next()?;
+                    true
+                } else {
+                    false
+                };
+                let pred = self.vreg()?;
+                Some(Guard { pred, negated })
+            } else {
+                None
+            };
+
+            let mnemonic = self.expect_ident()?;
+            match mnemonic.as_str() {
+                "ret" | "exit" => {
+                    if guard.is_some() {
+                        return Err(self.err("guarded `ret` is not supported"));
+                    }
+                    self.expect(&Tok::Semi)?;
+                    kernel.block_mut(id).terminator = Terminator::Exit;
+                    return Ok(());
+                }
+                "bra" => {
+                    let target = self.block_ref()?;
+                    self.expect(&Tok::Semi)?;
+                    match guard {
+                        None => {
+                            kernel.block_mut(id).terminator = Terminator::Bra(target);
+                            return Ok(());
+                        }
+                        Some(g) => {
+                            // Guarded bra must be followed by the
+                            // unconditional fallthrough bra.
+                            let m = self.expect_ident()?;
+                            if m != "bra" {
+                                return Err(self.err(format!(
+                                    "conditional `bra` must be followed by `bra`, found `{m}`"
+                                )));
+                            }
+                            let not_taken = self.block_ref()?;
+                            self.expect(&Tok::Semi)?;
+                            kernel.block_mut(id).terminator = Terminator::CondBra {
+                                pred: g.pred,
+                                negated: g.negated,
+                                taken: target,
+                                not_taken,
+                            };
+                            return Ok(());
+                        }
+                    }
+                }
+                _ => {
+                    let op = self.instruction_op(&mnemonic)?;
+                    kernel.block_mut(id).insts.push(Instruction { guard, op });
+                }
+            }
+        }
+    }
+
+    fn block_ref(&mut self) -> Result<BlockId, ParseError> {
+        let label = self.expect_ident()?;
+        let id: u32 = label
+            .strip_prefix("BB")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| self.err(format!("bad branch target `{label}`")))?;
+        Ok(BlockId(id))
+    }
+
+    /// Parse the remainder of an instruction after its leading mnemonic
+    /// identifier, consuming the trailing semicolon.
+    fn instruction_op(&mut self, mnemonic: &str) -> Result<Op, ParseError> {
+        let op = match mnemonic {
+            "mov" => {
+                let ty = self.dot_type()?;
+                let dst = self.vreg()?;
+                self.expect(&Tok::Comma)?;
+                // `mov.u64 %d, VarName` takes a variable's address.
+                match self.peek() {
+                    Some(Tok::Ident(_)) => {
+                        let var = self.expect_ident()?;
+                        if ty != Type::U64 {
+                            return Err(self.err("variable address mov must be `.u64`"));
+                        }
+                        Op::MovVarAddr { dst, var }
+                    }
+                    _ => Op::Mov { ty, dst, src: self.operand()? },
+                }
+            }
+            "neg" | "not" | "abs" | "sqrt" | "rsqrt" | "ex2" | "lg2" | "sin" | "cos" | "rcp" => {
+                let un = match mnemonic {
+                    "neg" => UnOp::Neg,
+                    "not" => UnOp::Not,
+                    "abs" => UnOp::Abs,
+                    "sqrt" => UnOp::Sqrt,
+                    "rsqrt" => UnOp::Rsqrt,
+                    "ex2" => UnOp::Ex2,
+                    "lg2" => UnOp::Lg2,
+                    "sin" => UnOp::Sin,
+                    "cos" => UnOp::Cos,
+                    _ => UnOp::Rcp,
+                };
+                let mut suffix = self.expect_dot()?;
+                if suffix == "approx" {
+                    suffix = self.expect_dot()?;
+                }
+                let ty = Type::from_suffix(&suffix)
+                    .ok_or_else(|| self.err(format!("unknown type `.{suffix}`")))?;
+                let dst = self.vreg()?;
+                self.expect(&Tok::Comma)?;
+                Op::Unary { op: un, ty, dst, src: self.operand()? }
+            }
+            "add" | "sub" | "mul" | "div" | "rem" | "min" | "max" | "and" | "or" | "xor"
+            | "shl" | "shr" => {
+                let bin = match mnemonic {
+                    "add" => BinOp::Add,
+                    "sub" => BinOp::Sub,
+                    "mul" => BinOp::Mul,
+                    "div" => BinOp::Div,
+                    "rem" => BinOp::Rem,
+                    "min" => BinOp::Min,
+                    "max" => BinOp::Max,
+                    "and" => BinOp::And,
+                    "or" => BinOp::Or,
+                    "xor" => BinOp::Xor,
+                    "shl" => BinOp::Shl,
+                    _ => BinOp::Shr,
+                };
+                let mut suffix = self.expect_dot()?;
+                if suffix == "lo" || suffix == "wide" || suffix == "rn" {
+                    suffix = self.expect_dot()?;
+                }
+                let ty = Type::from_suffix(&suffix)
+                    .ok_or_else(|| self.err(format!("unknown type `.{suffix}`")))?;
+                let dst = self.vreg()?;
+                self.expect(&Tok::Comma)?;
+                let a = self.operand()?;
+                self.expect(&Tok::Comma)?;
+                let b = self.operand()?;
+                Op::Binary { op: bin, ty, dst, a, b }
+            }
+            "mad" | "fma" => {
+                let mut suffix = self.expect_dot()?;
+                if suffix == "lo" || suffix == "rn" {
+                    suffix = self.expect_dot()?;
+                }
+                let ty = Type::from_suffix(&suffix)
+                    .ok_or_else(|| self.err(format!("unknown type `.{suffix}`")))?;
+                let dst = self.vreg()?;
+                self.expect(&Tok::Comma)?;
+                let a = self.operand()?;
+                self.expect(&Tok::Comma)?;
+                let b = self.operand()?;
+                self.expect(&Tok::Comma)?;
+                let c = self.operand()?;
+                if mnemonic == "mad" {
+                    Op::Mad { ty, dst, a, b, c }
+                } else {
+                    Op::Fma { ty, dst, a, b, c }
+                }
+            }
+            "cvt" => {
+                let dst_ty = self.dot_type()?;
+                let src_ty = self.dot_type()?;
+                let dst = self.vreg()?;
+                self.expect(&Tok::Comma)?;
+                Op::Cvt { dst_ty, src_ty, dst, src: self.operand()? }
+            }
+            "ld" => {
+                let sp = self.expect_dot()?;
+                let space = Space::from_suffix(&sp)
+                    .ok_or_else(|| self.err(format!("unknown space `.{sp}`")))?;
+                let ty = self.dot_type()?;
+                let dst = self.vreg()?;
+                self.expect(&Tok::Comma)?;
+                Op::Ld { space, ty, dst, addr: self.address(space)? }
+            }
+            "st" => {
+                let sp = self.expect_dot()?;
+                let space = Space::from_suffix(&sp)
+                    .ok_or_else(|| self.err(format!("unknown space `.{sp}`")))?;
+                let ty = self.dot_type()?;
+                let addr = self.address(space)?;
+                self.expect(&Tok::Comma)?;
+                Op::St { space, ty, addr, src: self.operand()? }
+            }
+            "setp" => {
+                let cmp_s = self.expect_dot()?;
+                let cmp = CmpOp::from_mnemonic(&cmp_s)
+                    .ok_or_else(|| self.err(format!("unknown comparison `.{cmp_s}`")))?;
+                let ty = self.dot_type()?;
+                let dst = self.vreg()?;
+                self.expect(&Tok::Comma)?;
+                let a = self.operand()?;
+                self.expect(&Tok::Comma)?;
+                let b = self.operand()?;
+                Op::Setp { cmp, ty, dst, a, b }
+            }
+            "selp" => {
+                let ty = self.dot_type()?;
+                let dst = self.vreg()?;
+                self.expect(&Tok::Comma)?;
+                let a = self.operand()?;
+                self.expect(&Tok::Comma)?;
+                let b = self.operand()?;
+                self.expect(&Tok::Comma)?;
+                let pred = self.vreg()?;
+                Op::Selp { ty, dst, a, b, pred }
+            }
+            "bar" => {
+                let s = self.expect_dot()?;
+                if s != "sync" {
+                    return Err(self.err(format!("expected `bar.sync`, found `bar.{s}`")));
+                }
+                let _ = self.expect_int()?;
+                Op::BarSync
+            }
+            other => return Err(self.err(format!("unknown mnemonic `{other}`"))),
+        };
+        self.expect(&Tok::Semi)?;
+        Ok(op)
+    }
+}
+
+/// Parse `%v<N>` names.
+fn parse_vreg(name: &str) -> Option<VReg> {
+    name.strip_prefix("%v").and_then(|n| n.parse().ok()).map(VReg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KERNEL: &str = r#"
+.entry kern (.param .u64 out, .param .u32 n)
+{
+    .reg .u32 %v0, %v1, %v2;
+    .reg .u64 %v3;
+    .reg .pred %v4;
+    .shared .align 4 .b8 smem[128];
+    .pragma "trip BB1 32";
+BB0:
+    mov.u32 %v0, %tid.x;
+    ld.param.u64 %v3, [out];
+    bra BB1;
+BB1:
+    setp.lt.u32 %v4, %v0, 10;
+    add.u32 %v1, %v0, 1;
+    mov.u32 %v0, %v1;
+    @%v4 bra BB1;
+    bra BB2;
+BB2:
+    st.global.u32 [%v3+4], %v0;
+    ret;
+}
+"#;
+
+    #[test]
+    fn parses_full_kernel() {
+        let k = parse(KERNEL).unwrap();
+        assert_eq!(k.name(), "kern");
+        assert_eq!(k.params().len(), 2);
+        assert_eq!(k.num_regs(), 5);
+        assert_eq!(k.reg_ty(VReg(3)), Type::U64);
+        assert_eq!(k.reg_ty(VReg(4)), Type::Pred);
+        assert_eq!(k.blocks().len(), 3);
+        assert_eq!(k.var("smem").unwrap().size, 128);
+        assert_eq!(k.trip_hint(BlockId(1)), Some(32));
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn round_trips_through_printer() {
+        let k = parse(KERNEL).unwrap();
+        let text = k.to_ptx();
+        let k2 = parse(&text).unwrap();
+        assert_eq!(k, k2);
+        assert_eq!(k2.to_ptx(), text);
+    }
+
+    #[test]
+    fn parses_paper_listing4_style_spills() {
+        let src = r#"
+.entry kernel ()
+{
+    .reg .u32 %v0, %v1;
+    .reg .u64 %v2;
+    .local .align 4 .b8 SpillStack[4];
+BB0:
+    mov.u32 %v0, %tid.x;
+    mov.u32 %v1, %ctaid.x;
+    mov.u64 %v2, SpillStack;
+    st.local.u32 [%v2], %v0;
+    mov.u32 %v0, %ntid.x;
+    mul.lo.u32 %v1, %v1, %v0;
+    ld.local.u32 %v1, [%v2];
+    add.u32 %v0, %v0, %v1;
+    ret;
+}
+"#;
+        let k = parse(src).unwrap();
+        assert_eq!(k.local_bytes(), 4);
+        assert!(k.validate().is_ok());
+        assert_eq!(k.num_insts(), 8);
+    }
+
+    #[test]
+    fn rejects_nonsequential_blocks() {
+        let src = ".entry k ()\n{\nBB1:\n    ret;\n}";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_reg_decl() {
+        let src = ".entry k ()\n{\n    .reg .u32 %v1;\nBB0:\n    ret;\n}";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("%v0"));
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonic() {
+        let src = ".entry k ()\n{\nBB0:\n    frobnicate.u32 %v0, 1;\n    ret;\n}";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn parses_guarded_instruction() {
+        let src = "\
+.entry k ()
+{
+    .reg .u32 %v0;
+    .reg .pred %v1;
+BB0:
+    setp.eq.u32 %v1, 0, 0;
+    @!%v1 mov.u32 %v0, 5;
+    ret;
+}";
+        let k = parse(src).unwrap();
+        let inst = &k.block(BlockId(0)).insts[1];
+        assert_eq!(inst.guard, Some(Guard::unless(VReg(1))));
+    }
+
+    #[test]
+    fn parses_negative_address_offset() {
+        let src = "\
+.entry k ()
+{
+    .reg .u32 %v0;
+    .reg .u64 %v1;
+BB0:
+    ld.global.u32 %v0, [%v1-16];
+    ret;
+}";
+        let k = parse(src).unwrap();
+        match &k.block(BlockId(0)).insts[0].op {
+            Op::Ld { addr, .. } => assert_eq!(addr.offset, -16),
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+}

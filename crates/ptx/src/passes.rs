@@ -1,0 +1,452 @@
+//! Classic scalar optimization passes over the PTX subset: dead-code
+//! elimination, local copy propagation, and constant folding.
+//!
+//! These run before register allocation; each one can only *reduce*
+//! register demand (`MaxReg`), never increase it, so they tighten the
+//! design space CRAT explores. All passes preserve the simulated
+//! semantics (checked by integration tests) and warp uniformity.
+
+use std::collections::HashMap;
+
+use crate::block::Terminator;
+use crate::cfg::Cfg;
+use crate::eval;
+use crate::inst::{Instruction, Op};
+use crate::kernel::Kernel;
+use crate::liveness::Liveness;
+use crate::operand::Operand;
+use crate::reg::VReg;
+use crate::types::Type;
+
+/// What a fixpoint run of [`optimize`] accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// Instructions removed by dead-code elimination.
+    pub dce_removed: usize,
+    /// Register uses rewritten by copy propagation.
+    pub copies_propagated: usize,
+    /// Instructions folded to constants.
+    pub constants_folded: usize,
+    /// Fixpoint iterations executed.
+    pub iterations: usize,
+}
+
+impl PassStats {
+    /// Whether any pass changed the kernel.
+    pub fn changed(&self) -> bool {
+        self.dce_removed + self.copies_propagated + self.constants_folded > 0
+    }
+}
+
+/// Run all passes to fixpoint.
+///
+/// # Examples
+///
+/// ```
+/// use crat_ptx::{KernelBuilder, Type, Operand, passes};
+///
+/// let mut b = KernelBuilder::new("k");
+/// let two = b.mov(Type::U32, Operand::Imm(2));
+/// let four = b.mul(Type::U32, two, two);     // folds to 4
+/// let copy = b.mov(Type::U32, four);         // propagates away
+/// let _dead = b.add(Type::U32, copy, copy);  // eliminated
+/// let mut kernel = b.finish();
+///
+/// let stats = passes::optimize(&mut kernel);
+/// assert!(stats.changed());
+/// assert!(kernel.validate().is_ok());
+/// ```
+pub fn optimize(kernel: &mut Kernel) -> PassStats {
+    let mut total = PassStats::default();
+    for _ in 0..16 {
+        total.iterations += 1;
+        let folded = constant_fold(kernel);
+        let copies = propagate_copies(kernel);
+        let removed = eliminate_dead_code(kernel);
+        total.constants_folded += folded;
+        total.copies_propagated += copies;
+        total.dce_removed += removed;
+        if folded + copies + removed == 0 {
+            break;
+        }
+    }
+    total
+}
+
+/// Remove instructions whose results are never used.
+///
+/// Stores, barriers, and guarded instructions are never removed;
+/// loads are (a dead load has no architectural effect in this subset).
+/// Returns the number of instructions removed.
+pub fn eliminate_dead_code(kernel: &mut Kernel) -> usize {
+    let mut removed_total = 0;
+    loop {
+        let cfg = Cfg::build(kernel);
+        let liveness = Liveness::compute(kernel, &cfg);
+        let mut removed = 0;
+        for bi in 0..kernel.blocks().len() {
+            let id = crate::block::BlockId(bi as u32);
+            // Walk backwards with the live-out set, dropping dead defs.
+            let mut live = liveness.live_out(id).clone();
+            let old = std::mem::take(&mut kernel.block_mut(id).insts);
+            let mut kept: Vec<Instruction> = Vec::with_capacity(old.len());
+            if let Some(p) = kernel.block(id).terminator.used_reg() {
+                live.insert(p.index());
+            }
+            for inst in old.into_iter().rev() {
+                let side_effecting =
+                    matches!(inst.op, Op::St { .. } | Op::BarSync) || inst.guard.is_some();
+                let dead = !side_effecting
+                    && inst.def().is_some_and(|d| !live.contains(d.index()));
+                if dead {
+                    removed += 1;
+                    continue;
+                }
+                if let Some(d) = inst.def() {
+                    if !inst.is_conditional_def() {
+                        live.remove(d.index());
+                    }
+                }
+                for u in inst.uses() {
+                    live.insert(u.index());
+                }
+                kept.push(inst);
+            }
+            kept.reverse();
+            kernel.block_mut(id).insts = kept;
+        }
+        removed_total += removed;
+        if removed == 0 {
+            return removed_total;
+        }
+    }
+}
+
+/// Local (per-block) copy propagation: after `mov d, s`, uses of `d`
+/// read `s` directly until either register is redefined. Returns the
+/// number of operand rewrites.
+pub fn propagate_copies(kernel: &mut Kernel) -> usize {
+    let mut rewrites = 0;
+    for block in kernel.blocks_mut() {
+        // d -> s mappings currently valid.
+        let mut copy_of: HashMap<VReg, VReg> = HashMap::new();
+        for inst in &mut block.insts {
+            // Rewrite uses through the map (transitively resolved at
+            // insertion time, so one hop suffices).
+            if !copy_of.is_empty() {
+                inst.map_regs(|v, acc| {
+                    if acc == crate::inst::RegAccess::Use {
+                        if let Some(&s) = copy_of.get(&v) {
+                            rewrites += 1;
+                            return s;
+                        }
+                    }
+                    v
+                });
+            }
+            // Kill mappings clobbered by this def.
+            if let Some(d) = inst.def() {
+                copy_of.remove(&d);
+                copy_of.retain(|_, s| *s != d);
+                // Record new unguarded register-to-register copies.
+                if inst.guard.is_none() {
+                    if let Op::Mov { src: Operand::Reg(s), dst, .. } = inst.op {
+                        if s != dst {
+                            let root = copy_of.get(&s).copied().unwrap_or(s);
+                            copy_of.insert(dst, root);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(p) = block.terminator.used_reg() {
+            if let Some(&s) = copy_of.get(&p) {
+                block.terminator.map_reg(|_| s);
+                rewrites += 1;
+            }
+        }
+    }
+    rewrites
+}
+
+/// Evaluate instructions whose operands are all constants, replacing
+/// them with immediate moves; also folds `selp` with a known constant
+/// predicate. Returns the number of instructions folded.
+pub fn constant_fold(kernel: &mut Kernel) -> usize {
+    let mut folded = 0;
+    for block in kernel.blocks_mut() {
+        // Registers currently holding known constants (per block).
+        let mut known: HashMap<VReg, u64> = HashMap::new();
+        for inst in &mut block.insts {
+            if inst.guard.is_some() {
+                if let Some(d) = inst.def() {
+                    known.remove(&d);
+                }
+                continue;
+            }
+            let value = |o: &Operand, ty: Type, known: &HashMap<VReg, u64>| -> Option<u64> {
+                match o {
+                    Operand::Imm(v) => Some(eval::truncate(ty, *v as u64)),
+                    Operand::FImm(v) => Some(match ty {
+                        Type::F32 => (*v as f32).to_bits() as u64,
+                        _ => v.to_bits(),
+                    }),
+                    Operand::Reg(r) => known.get(r).copied().map(|v| eval::truncate(ty, v)),
+                    Operand::Special(_) => None,
+                }
+            };
+            let replacement: Option<(VReg, Type, u64)> = match &inst.op {
+                Op::Mov { ty, dst, src } => {
+                    value(src, *ty, &known).map(|v| (*dst, *ty, v))
+                }
+                Op::Binary { op, ty, dst, a, b } => {
+                    match (value(a, *ty, &known), value(b, *ty, &known)) {
+                        (Some(x), Some(y)) => {
+                            Some((*dst, *ty, eval::binary_op(*op, *ty, x, y)))
+                        }
+                        _ => None,
+                    }
+                }
+                Op::Unary { op, ty, dst, src } => {
+                    value(src, *ty, &known).map(|x| (*dst, *ty, eval::unary_op(*op, *ty, x)))
+                }
+                Op::Mad { ty, dst, a, b, c } | Op::Fma { ty, dst, a, b, c } => {
+                    match (
+                        value(a, *ty, &known),
+                        value(b, *ty, &known),
+                        value(c, *ty, &known),
+                    ) {
+                        (Some(x), Some(y), Some(z)) => {
+                            Some((*dst, *ty, eval::mad_op(*ty, x, y, z)))
+                        }
+                        _ => None,
+                    }
+                }
+                Op::Cvt { dst_ty, src_ty, dst, src } => value(src, *src_ty, &known)
+                    .map(|x| (*dst, *dst_ty, eval::cvt_op(*dst_ty, *src_ty, x))),
+                Op::Selp { ty, dst, a, b, pred } => {
+                    known.get(pred).copied().and_then(|p| {
+                        let chosen = if p != 0 { a } else { b };
+                        value(chosen, *ty, &known).map(|v| (*dst, *ty, v))
+                    })
+                }
+                _ => None,
+            };
+
+            match replacement {
+                Some((dst, ty, v)) if ty != Type::Pred => {
+                    let src = if ty.is_float() {
+                        let f = match ty {
+                            Type::F32 => f32::from_bits(v as u32) as f64,
+                            _ => f64::from_bits(v),
+                        };
+                        Operand::FImm(f)
+                    } else {
+                        Operand::Imm(v as i64)
+                    };
+                    // Only rewrite when it is not already that move.
+                    let new_op = Op::Mov { ty, dst, src };
+                    if inst.op != new_op {
+                        inst.op = new_op;
+                        folded += 1;
+                    }
+                    known.insert(dst, v);
+                }
+                _ => {
+                    if let Some(d) = inst.def() {
+                        // Track plain constant moves; anything else
+                        // clobbers.
+                        let recorded = match &inst.op {
+                            Op::Mov { ty, src, .. } => value(src, *ty, &known),
+                            Op::Setp { cmp, ty, a, b, .. } => {
+                                match (value(a, *ty, &known), value(b, *ty, &known)) {
+                                    (Some(x), Some(y)) => {
+                                        Some(u64::from(eval::cmp_op(*cmp, *ty, x, y)))
+                                    }
+                                    _ => None,
+                                }
+                            }
+                            _ => None,
+                        };
+                        match recorded {
+                            Some(v) => {
+                                known.insert(d, v);
+                            }
+                            None => {
+                                known.remove(&d);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // A constant branch predicate turns a conditional branch into
+        // an unconditional one.
+        if let Terminator::CondBra { pred, negated, taken, not_taken } = block.terminator {
+            if let Some(&p) = known.get(&pred) {
+                let go = (p != 0) != negated;
+                block.terminator = Terminator::Bra(if go { taken } else { not_taken });
+                folded += 1;
+            }
+        }
+    }
+    folded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+    use crate::types::{BinOp, CmpOp, Space};
+
+    fn finish_with_store(mut b: KernelBuilder, v: VReg) -> Kernel {
+        let out = b.param_ptr("out");
+        let tid = b.special_tid_x(Type::U32);
+        let a = b.wide_address(out, tid, 4);
+        b.st(Space::Global, Type::U32, a, v);
+        b.finish()
+    }
+
+    #[test]
+    fn dce_removes_unused_chains() {
+        let mut b = KernelBuilder::new("k");
+        let used = b.special_tid_x(Type::U32);
+        let dead1 = b.add(Type::U32, used, Operand::Imm(1));
+        let _dead2 = b.add(Type::U32, dead1, Operand::Imm(2));
+        let mut k = finish_with_store(b, used);
+        let before = k.num_insts();
+        let removed = eliminate_dead_code(&mut k);
+        assert_eq!(removed, 2);
+        assert_eq!(k.num_insts(), before - 2);
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn dce_keeps_stores_and_barriers() {
+        let mut b = KernelBuilder::new("k");
+        b.shared_var("s", 64);
+        let tid = b.special_tid_x(Type::U32);
+        let base = b.fresh(Type::U64);
+        b.push_guarded(None, Op::MovVarAddr { dst: base, var: "s".to_string() });
+        b.st(Space::Shared, Type::U32, crate::operand::Address::reg(base), tid);
+        b.bar_sync();
+        let mut k = finish_with_store(b, tid);
+        let before = k.num_insts();
+        eliminate_dead_code(&mut k);
+        assert_eq!(k.num_insts(), before);
+    }
+
+    #[test]
+    fn copy_propagation_bypasses_moves() {
+        let mut b = KernelBuilder::new("k");
+        let x = b.special_tid_x(Type::U32);
+        let y = b.mov(Type::U32, x); // y = x
+        let z = b.add(Type::U32, y, Operand::Imm(1)); // should read x
+        let mut k = finish_with_store(b, z);
+        let rewrites = propagate_copies(&mut k);
+        assert!(rewrites >= 1);
+        // After DCE the copy disappears entirely.
+        let removed = eliminate_dead_code(&mut k);
+        assert!(removed >= 1);
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn copy_propagation_respects_redefinition() {
+        let mut b = KernelBuilder::new("k");
+        let x = b.special_tid_x(Type::U32);
+        let y = b.mov(Type::U32, x);
+        // Redefine x: later uses of y must NOT be rewritten to x.
+        b.binary_to(BinOp::Add, Type::U32, x, x, Operand::Imm(1));
+        let z = b.add(Type::U32, y, Operand::Imm(0));
+        let mut k = finish_with_store(b, z);
+        propagate_copies(&mut k);
+        // z's add must still read y (x was clobbered).
+        let add = k
+            .insts()
+            .find_map(|(_, _, i)| match &i.op {
+                Op::Binary { op: BinOp::Add, dst, a, .. } if *dst == z => Some(*a),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(add, Operand::Reg(y));
+    }
+
+    #[test]
+    fn constant_folding_evaluates_chains() {
+        let mut b = KernelBuilder::new("k");
+        let two = b.mov(Type::U32, Operand::Imm(2));
+        let three = b.mov(Type::U32, Operand::Imm(3));
+        let six = b.mul(Type::U32, two, three);
+        let seven = b.add(Type::U32, six, Operand::Imm(1));
+        let mut k = finish_with_store(b, seven);
+        let folded = constant_fold(&mut k);
+        assert!(folded >= 2, "folded {folded}");
+        // `seven` is now a constant move of 7.
+        let is_const7 = k.insts().any(|(_, _, i)| {
+            matches!(i.op, Op::Mov { dst, src: Operand::Imm(7), .. } if dst == seven)
+        });
+        assert!(is_const7);
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn constant_branch_becomes_unconditional() {
+        let mut b = KernelBuilder::new("k");
+        let one = b.mov(Type::U32, Operand::Imm(1));
+        let p = b.setp(CmpOp::Eq, Type::U32, one, Operand::Imm(1));
+        let t1 = b.new_block();
+        let t2 = b.new_block();
+        b.cond_branch(p, t1, t2);
+        b.switch_to(t1);
+        b.exit();
+        b.switch_to(t2);
+        b.exit();
+        let mut k = b.finish();
+        let folded = constant_fold(&mut k);
+        assert!(folded >= 1);
+        assert!(matches!(k.block(crate::block::BlockId(0)).terminator, Terminator::Bra(t) if t == t1));
+    }
+
+    #[test]
+    fn optimize_reaches_fixpoint_and_reduces_pressure() {
+        let mut b = KernelBuilder::new("k");
+        let x = b.special_tid_x(Type::U32);
+        // A pile of foldable and copy-able junk.
+        let c1 = b.mov(Type::U32, Operand::Imm(5));
+        let c2 = b.mov(Type::U32, c1);
+        let c3 = b.mul(Type::U32, c2, Operand::Imm(3));
+        let y = b.add(Type::U32, x, c3);
+        let dead = b.add(Type::U32, y, Operand::Imm(9));
+        let _dead2 = b.mul(Type::U32, dead, dead);
+        let mut k = finish_with_store(b, y);
+
+        let cfg = Cfg::build(&k);
+        let before = Liveness::compute(&k, &cfg).max_live_slots(&k);
+        let stats = optimize(&mut k);
+        assert!(stats.changed());
+        let cfg = Cfg::build(&k);
+        let after = Liveness::compute(&k, &cfg).max_live_slots(&k);
+        assert!(after <= before);
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn loop_counters_survive_all_passes() {
+        let mut b = KernelBuilder::new("k");
+        let acc = b.special_tid_x(Type::U32);
+        let l = b.loop_range(0, Operand::Imm(8), 1);
+        b.binary_to(BinOp::Add, Type::U32, acc, acc, l.counter);
+        b.end_loop(l);
+        let mut k = finish_with_store(b, acc);
+        let stats = optimize(&mut k);
+        let _ = stats;
+        assert!(k.validate().is_ok());
+        // The loop still runs: counter increment must survive.
+        let has_inc = k.insts().any(|(_, _, i)| {
+            matches!(i.op, Op::Binary { op: BinOp::Add, dst, .. } if dst == l.counter)
+        });
+        assert!(has_inc);
+    }
+}

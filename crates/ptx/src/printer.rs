@@ -1,0 +1,225 @@
+//! Rendering kernels back to PTX text.
+//!
+//! The printed form round-trips through [`crate::parse`]: for any valid
+//! kernel `k`, `parse(&k.to_ptx()).unwrap().to_ptx() == k.to_ptx()`.
+
+use std::fmt::{self, Write as _};
+
+use crate::block::Terminator;
+use crate::inst::{Instruction, Op};
+use crate::kernel::Kernel;
+use crate::types::Type;
+
+/// Render one instruction (used by `Display for Instruction`).
+pub(crate) fn write_instruction(f: &mut fmt::Formatter<'_>, inst: &Instruction) -> fmt::Result {
+    let mut s = String::new();
+    fmt_instruction(&mut s, inst);
+    f.write_str(&s)
+}
+
+fn fmt_instruction(out: &mut String, inst: &Instruction) {
+    if let Some(g) = &inst.guard {
+        let _ = write!(out, "{g} ");
+    }
+    match &inst.op {
+        Op::Mov { ty, dst, src } => {
+            let _ = write!(out, "mov{ty} {dst}, {src};");
+        }
+        Op::MovVarAddr { dst, var } => {
+            let _ = write!(out, "mov.u64 {dst}, {var};");
+        }
+        Op::Unary { op, ty, dst, src } => {
+            let approx = if op.is_sfu() { ".approx" } else { "" };
+            let _ = write!(out, "{}{approx}{ty} {dst}, {src};", op.mnemonic());
+        }
+        Op::Binary { op, ty, dst, a, b } => {
+            // Integer multiply carries the `.lo` qualifier as in PTX.
+            let lo = if *op == crate::types::BinOp::Mul && ty.is_int() { ".lo" } else { "" };
+            let _ = write!(out, "{}{lo}{ty} {dst}, {a}, {b};", op.mnemonic());
+        }
+        Op::Mad { ty, dst, a, b, c } => {
+            let lo = if ty.is_int() { ".lo" } else { "" };
+            let _ = write!(out, "mad{lo}{ty} {dst}, {a}, {b}, {c};");
+        }
+        Op::Fma { ty, dst, a, b, c } => {
+            let _ = write!(out, "fma.rn{ty} {dst}, {a}, {b}, {c};");
+        }
+        Op::Cvt { dst_ty, src_ty, dst, src } => {
+            let _ = write!(out, "cvt{dst_ty}{src_ty} {dst}, {src};");
+        }
+        Op::Ld { space, ty, dst, addr } => {
+            let _ = write!(out, "ld{space}{ty} {dst}, {addr};");
+        }
+        Op::St { space, ty, addr, src } => {
+            let _ = write!(out, "st{space}{ty} {addr}, {src};");
+        }
+        Op::Setp { cmp, ty, dst, a, b } => {
+            let _ = write!(out, "setp.{}{ty} {dst}, {a}, {b};", cmp.mnemonic());
+        }
+        Op::Selp { ty, dst, a, b, pred } => {
+            let _ = write!(out, "selp{ty} {dst}, {a}, {b}, {pred};");
+        }
+        Op::BarSync => {
+            let _ = write!(out, "bar.sync 0;");
+        }
+    }
+}
+
+/// Render a whole kernel as PTX text.
+pub(crate) fn print_kernel(kernel: &Kernel) -> String {
+    let mut out = String::new();
+    let _ = write!(out, ".entry {} (", kernel.name());
+    for (i, p) in kernel.params().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, ".param {} {}", p.ty, p.name);
+    }
+    out.push_str(")\n{\n");
+
+    // Register declarations, grouped by type in a fixed order.
+    for ty in Type::all() {
+        let regs: Vec<String> = kernel
+            .reg_types()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == ty)
+            .map(|(i, _)| format!("%v{i}"))
+            .collect();
+        if !regs.is_empty() {
+            let _ = writeln!(out, "    .reg {ty} {};", regs.join(", "));
+        }
+    }
+
+    for v in kernel.vars() {
+        let _ = writeln!(out, "    {} .align {} .b8 {}[{}];", v.space, v.align, v.name, v.size);
+    }
+
+    // Trip-count hints as pragmas, in block order for determinism.
+    let mut hints: Vec<(u32, u32)> =
+        kernel.trip_hints().iter().map(|(b, t)| (b.0, *t)).collect();
+    hints.sort_unstable();
+    for (b, t) in hints {
+        let _ = writeln!(out, "    .pragma \"trip BB{b} {t}\";");
+    }
+
+    for block in kernel.blocks() {
+        let _ = writeln!(out, "{}:", block.id);
+        for inst in &block.insts {
+            let mut line = String::new();
+            fmt_instruction(&mut line, inst);
+            let _ = writeln!(out, "    {line}");
+        }
+        match &block.terminator {
+            Terminator::Bra(t) => {
+                let _ = writeln!(out, "    bra {t};");
+            }
+            Terminator::CondBra { pred, negated, taken, not_taken } => {
+                let bang = if *negated { "!" } else { "" };
+                let _ = writeln!(out, "    @{bang}{pred} bra {taken};");
+                let _ = writeln!(out, "    bra {not_taken};");
+            }
+            Terminator::Exit => {
+                let _ = writeln!(out, "    ret;");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockId;
+    use crate::operand::{Address, Operand};
+    use crate::reg::{Guard, SpecialReg, VReg};
+    use crate::types::{BinOp, CmpOp, Space};
+
+    #[test]
+    fn instruction_formats() {
+        let mut k = Kernel::new("t");
+        let r0 = k.new_reg(Type::U32);
+        let r1 = k.new_reg(Type::U32);
+        let p = k.new_reg(Type::Pred);
+        let cases = vec![
+            (
+                Instruction::new(Op::mov_special(Type::U32, r0, SpecialReg::TidX)),
+                "mov.u32 %v0, %tid.x;",
+            ),
+            (
+                Instruction::new(Op::Binary {
+                    op: BinOp::Mul,
+                    ty: Type::U32,
+                    dst: r1,
+                    a: Operand::Reg(r0),
+                    b: Operand::Imm(4),
+                }),
+                "mul.lo.u32 %v1, %v0, 4;",
+            ),
+            (
+                Instruction::new(Op::Setp {
+                    cmp: CmpOp::Lt,
+                    ty: Type::U32,
+                    dst: p,
+                    a: Operand::Reg(r0),
+                    b: Operand::Imm(10),
+                }),
+                "setp.lt.u32 %v2, %v0, 10;",
+            ),
+            (
+                Instruction::new(Op::Ld {
+                    space: Space::Global,
+                    ty: Type::U32,
+                    dst: r1,
+                    addr: Address::reg_offset(r0, 8),
+                }),
+                "ld.global.u32 %v1, [%v0+8];",
+            ),
+            (Instruction::new(Op::BarSync), "bar.sync 0;"),
+            (
+                Instruction::guarded(
+                    Guard::unless(p),
+                    Op::Mov { ty: Type::U32, dst: r0, src: Operand::Imm(0) },
+                ),
+                "@!%v2 mov.u32 %v0, 0;",
+            ),
+        ];
+        for (inst, expect) in cases {
+            assert_eq!(inst.to_string(), expect);
+        }
+    }
+
+    #[test]
+    fn float_mul_has_no_lo() {
+        let mut k = Kernel::new("t");
+        let f = k.new_reg(Type::F32);
+        let i = Instruction::new(Op::Binary {
+            op: BinOp::Mul,
+            ty: Type::F32,
+            dst: f,
+            a: Operand::Reg(f),
+            b: Operand::Reg(f),
+        });
+        assert_eq!(i.to_string(), "mul.f32 %v0, %v0, %v0;");
+    }
+
+    #[test]
+    fn kernel_header_and_blocks_print() {
+        let mut k = Kernel::new("kern");
+        k.add_param("out", Type::U64);
+        k.add_param("n", Type::U32);
+        let r = k.new_reg(Type::U32);
+        k.block_mut(BlockId(0)).insts.push(Instruction::new(Op::Mov {
+            ty: Type::U32,
+            dst: r,
+            src: Operand::Imm(3),
+        }));
+        let text = k.to_ptx();
+        assert!(text.starts_with(".entry kern (.param .u64 out, .param .u32 n)"));
+        assert!(text.contains(".reg .u32 %v0;"));
+        assert!(text.contains("BB0:"));
+        assert!(text.contains("mov.u32 %v0, 3;"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+}

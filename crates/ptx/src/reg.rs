@@ -1,0 +1,150 @@
+//! Virtual registers, special (built-in) registers, and predication guards.
+
+use std::fmt;
+
+/// A virtual register identifier.
+///
+/// PTX uses an SSA-like style with an unbounded virtual register set;
+/// the register's type is recorded in the owning [`Kernel`]'s register
+/// table, not in the id itself.
+///
+/// [`Kernel`]: crate::Kernel
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u32);
+
+impl VReg {
+    /// The register's index, usable into per-register tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%v{}", self.0)
+    }
+}
+
+/// A built-in read-only special register.
+///
+/// Only the `.x` dimension is modeled; the paper's kernels (and our
+/// synthetic workloads) use one-dimensional launches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialReg {
+    /// `%tid.x` — thread index within the block.
+    TidX,
+    /// `%ntid.x` — number of threads per block.
+    NtidX,
+    /// `%ctaid.x` — block index within the grid.
+    CtaidX,
+    /// `%nctaid.x` — number of blocks in the grid.
+    NctaidX,
+    /// `%laneid` — lane index within the warp.
+    LaneId,
+    /// `%warpid` — warp index within the block.
+    WarpId,
+}
+
+impl SpecialReg {
+    /// The PTX spelling of this special register.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecialReg::TidX => "%tid.x",
+            SpecialReg::NtidX => "%ntid.x",
+            SpecialReg::CtaidX => "%ctaid.x",
+            SpecialReg::NctaidX => "%nctaid.x",
+            SpecialReg::LaneId => "%laneid",
+            SpecialReg::WarpId => "%warpid",
+        }
+    }
+
+    /// Parse a PTX special register name (with the leading `%`).
+    pub fn from_name(s: &str) -> Option<SpecialReg> {
+        Some(match s {
+            "%tid.x" => SpecialReg::TidX,
+            "%ntid.x" => SpecialReg::NtidX,
+            "%ctaid.x" => SpecialReg::CtaidX,
+            "%nctaid.x" => SpecialReg::NctaidX,
+            "%laneid" => SpecialReg::LaneId,
+            "%warpid" => SpecialReg::WarpId,
+            _ => return None,
+        })
+    }
+
+    /// All special registers, for exhaustive tests.
+    pub fn all() -> [SpecialReg; 6] {
+        [
+            SpecialReg::TidX,
+            SpecialReg::NtidX,
+            SpecialReg::CtaidX,
+            SpecialReg::NctaidX,
+            SpecialReg::LaneId,
+            SpecialReg::WarpId,
+        ]
+    }
+}
+
+impl fmt::Display for SpecialReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A predication guard on an instruction (`@%p` or `@!%p`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Guard {
+    /// The predicate register tested.
+    pub pred: VReg,
+    /// If `true` the guard is negated (`@!%p`): the instruction
+    /// executes when the predicate is false.
+    pub negated: bool,
+}
+
+impl Guard {
+    /// A guard that fires when `pred` is true.
+    pub fn when(pred: VReg) -> Guard {
+        Guard { pred, negated: false }
+    }
+
+    /// A guard that fires when `pred` is false.
+    pub fn unless(pred: VReg) -> Guard {
+        Guard { pred, negated: true }
+    }
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "@!{}", self.pred)
+        } else {
+            write!(f, "@{}", self.pred)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn special_reg_name_round_trip() {
+        for sr in SpecialReg::all() {
+            assert_eq!(SpecialReg::from_name(sr.name()), Some(sr));
+        }
+        assert_eq!(SpecialReg::from_name("%tid.y"), None);
+    }
+
+    #[test]
+    fn guard_display() {
+        let g = Guard::when(VReg(3));
+        assert_eq!(g.to_string(), "@%v3");
+        let g = Guard::unless(VReg(3));
+        assert_eq!(g.to_string(), "@!%v3");
+    }
+
+    #[test]
+    fn vreg_ordering_follows_index() {
+        assert!(VReg(1) < VReg(2));
+        assert_eq!(VReg(7).index(), 7);
+    }
+}

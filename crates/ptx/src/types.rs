@@ -1,0 +1,391 @@
+//! Scalar types, state spaces, and operator kinds of the PTX subset.
+
+use std::fmt;
+
+/// A scalar PTX type.
+///
+/// The subset covers the types the CRAT paper's kernels use: 32- and
+/// 64-bit integers, single/double floats, and predicates. Predicate
+/// registers live in a separate register class on real hardware and do
+/// not count toward the per-thread register budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Type {
+    /// 32-bit unsigned integer (`.u32`).
+    U32,
+    /// 32-bit signed integer (`.s32`).
+    S32,
+    /// 64-bit unsigned integer (`.u64`), also used for addresses.
+    U64,
+    /// 32-bit IEEE float (`.f32`).
+    F32,
+    /// 64-bit IEEE float (`.f64`).
+    F64,
+    /// 1-bit predicate (`.pred`).
+    Pred,
+}
+
+impl Type {
+    /// Size of a value of this type in bytes (predicates count as 1).
+    pub fn size_bytes(self) -> u32 {
+        match self {
+            Type::U32 | Type::S32 | Type::F32 => 4,
+            Type::U64 | Type::F64 => 8,
+            Type::Pred => 1,
+        }
+    }
+
+    /// Number of 32-bit register slots a value of this type occupies.
+    ///
+    /// Predicates occupy zero general-purpose slots: hardware keeps
+    /// them in a dedicated predicate register file.
+    pub fn reg_slots(self) -> u32 {
+        match self {
+            Type::U32 | Type::S32 | Type::F32 => 1,
+            Type::U64 | Type::F64 => 2,
+            Type::Pred => 0,
+        }
+    }
+
+    /// Whether this is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, Type::F32 | Type::F64)
+    }
+
+    /// Whether this is an integer type (signed or unsigned, any width).
+    pub fn is_int(self) -> bool {
+        matches!(self, Type::U32 | Type::S32 | Type::U64)
+    }
+
+    /// The PTX suffix for this type, without the leading dot.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Type::U32 => "u32",
+            Type::S32 => "s32",
+            Type::U64 => "u64",
+            Type::F32 => "f32",
+            Type::F64 => "f64",
+            Type::Pred => "pred",
+        }
+    }
+
+    /// Parse a PTX type suffix (`"u32"`, `"f64"`, ...).
+    pub fn from_suffix(s: &str) -> Option<Type> {
+        Some(match s {
+            "u32" => Type::U32,
+            "s32" => Type::S32,
+            "u64" => Type::U64,
+            "f32" => Type::F32,
+            "f64" => Type::F64,
+            "pred" => Type::Pred,
+            _ => return None,
+        })
+    }
+
+    /// All types of the subset, for exhaustive tests.
+    pub fn all() -> [Type; 6] {
+        [Type::U32, Type::S32, Type::U64, Type::F32, Type::F64, Type::Pred]
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".{}", self.suffix())
+    }
+}
+
+/// A PTX state space for loads and stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// Off-chip global memory (`.global`), cached in L1/L2.
+    Global,
+    /// Per-thread local memory (`.local`) — off-chip, used for spills.
+    Local,
+    /// On-chip software-managed shared memory (`.shared`).
+    Shared,
+    /// Kernel parameter space (`.param`).
+    Param,
+}
+
+impl Space {
+    /// The PTX suffix for this space, without the leading dot.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Space::Global => "global",
+            Space::Local => "local",
+            Space::Shared => "shared",
+            Space::Param => "param",
+        }
+    }
+
+    /// Parse a PTX space suffix.
+    pub fn from_suffix(s: &str) -> Option<Space> {
+        Some(match s {
+            "global" => Space::Global,
+            "local" => Space::Local,
+            "shared" => Space::Shared,
+            "param" => Space::Param,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".{}", self.suffix())
+    }
+}
+
+/// Binary arithmetic and logical operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `add` — addition.
+    Add,
+    /// `sub` — subtraction.
+    Sub,
+    /// `mul.lo` — low half of the product.
+    Mul,
+    /// `div` — division (expensive; executes on the SFU path).
+    Div,
+    /// `rem` — remainder/modulo.
+    Rem,
+    /// `min` — minimum.
+    Min,
+    /// `max` — maximum.
+    Max,
+    /// `and` — bitwise and.
+    And,
+    /// `or` — bitwise or.
+    Or,
+    /// `xor` — bitwise xor.
+    Xor,
+    /// `shl` — shift left.
+    Shl,
+    /// `shr` — shift right (logical for unsigned, arithmetic for signed).
+    Shr,
+}
+
+impl BinOp {
+    /// PTX mnemonic (the `mul.lo` form prints its `.lo` qualifier
+    /// in the printer, not here).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+        }
+    }
+
+    /// All binary operators, for exhaustive tests.
+    pub fn all() -> [BinOp; 12] {
+        [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Rem,
+            BinOp::Min,
+            BinOp::Max,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Shl,
+            BinOp::Shr,
+        ]
+    }
+}
+
+/// Unary operators, including the transcendental SFU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `neg` — arithmetic negation.
+    Neg,
+    /// `not` — bitwise complement.
+    Not,
+    /// `abs` — absolute value.
+    Abs,
+    /// `sqrt.approx` — square root (SFU).
+    Sqrt,
+    /// `rsqrt.approx` — reciprocal square root (SFU).
+    Rsqrt,
+    /// `ex2.approx` — base-2 exponential (SFU).
+    Ex2,
+    /// `lg2.approx` — base-2 logarithm (SFU).
+    Lg2,
+    /// `sin.approx` — sine (SFU).
+    Sin,
+    /// `cos.approx` — cosine (SFU).
+    Cos,
+    /// `rcp.approx` — reciprocal (SFU).
+    Rcp,
+}
+
+impl UnOp {
+    /// PTX mnemonic without approximation qualifiers.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+            UnOp::Abs => "abs",
+            UnOp::Sqrt => "sqrt",
+            UnOp::Rsqrt => "rsqrt",
+            UnOp::Ex2 => "ex2",
+            UnOp::Lg2 => "lg2",
+            UnOp::Sin => "sin",
+            UnOp::Cos => "cos",
+            UnOp::Rcp => "rcp",
+        }
+    }
+
+    /// Whether this operation executes on the special function unit.
+    pub fn is_sfu(self) -> bool {
+        !matches!(self, UnOp::Neg | UnOp::Not | UnOp::Abs)
+    }
+
+    /// All unary operators, for exhaustive tests.
+    pub fn all() -> [UnOp; 10] {
+        [
+            UnOp::Neg,
+            UnOp::Not,
+            UnOp::Abs,
+            UnOp::Sqrt,
+            UnOp::Rsqrt,
+            UnOp::Ex2,
+            UnOp::Lg2,
+            UnOp::Sin,
+            UnOp::Cos,
+            UnOp::Rcp,
+        ]
+    }
+}
+
+/// Comparison operators for `setp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `eq` — equal.
+    Eq,
+    /// `ne` — not equal.
+    Ne,
+    /// `lt` — less than.
+    Lt,
+    /// `le` — less than or equal.
+    Le,
+    /// `gt` — greater than.
+    Gt,
+    /// `ge` — greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// PTX comparison qualifier.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+
+    /// Parse a PTX comparison qualifier.
+    pub fn from_mnemonic(s: &str) -> Option<CmpOp> {
+        Some(match s {
+            "eq" => CmpOp::Eq,
+            "ne" => CmpOp::Ne,
+            "lt" => CmpOp::Lt,
+            "le" => CmpOp::Le,
+            "gt" => CmpOp::Gt,
+            "ge" => CmpOp::Ge,
+            _ => return None,
+        })
+    }
+
+    /// The comparison with operand order swapped (`a op b` ⇔ `b swap(op) a`).
+    pub fn swapped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// All comparison operators, for exhaustive tests.
+    pub fn all() -> [CmpOp; 6] {
+        [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_sizes_match_slots() {
+        for ty in Type::all() {
+            if ty == Type::Pred {
+                assert_eq!(ty.reg_slots(), 0);
+            } else {
+                assert_eq!(ty.reg_slots() * 4, ty.size_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn type_suffix_round_trip() {
+        for ty in Type::all() {
+            assert_eq!(Type::from_suffix(ty.suffix()), Some(ty));
+        }
+        assert_eq!(Type::from_suffix("b128"), None);
+    }
+
+    #[test]
+    fn space_suffix_round_trip() {
+        for sp in [Space::Global, Space::Local, Space::Shared, Space::Param] {
+            assert_eq!(Space::from_suffix(sp.suffix()), Some(sp));
+        }
+    }
+
+    #[test]
+    fn cmp_swap_is_involution() {
+        for op in CmpOp::all() {
+            assert_eq!(op.swapped().swapped(), op);
+        }
+    }
+
+    #[test]
+    fn cmp_mnemonic_round_trip() {
+        for op in CmpOp::all() {
+            assert_eq!(CmpOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+    }
+
+    #[test]
+    fn sfu_classification() {
+        assert!(UnOp::Sqrt.is_sfu());
+        assert!(UnOp::Sin.is_sfu());
+        assert!(!UnOp::Neg.is_sfu());
+        assert!(!UnOp::Not.is_sfu());
+    }
+
+    #[test]
+    fn float_int_classification_is_partition() {
+        for ty in Type::all() {
+            let classes =
+                usize::from(ty.is_float()) + usize::from(ty.is_int()) + usize::from(ty == Type::Pred);
+            assert_eq!(classes, 1, "{ty:?} must be in exactly one class");
+        }
+    }
+}

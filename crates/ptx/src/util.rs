@@ -1,0 +1,175 @@
+//! Small utilities shared by the analyses.
+
+/// A fixed-capacity bit set over `usize` indices, tuned for dataflow
+/// sets (dense, word-parallel union and difference).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set able to hold indices `0..len`.
+    pub fn new(len: usize) -> BitSet {
+        BitSet { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Capacity (the `len` given at construction).
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Insert `idx`. Returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= capacity`.
+    pub fn insert(&mut self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit {idx} out of range {}", self.len);
+        let (w, b) = (idx / 64, idx % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Remove `idx`. Returns `true` if it was present.
+    pub fn remove(&mut self, idx: usize) -> bool {
+        if idx >= self.len {
+            return false;
+        }
+        let (w, b) = (idx / 64, idx % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Whether `idx` is present.
+    pub fn contains(&self, idx: usize) -> bool {
+        if idx >= self.len {
+            return false;
+        }
+        self.words[idx / 64] & (1 << (idx % 64)) != 0
+    }
+
+    /// Union with `other`; returns `true` if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a |= *b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
+    /// Remove all elements of `other` from `self`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// Clear all bits.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate over set indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set sized to hold the maximum element (+1).
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> BitSet {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0));
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn union_and_subtract() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        b.insert(2);
+        b.insert(1);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2]);
+        a.subtract(&b);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let s: BitSet = [5usize, 64, 3, 127].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 5, 64, 127]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(4).insert(4);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = BitSet::new(10);
+        s.insert(3);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 10);
+    }
+}

@@ -1,0 +1,206 @@
+//! Property tests for the IR: printer/parser round trips over randomly
+//! generated instruction mixes, and `BitSet` vs a reference set model.
+
+use proptest::prelude::*;
+
+use crat_ptx::{
+    parse, Address, BinOp, BitSet, CmpOp, KernelBuilder, Operand, Space, Type, UnOp,
+};
+
+fn value_type() -> impl Strategy<Value = Type> {
+    prop::sample::select(vec![Type::U32, Type::S32, Type::U64, Type::F32, Type::F64])
+}
+
+fn imm_for(ty: Type) -> BoxedStrategy<Operand> {
+    if ty.is_float() {
+        (-1.0e6f64..1.0e6).prop_map(Operand::FImm).boxed()
+    } else {
+        (-1_000_000i64..1_000_000).prop_map(Operand::Imm).boxed()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    Binary(BinOp, Type, i8, i8),
+    Unary(UnOp, Type, i8),
+    Mad(Type, i8, i8, i8),
+    Cvt(Type, Type, i8),
+    Setp(CmpOp, Type, i8, i8),
+    LdGlobal(Type, i8),
+    StGlobal(Type, i8, i8),
+    Imm(Type),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (
+            prop::sample::select(BinOp::all().to_vec()),
+            value_type(),
+            any::<i8>(),
+            any::<i8>()
+        )
+            .prop_map(|(op, ty, a, b)| Step::Binary(op, ty, a, b)),
+        (prop::sample::select(vec![UnOp::Neg, UnOp::Abs]), value_type(), any::<i8>())
+            .prop_map(|(op, ty, a)| Step::Unary(op, ty, a)),
+        (value_type(), any::<i8>(), any::<i8>(), any::<i8>())
+            .prop_map(|(ty, a, b, c)| Step::Mad(ty, a, b, c)),
+        (value_type(), value_type(), any::<i8>())
+            .prop_map(|(d, s, a)| Step::Cvt(d, s, a)),
+        (prop::sample::select(CmpOp::all().to_vec()), value_type(), any::<i8>(), any::<i8>())
+            .prop_map(|(c, ty, a, b)| Step::Setp(c, ty, a, b)),
+        (value_type(), any::<i8>()).prop_map(|(ty, a)| Step::LdGlobal(ty, a)),
+        (value_type(), any::<i8>(), any::<i8>()).prop_map(|(ty, a, v)| Step::StGlobal(ty, a, v)),
+        value_type().prop_map(Step::Imm),
+    ]
+}
+
+/// Build a valid kernel from a random step list: every register read
+/// picks from the registers of the right type produced so far (or an
+/// immediate when none exists).
+fn build_kernel(steps: &[Step]) -> crat_ptx::Kernel {
+    let mut b = KernelBuilder::new("prop");
+    let ptr = b.param_ptr("p");
+    let tid = b.special_tid_x(Type::U32);
+    let mut by_type: std::collections::HashMap<Type, Vec<crat_ptx::VReg>> = Default::default();
+    by_type.entry(Type::U32).or_default().push(tid);
+    by_type.entry(Type::U64).or_default().push(ptr);
+
+    let mut pick = |by_type: &std::collections::HashMap<Type, Vec<crat_ptx::VReg>>,
+                    ty: Type,
+                    sel: i8|
+     -> Option<crat_ptx::VReg> {
+        let regs = by_type.get(&ty)?;
+        if regs.is_empty() {
+            return None;
+        }
+        Some(regs[(sel as usize) % regs.len()])
+    };
+
+    for step in steps {
+        match *step {
+            Step::Imm(ty) => {
+                let v = if ty.is_float() {
+                    b.mov(ty, Operand::FImm(1.5))
+                } else {
+                    b.mov(ty, Operand::Imm(7))
+                };
+                by_type.entry(ty).or_default().push(v);
+            }
+            Step::Binary(op, ty, a, bb) => {
+                // Bitwise/shift ops are invalid on floats; skip those.
+                if ty.is_float()
+                    && matches!(op, BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr)
+                {
+                    continue;
+                }
+                let lhs = pick(&by_type, ty, a);
+                let rhs = pick(&by_type, ty, bb);
+                let (Some(x), Some(y)) = (lhs, rhs) else { continue };
+                let d = b.binary(op, ty, x, y);
+                by_type.entry(ty).or_default().push(d);
+            }
+            Step::Unary(op, ty, a) => {
+                let Some(x) = pick(&by_type, ty, a) else { continue };
+                let d = b.unary(op, ty, x);
+                by_type.entry(ty).or_default().push(d);
+            }
+            Step::Mad(ty, a, bb, c) => {
+                let (Some(x), Some(y), Some(z)) =
+                    (pick(&by_type, ty, a), pick(&by_type, ty, bb), pick(&by_type, ty, c))
+                else {
+                    continue;
+                };
+                let d = b.mad(ty, x, y, z);
+                by_type.entry(ty).or_default().push(d);
+            }
+            Step::Cvt(dt, st, a) => {
+                let Some(x) = pick(&by_type, st, a) else { continue };
+                let d = b.cvt(dt, st, x);
+                by_type.entry(dt).or_default().push(d);
+            }
+            Step::Setp(c, ty, a, bb) => {
+                let Some(x) = pick(&by_type, ty, a) else { continue };
+                let rhs = pick(&by_type, ty, bb)
+                    .map(Operand::Reg)
+                    .unwrap_or_else(|| imm_sample(ty));
+                let _p = b.setp(c, ty, x, rhs);
+            }
+            Step::LdGlobal(ty, off) => {
+                let d = b.ld(
+                    Space::Global,
+                    ty,
+                    Address::reg_offset(ptr, (off as i64).abs() * 4),
+                );
+                by_type.entry(ty).or_default().push(d);
+            }
+            Step::StGlobal(ty, off, v) => {
+                let Some(x) = pick(&by_type, ty, v) else { continue };
+                b.st(
+                    Space::Global,
+                    ty,
+                    Address::reg_offset(ptr, (off as i64).abs() * 4),
+                    x,
+                );
+            }
+        }
+    }
+    b.finish()
+}
+
+fn imm_sample(ty: Type) -> Operand {
+    if ty.is_float() {
+        Operand::FImm(2.5)
+    } else {
+        Operand::Imm(3)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn printed_kernels_reparse_identically(steps in prop::collection::vec(step_strategy(), 0..40)) {
+        let kernel = build_kernel(&steps);
+        prop_assert_eq!(kernel.validate(), Ok(()));
+        let text = kernel.to_ptx();
+        let reparsed = parse(&text).expect("printer output must parse");
+        prop_assert_eq!(&reparsed, &kernel);
+        prop_assert_eq!(reparsed.to_ptx(), text);
+    }
+
+    #[test]
+    fn float_immediates_round_trip(v in any::<f32>()) {
+        let mut b = KernelBuilder::new("f");
+        let x = b.mov(Type::F32, Operand::FImm(v as f64));
+        let y = b.mov(Type::F32, Operand::FImm(v as f64));
+        let _ = b.binary(BinOp::Add, Type::F32, x, y);
+        let k = b.finish();
+        let re = parse(&k.to_ptx()).unwrap();
+        prop_assert_eq!(re, k);
+    }
+
+    #[test]
+    fn bitset_matches_reference_model(
+        ops in prop::collection::vec((0u8..3, 0usize..96), 0..200)
+    ) {
+        let mut bs = BitSet::new(96);
+        let mut reference = std::collections::BTreeSet::new();
+        for (op, idx) in ops {
+            match op {
+                0 => {
+                    prop_assert_eq!(bs.insert(idx), reference.insert(idx));
+                }
+                1 => {
+                    prop_assert_eq!(bs.remove(idx), reference.remove(&idx));
+                }
+                _ => {
+                    prop_assert_eq!(bs.contains(idx), reference.contains(&idx));
+                }
+            }
+            prop_assert_eq!(bs.count(), reference.len());
+        }
+        let collected: Vec<usize> = bs.iter().collect();
+        let expected: Vec<usize> = reference.into_iter().collect();
+        prop_assert_eq!(collected, expected);
+    }
+}

@@ -1,0 +1,224 @@
+//! Allocation results and spill reports.
+
+use crat_ptx::{Kernel, Type, VReg};
+
+/// Where a spill sub-stack lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpillHome {
+    /// Off-chip per-thread local memory (the default).
+    Local,
+    /// On-chip shared memory (chosen by the knapsack optimization).
+    Shared,
+}
+
+/// How a spilled variable is recovered at its uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillKind {
+    /// Stored to a spill sub-stack slot; reloaded with `ld`.
+    Stack {
+        /// Index of the sub-stack holding it.
+        substack: usize,
+        /// Slot index within the sub-stack.
+        slot: u32,
+    },
+    /// Rematerialized: the defining instruction (an immediate move, a
+    /// `ld.param`, or a variable-address move) is re-emitted before
+    /// each use — no memory traffic at all (Briggs 1992).
+    Remat,
+}
+
+/// One spilled variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpilledVar {
+    /// The virtual register (in the *input* kernel's numbering).
+    pub vreg: VReg,
+    /// Its type.
+    pub ty: Type,
+    /// Stack slot or rematerialization.
+    pub kind: SpillKind,
+}
+
+/// One spill sub-stack: the paper splits the spill stack "according to
+/// the data type and the width of the spilled variables".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubStackReport {
+    /// Element type of this sub-stack.
+    pub ty: Type,
+    /// Number of spilled values in it.
+    pub slots: u32,
+    /// Bytes per thread (`slots * ty.size_bytes()`).
+    pub bytes_per_thread: u32,
+    /// Where the sub-stack ended up.
+    pub home: SpillHome,
+    /// Static count of spill instructions touching this sub-stack
+    /// (Algorithm 1's `gain[i]` before weighting).
+    pub gain_static: u64,
+    /// The same count weighted by estimated block execution counts.
+    pub gain_weighted: u64,
+}
+
+impl SubStackReport {
+    /// Shared-memory bytes this sub-stack needs per thread block if
+    /// re-homed (one slot row per spilled value, one element per thread).
+    pub fn shared_bytes_per_block(&self, block_size: u32) -> u32 {
+        self.bytes_per_thread * block_size
+    }
+}
+
+/// Static and frequency-weighted counts of inserted spill code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillCounts {
+    /// Spill loads from local memory (static).
+    pub loads_local: u64,
+    /// Spill stores to local memory (static).
+    pub stores_local: u64,
+    /// Spill loads from shared memory (static).
+    pub loads_shared: u64,
+    /// Spill stores to shared memory (static).
+    pub stores_shared: u64,
+    /// Address-setup and other auxiliary instructions (static) — the
+    /// paper's `Num_others`.
+    pub others: u64,
+    /// Spill loads from local memory, weighted by block frequency.
+    pub loads_local_weighted: u64,
+    /// Spill stores to local memory, weighted.
+    pub stores_local_weighted: u64,
+    /// Spill loads from shared memory, weighted.
+    pub loads_shared_weighted: u64,
+    /// Spill stores to shared memory, weighted.
+    pub stores_shared_weighted: u64,
+    /// Auxiliary instructions, weighted.
+    pub others_weighted: u64,
+    /// Estimated dynamic spill traffic to *local* memory in bytes
+    /// (weighted count × access width) — the quantity Figure 12 of the
+    /// paper profiles as "spill load/store bytes".
+    pub local_spill_bytes_weighted: u64,
+}
+
+impl SpillCounts {
+    /// Total static spill memory instructions (loads + stores, both spaces).
+    pub fn total_memory_insts(&self) -> u64 {
+        self.loads_local + self.stores_local + self.loads_shared + self.stores_shared
+    }
+
+    /// Total static local-memory spill instructions.
+    pub fn total_local(&self) -> u64 {
+        self.loads_local + self.stores_local
+    }
+
+    /// Total static shared-memory spill instructions.
+    pub fn total_shared(&self) -> u64 {
+        self.loads_shared + self.stores_shared
+    }
+
+    /// Weighted local-memory spill accesses.
+    pub fn total_local_weighted(&self) -> u64 {
+        self.loads_local_weighted + self.stores_local_weighted
+    }
+
+    /// Weighted shared-memory spill accesses.
+    pub fn total_shared_weighted(&self) -> u64 {
+        self.loads_shared_weighted + self.stores_shared_weighted
+    }
+}
+
+/// Everything the allocator reports about spilling.
+#[derive(Debug, Clone, Default)]
+pub struct SpillReport {
+    /// Each spilled variable and where it went.
+    pub spilled: Vec<SpilledVar>,
+    /// The sub-stacks (empty when nothing spilled).
+    pub substacks: Vec<SubStackReport>,
+    /// Inserted-code statistics.
+    pub counts: SpillCounts,
+    /// Local-memory bytes required per thread for spills.
+    pub local_bytes_per_thread: u32,
+    /// Shared-memory bytes per thread block consumed by re-homed
+    /// sub-stacks (0 unless the knapsack moved something).
+    pub shared_spill_bytes_per_block: u32,
+}
+
+impl SpillReport {
+    /// Whether any variable was spilled.
+    pub fn any_spills(&self) -> bool {
+        !self.spilled.is_empty()
+    }
+}
+
+/// The outcome of register allocation.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// The rewritten kernel over physical registers (with spill code).
+    pub kernel: Kernel,
+    /// 32-bit register slots used per thread — the value occupancy
+    /// calculations consume (the paper's register per-thread).
+    pub slots_used: u32,
+    /// Predicate registers used (separate register file; informational).
+    pub pred_regs_used: u32,
+    /// Spill details.
+    pub spills: SpillReport,
+}
+
+impl Allocation {
+    /// The paper's `Spill_cost` metric (§6):
+    /// `Num_local·Cost_local + Num_shm·Cost_shm + Num_others`, using
+    /// frequency-weighted instruction counts so spills inside loops
+    /// cost proportionally more.
+    pub fn spill_cost(&self, cost_local: f64, cost_shm: f64) -> f64 {
+        let c = &self.spills.counts;
+        c.total_local_weighted() as f64 * cost_local
+            + c.total_shared_weighted() as f64 * cost_shm
+            + c.others_weighted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_totals() {
+        let c = SpillCounts {
+            loads_local: 2,
+            stores_local: 1,
+            loads_shared: 4,
+            stores_shared: 3,
+            others: 5,
+            ..Default::default()
+        };
+        assert_eq!(c.total_memory_insts(), 10);
+        assert_eq!(c.total_local(), 3);
+        assert_eq!(c.total_shared(), 7);
+    }
+
+    #[test]
+    fn substack_shared_footprint_scales_with_block() {
+        let s = SubStackReport {
+            ty: Type::F32,
+            slots: 3,
+            bytes_per_thread: 12,
+            home: SpillHome::Shared,
+            gain_static: 7,
+            gain_weighted: 70,
+        };
+        assert_eq!(s.shared_bytes_per_block(256), 3072);
+    }
+
+    #[test]
+    fn spill_cost_weights_spaces_differently() {
+        let mut a = Allocation {
+            kernel: Kernel::new("k"),
+            slots_used: 10,
+            pred_regs_used: 0,
+            spills: SpillReport::default(),
+        };
+        a.spills.counts.loads_local_weighted = 10;
+        a.spills.counts.others_weighted = 4;
+        let local_heavy = a.spill_cost(400.0, 30.0);
+        a.spills.counts.loads_local_weighted = 0;
+        a.spills.counts.loads_shared_weighted = 10;
+        let shm_heavy = a.spill_cost(400.0, 30.0);
+        assert!(shm_heavy < local_heavy);
+        assert_eq!(shm_heavy, 10.0 * 30.0 + 4.0);
+    }
+}

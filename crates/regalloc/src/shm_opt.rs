@@ -1,0 +1,165 @@
+//! The paper's Algorithm 1: 0-1 knapsack selection of spill sub-stacks
+//! to re-home from local to shared memory.
+//!
+//! Each sub-stack either moves to shared memory or stays in local
+//! memory. Moving sub-stack `i` costs `weights[i]` bytes of spare
+//! shared memory and saves `gains[i]` local-memory accesses; the
+//! optimization maximizes the total gain under the capacity limit,
+//! solved by dynamic programming exactly as in the paper (arrays `S`
+//! and `Mask`).
+
+/// Select the subset of items maximizing total gain within `capacity`.
+///
+/// Returns one flag per item (`true` = selected). Items with zero
+/// weight and positive gain are always selected; items wider than the
+/// capacity never are.
+///
+/// # Examples
+///
+/// ```
+/// use crat_regalloc::knapsack_select;
+/// // Two sub-stacks, only one fits: pick the higher-gain one.
+/// let picks = knapsack_select(&[100, 100], &[5, 9], 150);
+/// assert_eq!(picks, vec![false, true]);
+/// ```
+pub fn knapsack_select(weights: &[u64], gains: &[u64], capacity: u64) -> Vec<bool> {
+    assert_eq!(weights.len(), gains.len(), "weights and gains must pair up");
+    let n = weights.len();
+    if n == 0 || capacity == 0 {
+        return weights.iter().map(|&w| w == 0).zip(gains).map(|(z, &g)| z && g > 0).collect();
+    }
+
+    // Compress capacity to the gcd of the weights to keep the DP small
+    // when sizes share a granularity (they do: multiples of 4 bytes ×
+    // block size).
+    let unit = weights.iter().copied().filter(|&w| w > 0).fold(0u64, gcd).max(1);
+    let cap = (capacity / unit) as usize;
+    let w: Vec<usize> = weights.iter().map(|&x| (x / unit) as usize).collect();
+
+    // The paper's S[i, v] table (Algorithm 1, lines 15-23); the
+    // selection (`Mask`) is reconstructed by backtracking.
+    let mut table = vec![0u64; (n + 1) * (cap + 1)];
+    for i in 1..=n {
+        for v in 0..=cap {
+            let without = table[(i - 1) * (cap + 1) + v];
+            let mut best = without;
+            if w[i - 1] <= v {
+                let with = table[(i - 1) * (cap + 1) + v - w[i - 1]] + gains[i - 1];
+                if with > best {
+                    best = with;
+                }
+            }
+            table[i * (cap + 1) + v] = best;
+        }
+    }
+    let mut picks = vec![false; n];
+    let mut v = cap;
+    for i in (1..=n).rev() {
+        if table[i * (cap + 1) + v] != table[(i - 1) * (cap + 1) + v] {
+            picks[i - 1] = true;
+            v -= w[i - 1];
+        }
+    }
+    picks
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if a == 0 {
+        b
+    } else {
+        gcd(b % a, a)
+    }
+}
+
+/// Total gain of a selection (helper for tests and reporting).
+pub fn selection_gain(picks: &[bool], gains: &[u64]) -> u64 {
+    picks.iter().zip(gains).filter(|(p, _)| **p).map(|(_, g)| g).sum()
+}
+
+/// Total weight of a selection.
+pub fn selection_weight(picks: &[bool], weights: &[u64]) -> u64 {
+    picks.iter().zip(weights).filter(|(p, _)| **p).map(|(_, w)| w).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive reference solver.
+    fn brute_force(weights: &[u64], gains: &[u64], capacity: u64) -> u64 {
+        let n = weights.len();
+        let mut best = 0;
+        for mask in 0u32..(1 << n) {
+            let (mut w, mut g) = (0u64, 0u64);
+            for i in 0..n {
+                if mask & (1 << i) != 0 {
+                    w += weights[i];
+                    g += gains[i];
+                }
+            }
+            if w <= capacity {
+                best = best.max(g);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(knapsack_select(&[], &[], 100).is_empty());
+    }
+
+    #[test]
+    fn all_fit() {
+        let picks = knapsack_select(&[10, 20], &[1, 2], 100);
+        assert_eq!(picks, vec![true, true]);
+    }
+
+    #[test]
+    fn nothing_fits() {
+        let picks = knapsack_select(&[200, 300], &[10, 20], 100);
+        assert_eq!(picks, vec![false, false]);
+    }
+
+    #[test]
+    fn prefers_dense_gain() {
+        // One big low-gain item vs two small high-gain items.
+        let picks = knapsack_select(&[100, 50, 50], &[10, 8, 8], 100);
+        assert_eq!(picks, vec![false, true, true]);
+    }
+
+    #[test]
+    fn zero_capacity_takes_only_free_items() {
+        let picks = knapsack_select(&[0, 10], &[5, 5], 0);
+        assert_eq!(picks, vec![true, false]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixed_cases() {
+        let cases: Vec<(Vec<u64>, Vec<u64>, u64)> = vec![
+            (vec![12, 8, 20, 4], vec![7, 3, 11, 2], 24),
+            (vec![512, 1024, 2048], vec![40, 90, 130], 2560),
+            (vec![4, 4, 4, 4, 4], vec![1, 9, 3, 7, 5], 12),
+            (vec![16, 48, 32], vec![0, 5, 5], 48),
+        ];
+        for (w, g, cap) in cases {
+            let picks = knapsack_select(&w, &g, cap);
+            assert!(selection_weight(&picks, &w) <= cap);
+            assert_eq!(
+                selection_gain(&picks, &g),
+                brute_force(&w, &g, cap),
+                "suboptimal for {w:?} {g:?} cap {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_scenario_substacks() {
+        // FDTD-like: an f32 sub-stack with high access frequency and a
+        // u64 sub-stack with low frequency; spare shm fits only one.
+        let weights = [4 * 256, 8 * 256]; // bytes per block at BlockSize=256
+        let gains = [120, 30];
+        let picks = knapsack_select(&weights, &gains, 1500);
+        assert_eq!(picks, vec![true, false]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for coloring validity: interfering registers never
+//! share slots, wide values stay pair-aligned, and allocation results
+//! respect the requested budget.
+
+use proptest::prelude::*;
+
+use crat_ptx::{Cfg, KernelBuilder, Liveness, Operand, Space, Type, VReg};
+use crat_regalloc::{allocate, try_color, AllocOptions, ColorOutcome, InterferenceGraph};
+
+/// A random straight-line kernel mixing u32/u64/f32 values with
+/// overlapping lifetimes.
+fn kernel_from(seed: &[(u8, u8)]) -> crat_ptx::Kernel {
+    let mut b = KernelBuilder::new("p");
+    let out = b.param_ptr("out");
+    let tid = b.special_tid_x(Type::U32);
+    let mut live: Vec<(VReg, Type)> = vec![(tid, Type::U32)];
+    for &(kind, sel) in seed {
+        match kind % 4 {
+            0 => {
+                let v = b.add(Type::U32, tid, Operand::Imm(sel as i64));
+                live.push((v, Type::U32));
+            }
+            1 => {
+                let v = b.cvt(Type::U64, Type::U32, tid);
+                live.push((v, Type::U64));
+            }
+            2 => {
+                let v = b.cvt(Type::F32, Type::U32, tid);
+                live.push((v, Type::F32));
+            }
+            _ => {
+                // Consume two same-typed values into one.
+                let (x, ty) = live[sel as usize % live.len()];
+                let candidates: Vec<VReg> =
+                    live.iter().filter(|(_, t)| *t == ty).map(|(v, _)| *v).collect();
+                let y = candidates[(sel as usize / 2) % candidates.len()];
+                if ty != Type::U64 || true {
+                    let v = b.add(ty, x, y);
+                    live.push((v, ty));
+                }
+            }
+        }
+    }
+    // Keep everything alive to the end: sum by type.
+    for ty in [Type::U32, Type::U64, Type::F32] {
+        let vals: Vec<VReg> = live.iter().filter(|(_, t)| *t == ty).map(|(v, _)| *v).collect();
+        if vals.len() >= 2 {
+            let mut acc = vals[0];
+            for &v in &vals[1..] {
+                acc = b.add(ty, acc, v);
+            }
+            if ty == Type::U32 {
+                let a = b.wide_address(out, acc, 4);
+                b.st(Space::Global, Type::U32, a, acc);
+            }
+        }
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A successful coloring never assigns overlapping slots to
+    /// interfering registers and keeps wide values aligned.
+    #[test]
+    fn coloring_is_valid(
+        seed in prop::collection::vec((any::<u8>(), any::<u8>()), 1..30),
+        budget in 12u32..48,
+    ) {
+        let kernel = kernel_from(&seed);
+        prop_assert_eq!(kernel.validate(), Ok(()));
+        let cfg = Cfg::build(&kernel);
+        let lv = Liveness::compute(&kernel, &cfg);
+        let ranges = lv.ranges(&kernel, &cfg);
+        let graph = InterferenceGraph::build(&kernel, &cfg, &lv);
+
+        if let ColorOutcome::Colored(asg) =
+            try_color(&kernel, &graph, &ranges, budget, &Default::default())
+        {
+            prop_assert!(asg.slots_used <= budget);
+            let slots: Vec<(&VReg, &u32)> = asg.slot_of.iter().collect();
+            for (i, &(va, &sa)) in slots.iter().enumerate() {
+                let wa = kernel.reg_ty(*va).reg_slots().max(1);
+                prop_assert_eq!(sa % wa, 0, "misaligned {:?}", va);
+                for &(vb, &sb) in &slots[i + 1..] {
+                    if graph.interferes(*va, *vb) {
+                        let wb = kernel.reg_ty(*vb).reg_slots().max(1);
+                        let overlap = sa < sb + wb && sb < sa + wa;
+                        prop_assert!(
+                            !overlap,
+                            "{va:?}@{sa} overlaps {vb:?}@{sb} though they interfere"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Full allocation always respects the budget and yields a valid
+    /// kernel, at any feasible budget.
+    #[test]
+    fn allocation_respects_budget(
+        seed in prop::collection::vec((any::<u8>(), any::<u8>()), 1..30),
+        budget in 14u32..48,
+    ) {
+        let kernel = kernel_from(&seed);
+        if let Ok(alloc) = allocate(&kernel, &AllocOptions::new(budget)) {
+            prop_assert!(alloc.slots_used <= budget, "{} > {budget}", alloc.slots_used);
+            prop_assert_eq!(alloc.kernel.validate(), Ok(()));
+        }
+    }
+
+    /// The interference relation is symmetric and irreflexive.
+    #[test]
+    fn interference_is_symmetric(
+        seed in prop::collection::vec((any::<u8>(), any::<u8>()), 1..30),
+    ) {
+        let kernel = kernel_from(&seed);
+        let cfg = Cfg::build(&kernel);
+        let lv = Liveness::compute(&kernel, &cfg);
+        let graph = InterferenceGraph::build(&kernel, &cfg, &lv);
+        for a in 0..kernel.num_regs() as u32 {
+            prop_assert!(!graph.interferes(VReg(a), VReg(a)));
+            for b in 0..kernel.num_regs() as u32 {
+                prop_assert_eq!(
+                    graph.interferes(VReg(a), VReg(b)),
+                    graph.interferes(VReg(b), VReg(a))
+                );
+            }
+        }
+    }
+}

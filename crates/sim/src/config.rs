@@ -1,0 +1,271 @@
+//! Simulated GPU configurations.
+//!
+//! The default [`GpuConfig::fermi`] matches Table 2 of the CRAT paper
+//! (a Fermi-like GPGPU-Sim configuration); [`GpuConfig::kepler`] is
+//! the scaled configuration of §7.3 (twice the register file, 2048
+//! threads, more resident blocks).
+
+use std::collections::HashMap;
+
+/// Warp scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Greedy-then-oldest: keep issuing the same warp until it stalls,
+    /// then pick the oldest ready warp. The policy the paper assumes
+    /// (and the basis of its static `OptTLP` estimation).
+    Gto,
+    /// Loose round-robin.
+    Lrr,
+    /// Two-level scheduling (Narasiman et al., MICRO'11): warps form
+    /// fetch groups of [`TWO_LEVEL_GROUP`] warps; the scheduler issues
+    /// from the lowest-numbered group with a ready warp, so groups
+    /// drift apart and long-latency stalls of one group hide behind
+    /// another's compute.
+    TwoLevel,
+}
+
+/// Warps per fetch group for [`SchedulerKind::TwoLevel`].
+pub const TWO_LEVEL_GROUP: u64 = 4;
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub bytes: u32,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Number of MSHR entries (outstanding misses); when exhausted the
+    /// pipeline suffers reservation failures — the "stall caused by
+    /// cache resource congestion" of the paper's Figure 5(b).
+    pub mshrs: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// Instruction and memory latencies, in core cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// Simple ALU operations (int/float add, mul, mad, logic, moves).
+    pub alu: u32,
+    /// Special-function-unit operations (sqrt, sin, div, ...).
+    pub sfu: u32,
+    /// Shared-memory access.
+    pub shared: u32,
+    /// Parameter/constant-cache access.
+    pub param: u32,
+    /// L1 hit.
+    pub l1_hit: u32,
+    /// Additional latency for an L2 hit (on top of the L1 path).
+    pub l2: u32,
+    /// Additional latency for a DRAM access (on top of the L2 path).
+    pub dram: u32,
+}
+
+/// A simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Human-readable name of the configuration.
+    pub name: String,
+    /// Number of streaming multiprocessors. One SM is simulated in
+    /// detail; the grid is divided evenly across SMs, and L2/DRAM
+    /// bandwidth are scaled to one SM's share.
+    pub num_sms: u32,
+    /// Core clock in MHz (used by the energy model).
+    pub clock_mhz: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident thread blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: u32,
+    /// Maximum registers per thread the ISA encoding allows (63 on
+    /// Fermi, 255 on Kepler).
+    pub max_regs_per_thread: u32,
+    /// Shared-memory bytes per SM.
+    pub shmem_per_sm: u32,
+    /// Warp schedulers per SM (each issues one instruction per cycle).
+    pub num_schedulers: u32,
+    /// Scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// L1 data cache.
+    pub l1: CacheConfig,
+    /// L2 slice serving this SM (total L2 divided by `num_sms`).
+    pub l2: CacheConfig,
+    /// Latencies.
+    pub lat: LatencyConfig,
+    /// Bypass the L1 for *global* loads (static cache bypassing, as in
+    /// Xie et al. ICCAD'13 — the companion technique the paper's
+    /// related-work section says CRAT composes with). Local-memory
+    /// spill traffic still uses the L1.
+    pub l1_bypass_global: bool,
+    /// DRAM bytes per core cycle available to one SM.
+    pub dram_bytes_per_cycle: f64,
+    /// Upper bound on simulated cycles (safety stop).
+    pub max_cycles: u64,
+}
+
+impl GpuConfig {
+    /// The Fermi-like configuration of the paper's Table 2.
+    pub fn fermi() -> GpuConfig {
+        GpuConfig {
+            name: "fermi".to_string(),
+            num_sms: 15,
+            clock_mhz: 700,
+            warp_size: 32,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 8,
+            registers_per_sm: 32 * 1024, // 128 KB
+            max_regs_per_thread: 63,
+            shmem_per_sm: 48 * 1024,
+            num_schedulers: 2,
+            scheduler: SchedulerKind::Gto,
+            l1: CacheConfig { bytes: 32 * 1024, ways: 4, line_bytes: 128, mshrs: 32 },
+            // 768 KB unified L2 divided across 15 SMs.
+            l2: CacheConfig { bytes: 768 * 1024 / 15, ways: 8, line_bytes: 128, mshrs: 64 },
+            lat: LatencyConfig {
+                alu: 18,
+                sfu: 36,
+                shared: 30,
+                param: 20,
+                l1_hit: 36,
+                l2: 180,
+                dram: 280,
+            },
+            l1_bypass_global: false,
+            dram_bytes_per_cycle: 16.0,
+            max_cycles: 200_000_000,
+        }
+    }
+
+    /// The Kepler-like scaling of §7.3: double register file, 2048
+    /// threads, 16 resident blocks, 255 registers per thread.
+    pub fn kepler() -> GpuConfig {
+        GpuConfig {
+            name: "kepler".to_string(),
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 16,
+            registers_per_sm: 64 * 1024, // 256 KB
+            max_regs_per_thread: 255,
+            ..GpuConfig::fermi()
+        }
+    }
+
+    /// The paper's `MinReg`: registers per thread below which the TLP
+    /// is no longer limited by registers (`NumRegister / MaxThreads`).
+    pub fn min_reg(&self) -> u32 {
+        self.registers_per_sm / self.max_threads_per_sm
+    }
+
+    /// Warps per thread block of `block_size` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is not a positive multiple of the warp
+    /// size (the simulator executes whole warps).
+    pub fn warps_per_block(&self, block_size: u32) -> u32 {
+        assert!(
+            block_size > 0 && block_size % self.warp_size == 0,
+            "block size {block_size} must be a positive multiple of {}",
+            self.warp_size
+        );
+        block_size / self.warp_size
+    }
+}
+
+/// A kernel launch: grid geometry plus parameter bindings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchConfig {
+    /// Thread blocks in the grid (across the whole GPU).
+    pub grid_blocks: u32,
+    /// Threads per block (multiple of the warp size).
+    pub block_size: u32,
+    /// Parameter values by name; pointers are synthetic global
+    /// addresses.
+    pub params: HashMap<String, u64>,
+}
+
+impl LaunchConfig {
+    /// A launch with no parameters bound.
+    pub fn new(grid_blocks: u32, block_size: u32) -> LaunchConfig {
+        LaunchConfig { grid_blocks, block_size, params: HashMap::new() }
+    }
+
+    /// Bind a parameter value (builder style).
+    pub fn with_param(mut self, name: &str, value: u64) -> LaunchConfig {
+        self.params.insert(name.to_string(), value);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fermi_matches_table2() {
+        let c = GpuConfig::fermi();
+        assert_eq!(c.num_sms, 15);
+        assert_eq!(c.registers_per_sm, 32768);
+        assert_eq!(c.shmem_per_sm, 48 * 1024);
+        assert_eq!(c.max_threads_per_sm, 1536);
+        assert_eq!(c.max_blocks_per_sm, 8);
+        assert_eq!(c.num_schedulers, 2);
+        assert_eq!(c.scheduler, SchedulerKind::Gto);
+        assert_eq!(c.l1.bytes, 32 * 1024);
+        assert_eq!(c.l1.ways, 4);
+        assert_eq!(c.l1.line_bytes, 128);
+        assert_eq!(c.l1.mshrs, 32);
+    }
+
+    #[test]
+    fn fermi_min_reg_is_21() {
+        // 32768 registers / 1536 threads = 21 (the paper's §4.1 example
+        // for GTX680 uses the same formula).
+        assert_eq!(GpuConfig::fermi().min_reg(), 21);
+    }
+
+    #[test]
+    fn kepler_scales_fermi() {
+        let k = GpuConfig::kepler();
+        assert_eq!(k.registers_per_sm, 65536);
+        assert_eq!(k.max_threads_per_sm, 2048);
+        assert_eq!(k.max_blocks_per_sm, 16);
+        assert_eq!(k.min_reg(), 32);
+        // Unchanged parts inherit from Fermi.
+        assert_eq!(k.l1, GpuConfig::fermi().l1);
+    }
+
+    #[test]
+    fn cache_sets() {
+        let c = CacheConfig { bytes: 32 * 1024, ways: 4, line_bytes: 128, mshrs: 32 };
+        assert_eq!(c.sets(), 64);
+    }
+
+    #[test]
+    fn warps_per_block() {
+        let c = GpuConfig::fermi();
+        assert_eq!(c.warps_per_block(256), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 32")]
+    fn non_warp_multiple_block_panics() {
+        GpuConfig::fermi().warps_per_block(100);
+    }
+
+    #[test]
+    fn launch_builder() {
+        let l = LaunchConfig::new(64, 128).with_param("out", 0x1000);
+        assert_eq!(l.grid_blocks, 64);
+        assert_eq!(l.params["out"], 0x1000);
+    }
+}

@@ -1,0 +1,299 @@
+//! Memory-hierarchy timing: L1 → L2 slice → bandwidth-limited DRAM.
+//!
+//! The hierarchy tracks *when* data arrives; values live in the
+//! functional memory. Loads allocate in L1 (write-back, LRU); stores
+//! are write-through without allocation (they update a present line
+//! and mark it dirty, otherwise stream to DRAM), so repeated spill
+//! reloads hit in L1 as long as the spill working set of the resident
+//! blocks fits — exactly the contention-vs-TLP effect the paper
+//! exploits.
+
+use crate::cache::{Cache, CacheDecision};
+use crate::config::{GpuConfig, LatencyConfig};
+use crate::stats::SimStats;
+
+/// The timing side of the SM's memory path.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    l1: Cache,
+    l2: Cache,
+    lat: LatencyConfig,
+    line_bytes: u64,
+    dram_next_free: u64,
+    dram_cycles_per_line: f64,
+    dram_fraction: f64,
+}
+
+impl MemorySystem {
+    /// Build from a GPU configuration.
+    pub fn new(cfg: &GpuConfig) -> MemorySystem {
+        MemorySystem {
+            l1: Cache::new(cfg.l1),
+            l2: Cache::new(cfg.l2),
+            lat: cfg.lat,
+            line_bytes: cfg.l1.line_bytes as u64,
+            dram_next_free: 0,
+            dram_cycles_per_line: cfg.l1.line_bytes as f64 / cfg.dram_bytes_per_cycle,
+            dram_fraction: 0.0,
+        }
+    }
+
+    /// Advance the DRAM bandwidth queue by one line transfer starting
+    /// no earlier than `now`; returns the cycle the transfer begins.
+    fn dram_slot(&mut self, now: u64) -> u64 {
+        let start = self.dram_next_free.max(now);
+        // Accumulate fractional cycles so bandwidth is exact over time.
+        self.dram_fraction += self.dram_cycles_per_line;
+        let whole = self.dram_fraction.floor();
+        self.dram_fraction -= whole;
+        self.dram_next_free = start + whole as u64;
+        start
+    }
+
+    /// Charge any L1 dirty-eviction write-backs to DRAM bandwidth.
+    fn charge_writebacks(&mut self, now: u64, stats: &mut SimStats) {
+        for _wb in self.l1.take_writebacks() {
+            let _ = self.dram_slot(now);
+            stats.dram_transactions += 1;
+        }
+        for _wb in self.l2.take_writebacks() {
+            let _ = self.dram_slot(now);
+            stats.dram_transactions += 1;
+        }
+    }
+
+    /// Service a miss in L2/DRAM; returns the cycle the line reaches L1.
+    fn l2_path(&mut self, addr: u64, now: u64, stats: &mut SimStats) -> Option<u64> {
+        stats.l2_accesses += 1;
+        match self.l2.access(addr, now) {
+            CacheDecision::Hit => {
+                stats.l2_hits += 1;
+                Some(now + self.lat.l1_hit as u64 + self.lat.l2 as u64)
+            }
+            CacheDecision::MissPending { ready_at } => {
+                Some(ready_at.max(now) + self.lat.l2 as u64)
+            }
+            CacheDecision::ReservationFail => None,
+            CacheDecision::MissNew => {
+                stats.dram_transactions += 1;
+                let start = self.dram_slot(now);
+                let done =
+                    start + (self.lat.l1_hit + self.lat.l2 + self.lat.dram) as u64;
+                self.l2.complete_miss(addr, done);
+                Some(done)
+            }
+        }
+    }
+
+    /// Issue a warp's coalesced load transactions straight to the L2,
+    /// bypassing the L1 (static cache bypassing). Never reservation-
+    /// fails at L1; returns `None` only when the L2 is saturated.
+    pub fn load_warp_bypass(
+        &mut self,
+        addrs: &[u64],
+        now: u64,
+        stats: &mut SimStats,
+    ) -> Option<u64> {
+        self.charge_writebacks(now, stats);
+        let mut ready = now + self.lat.l1_hit as u64;
+        for &a in addrs {
+            match self.l2_path(a, now, stats) {
+                Some(r) => ready = ready.max(r),
+                None => {
+                    stats.l1_reservation_fails += 1;
+                    return None;
+                }
+            }
+        }
+        Some(ready)
+    }
+
+    /// Issue a warp's coalesced load transactions (`addrs` are unique
+    /// line-aligned addresses). All transactions must be accepted
+    /// atomically: if the miss path is saturated, nothing is issued
+    /// and `None` is returned (one reservation failure is recorded).
+    ///
+    /// On success returns the cycle at which the last transaction's
+    /// data is available.
+    pub fn load_warp(&mut self, addrs: &[u64], now: u64, stats: &mut SimStats) -> Option<u64> {
+        self.l1.drain_completed(now);
+        self.charge_writebacks(now, stats);
+
+        // Capacity pre-check so a failed issue leaves no MSHR side
+        // effects behind (the instruction replays in full).
+        let mut new_lines = 0usize;
+        for &a in addrs {
+            match self.l1.access(a, now) {
+                CacheDecision::MissNew => new_lines += 1,
+                CacheDecision::ReservationFail => {
+                    stats.l1_reservation_fails += 1;
+                    return None;
+                }
+                _ => {}
+            }
+        }
+        if self.l1.mshrs_in_flight() + new_lines > self.l1.config().mshrs as usize {
+            stats.l1_reservation_fails += 1;
+            return None;
+        }
+
+        let mut ready = now + self.lat.l1_hit as u64;
+        for &a in addrs {
+            stats.l1_accesses += 1;
+            match self.l1.access(a, now) {
+                CacheDecision::Hit => {
+                    stats.l1_hits += 1;
+                }
+                CacheDecision::MissPending { ready_at } => {
+                    ready = ready.max(ready_at);
+                }
+                CacheDecision::MissNew => match self.l2_path(a, now, stats) {
+                    Some(fill) => {
+                        self.l1.complete_miss(a, fill);
+                        ready = ready.max(fill);
+                    }
+                    None => {
+                        // L2 saturated: stall the instruction; the L1
+                        // MSHRs allocated for earlier lines of this
+                        // warp remain (they are real in-flight fills).
+                        stats.l1_reservation_fails += 1;
+                        return None;
+                    }
+                },
+                CacheDecision::ReservationFail => {
+                    stats.l1_reservation_fails += 1;
+                    return None;
+                }
+            }
+        }
+        Some(ready)
+    }
+
+    /// Issue a warp's coalesced store transactions. Stores are
+    /// fire-and-forget: they update a present L1 line (marking it
+    /// dirty) or stream one DRAM transaction per missing line.
+    pub fn store_warp(&mut self, addrs: &[u64], now: u64, stats: &mut SimStats) {
+        self.l1.drain_completed(now);
+        self.charge_writebacks(now, stats);
+        for &a in addrs {
+            stats.l1_accesses += 1;
+            if self.l1.write_hit(a, now) {
+                stats.l1_hits += 1;
+            } else {
+                let _ = self.dram_slot(now);
+                stats.dram_transactions += 1;
+            }
+        }
+    }
+
+    /// Coalesce per-lane byte addresses into unique line addresses.
+    pub fn coalesce(&self, lane_addrs: impl Iterator<Item = u64>) -> Vec<u64> {
+        let mut lines: Vec<u64> = lane_addrs
+            .map(|a| a / self.line_bytes * self.line_bytes)
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memsys() -> (MemorySystem, SimStats) {
+        (MemorySystem::new(&GpuConfig::fermi()), SimStats::default())
+    }
+
+    #[test]
+    fn coalescing_merges_a_warp_row() {
+        let (m, _) = memsys();
+        // 32 consecutive 4-byte words: one 128-byte line.
+        let lines = m.coalesce((0..32u64).map(|i| 0x1000 + i * 4));
+        assert_eq!(lines, vec![0x1000]);
+        // Stride-128: 32 distinct lines.
+        let lines = m.coalesce((0..32u64).map(|i| 0x1000 + i * 128));
+        assert_eq!(lines.len(), 32);
+    }
+
+    #[test]
+    fn load_miss_then_hit() {
+        let (mut m, mut s) = memsys();
+        let t1 = m.load_warp(&[0x1000], 0, &mut s).unwrap();
+        assert!(t1 > 100, "cold miss goes to DRAM: {t1}");
+        assert_eq!(s.dram_transactions, 1);
+        // After the fill, the same line hits.
+        let t2 = m.load_warp(&[0x1000], t1, &mut s).unwrap();
+        assert_eq!(t2, t1 + GpuConfig::fermi().lat.l1_hit as u64);
+        assert_eq!(s.l1_hits, 1);
+        assert_eq!(s.l1_accesses, 2);
+    }
+
+    #[test]
+    fn mshr_saturation_fails_reservation() {
+        let (mut m, mut s) = memsys();
+        // 32 MSHRs: the 33rd distinct line cannot be accepted.
+        for i in 0..32u64 {
+            assert!(m.load_warp(&[i * 128], 0, &mut s).is_some());
+        }
+        assert!(m.load_warp(&[33 * 128], 0, &mut s).is_none());
+        assert_eq!(s.l1_reservation_fails, 1);
+        // After fills complete, capacity returns.
+        assert!(m.load_warp(&[33 * 128], 1_000_000, &mut s).is_some());
+    }
+
+    #[test]
+    fn atomic_issue_leaves_no_partial_mshrs() {
+        let (mut m, mut s) = memsys();
+        for i in 0..30u64 {
+            assert!(m.load_warp(&[i * 128], 0, &mut s).is_some());
+        }
+        // A 4-line warp load needs 4 MSHRs but only 2 remain.
+        let addrs: Vec<u64> = (100..104u64).map(|i| i * 128).collect();
+        assert!(m.load_warp(&addrs, 0, &mut s).is_none());
+        // The two free MSHRs must still be usable.
+        assert!(m.load_warp(&[200 * 128], 0, &mut s).is_some());
+        assert!(m.load_warp(&[201 * 128], 0, &mut s).is_some());
+    }
+
+    #[test]
+    fn dram_bandwidth_serializes_misses() {
+        let (mut m, mut s) = memsys();
+        let a = m.load_warp(&[0x0000], 0, &mut s).unwrap();
+        let b = m.load_warp(&[0x8000], 0, &mut s).unwrap();
+        assert!(b > a, "second DRAM transaction queues behind the first");
+    }
+
+    #[test]
+    fn store_hit_updates_line_store_miss_streams() {
+        let (mut m, mut s) = memsys();
+        m.store_warp(&[0x1000], 0, &mut s);
+        assert_eq!(s.dram_transactions, 1, "store miss streams to DRAM");
+        let fill = m.load_warp(&[0x1000], 10, &mut s).unwrap();
+        m.store_warp(&[0x1000], fill, &mut s);
+        assert_eq!(s.l1_hits, 1, "store after load-allocate hits");
+    }
+
+    #[test]
+    fn l2_absorbs_l1_capacity_misses() {
+        let (mut m, mut s) = memsys();
+        // Touch 512 lines (64 KB) — fits in the 51 KB L2 slice only
+        // partially, but re-touching the first lines after L1 eviction
+        // should find some in L2.
+        let mut t = 0;
+        for i in 0..512u64 {
+            if let Some(r) = m.load_warp(&[i * 128], t, &mut s) {
+                t = t.max(r);
+            }
+        }
+        let dram_before = s.dram_transactions;
+        for i in 0..64u64 {
+            if let Some(r) = m.load_warp(&[i * 128], t, &mut s) {
+                t = t.max(r);
+            }
+        }
+        let serviced_by_l2 = s.l2_hits > 0;
+        let dram_delta = s.dram_transactions - dram_before;
+        assert!(serviced_by_l2 || dram_delta == 64, "L2 should catch re-references");
+    }
+}

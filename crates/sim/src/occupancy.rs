@@ -1,0 +1,198 @@
+//! Occupancy: how many thread blocks can reside on an SM at once.
+//!
+//! The GPU "will launch as many thread blocks concurrently as possible
+//! until one or more dimension of resources are exhausted" (paper
+//! §2.1). Four dimensions are modeled: threads, blocks, registers, and
+//! shared memory.
+
+use crate::config::GpuConfig;
+
+/// Which resource limits the TLP at a given design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitingResource {
+    /// The per-SM thread limit.
+    Threads,
+    /// The per-SM resident-block limit.
+    Blocks,
+    /// The register file.
+    Registers,
+    /// Shared memory.
+    SharedMemory,
+}
+
+/// The occupancy result for one design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Resident thread blocks per SM (the paper's TLP).
+    pub blocks: u32,
+    /// The binding resource (the first one hit, in the order threads /
+    /// blocks / registers / shared memory).
+    pub limiter: LimitingResource,
+}
+
+/// Compute the maximum resident blocks per SM for a kernel using
+/// `regs_per_thread` registers, `shmem_per_block` bytes of shared
+/// memory, and `block_size` threads per block.
+///
+/// Register allocation is rounded to warp granularity (a warp's
+/// registers are allocated together), and shared memory to 128-byte
+/// granularity, matching real allocation hardware.
+///
+/// Returns an occupancy of 0 blocks (limited by the binding resource)
+/// when even a single block does not fit.
+///
+/// # Examples
+///
+/// ```
+/// use crat_sim::{occupancy, GpuConfig, LimitingResource};
+///
+/// let fermi = GpuConfig::fermi();
+/// // 48 registers x 256 threads: the register file allows 2 blocks.
+/// let occ = occupancy(&fermi, 48, 0, 256);
+/// assert_eq!(occ.blocks, 2);
+/// assert_eq!(occ.limiter, LimitingResource::Registers);
+/// ```
+pub fn occupancy(
+    cfg: &GpuConfig,
+    regs_per_thread: u32,
+    shmem_per_block: u32,
+    block_size: u32,
+) -> Occupancy {
+    let warps = cfg.warps_per_block(block_size);
+    let by_threads = cfg.max_threads_per_sm / block_size;
+    let by_blocks = cfg.max_blocks_per_sm;
+
+    let regs_per_warp = regs_per_thread.max(1) * cfg.warp_size;
+    let regs_per_block = regs_per_warp * warps;
+    let by_registers = cfg.registers_per_sm / regs_per_block.max(1);
+
+    let shmem_rounded = shmem_per_block.div_ceil(128) * 128;
+    let by_shmem = if shmem_rounded == 0 {
+        u32::MAX
+    } else {
+        cfg.shmem_per_sm / shmem_rounded
+    };
+
+    let candidates = [
+        (by_threads, LimitingResource::Threads),
+        (by_blocks, LimitingResource::Blocks),
+        (by_registers, LimitingResource::Registers),
+        (by_shmem, LimitingResource::SharedMemory),
+    ];
+    let (blocks, limiter) = candidates
+        .into_iter()
+        .min_by_key(|&(b, _)| b)
+        .expect("candidate list is non-empty");
+    Occupancy { blocks, limiter }
+}
+
+/// The largest register-per-thread budget that still allows `tlp`
+/// resident blocks — the "rightmost point of the stair" in the paper's
+/// design-space pruning (§4.2). Returns `None` if no budget in
+/// `[1, max_regs_per_thread]` achieves the TLP.
+pub fn max_regs_for_tlp(
+    cfg: &GpuConfig,
+    tlp: u32,
+    shmem_per_block: u32,
+    block_size: u32,
+) -> Option<u32> {
+    (1..=cfg.max_regs_per_thread)
+        .rev()
+        .find(|&r| occupancy(cfg, r, shmem_per_block, block_size).blocks >= tlp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fermi() -> GpuConfig {
+        GpuConfig::fermi()
+    }
+
+    #[test]
+    fn small_kernel_hits_block_limit() {
+        let o = occupancy(&fermi(), 16, 0, 128);
+        // 1536/128 = 12 by threads, 8 by blocks, registers plentiful.
+        assert_eq!(o.blocks, 8);
+        assert_eq!(o.limiter, LimitingResource::Blocks);
+    }
+
+    #[test]
+    fn thread_limit_binds_for_large_blocks() {
+        let o = occupancy(&fermi(), 16, 0, 512);
+        assert_eq!(o.blocks, 3);
+        assert_eq!(o.limiter, LimitingResource::Threads);
+    }
+
+    #[test]
+    fn register_limit_binds_for_fat_threads() {
+        // 48 regs * 256 threads = 12288 regs per block; 32768/12288 = 2.
+        let o = occupancy(&fermi(), 48, 0, 256);
+        assert_eq!(o.blocks, 2);
+        assert_eq!(o.limiter, LimitingResource::Registers);
+    }
+
+    #[test]
+    fn shmem_limit_binds_when_large() {
+        let o = occupancy(&fermi(), 16, 24 * 1024, 128);
+        assert_eq!(o.blocks, 2);
+        assert_eq!(o.limiter, LimitingResource::SharedMemory);
+    }
+
+    #[test]
+    fn occupancy_is_monotone_in_registers() {
+        let cfg = fermi();
+        let mut last = u32::MAX;
+        for r in 1..=63 {
+            let b = occupancy(&cfg, r, 0, 256).blocks;
+            assert!(b <= last, "occupancy must not increase with more registers");
+            last = b;
+        }
+    }
+
+    /// The staircase of the paper's Figure 11: occupancy is a step
+    /// function of registers per thread.
+    #[test]
+    fn staircase_shape() {
+        let cfg = fermi();
+        let blocks: Vec<u32> = (16..=63).map(|r| occupancy(&cfg, r, 0, 256).blocks).collect();
+        // At 256 threads/block the thread limit caps the low-register
+        // end at 6 blocks (1536/256); at 63 registers the register
+        // file allows only 2.
+        assert_eq!(blocks.first(), Some(&6));
+        assert_eq!(*blocks.last().unwrap(), 2);
+        // Monotone non-increasing steps (the staircase).
+        assert!(blocks.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn max_regs_for_tlp_is_rightmost_stair_point() {
+        let cfg = fermi();
+        let r = max_regs_for_tlp(&cfg, 4, 0, 256).unwrap();
+        assert_eq!(occupancy(&cfg, r, 0, 256).blocks, 4);
+        // One more register drops below 4 blocks.
+        assert!(occupancy(&cfg, r + 1, 0, 256).blocks < 4);
+    }
+
+    #[test]
+    fn max_regs_for_impossible_tlp_is_none() {
+        let cfg = fermi();
+        assert_eq!(max_regs_for_tlp(&cfg, 100, 0, 256), None);
+    }
+
+    #[test]
+    fn zero_blocks_when_shmem_oversized() {
+        let o = occupancy(&fermi(), 16, 64 * 1024, 128);
+        assert_eq!(o.blocks, 0);
+        assert_eq!(o.limiter, LimitingResource::SharedMemory);
+    }
+
+    /// The paper's §2.2 example: "given 2048 threads, each thread is
+    /// allocated 32 registers at most" (Kepler-like numbers).
+    #[test]
+    fn kepler_min_reg_example() {
+        let k = GpuConfig::kepler();
+        // With 2048 threads resident and 65536 registers, 32 regs each.
+        assert_eq!(k.registers_per_sm / k.max_threads_per_sm, 32);
+    }
+}

@@ -1,0 +1,129 @@
+//! Simulation statistics.
+
+/// Counters collected over one simulated kernel launch (one SM's share
+/// of the grid).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Total simulated cycles until the last block finished.
+    pub cycles: u64,
+    /// Warp instructions issued (terminator branches included).
+    pub warp_insts: u64,
+    /// Thread instructions (warp instructions × active lanes).
+    pub thread_insts: u64,
+    /// Thread blocks completed.
+    pub blocks: u32,
+    /// Resident blocks the SM actually ran with (the achieved TLP).
+    pub resident_blocks: u32,
+
+    /// L1 data-cache accesses (one per memory transaction).
+    pub l1_accesses: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// Issue attempts aborted because the L1's MSHRs or miss path were
+    /// saturated — the paper's "pipeline stall caused by the congestion
+    /// of cache requests" (Figure 5b).
+    pub l1_reservation_fails: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// DRAM transactions.
+    pub dram_transactions: u64,
+
+    /// Warp-level global-memory instructions executed.
+    pub global_insts: u64,
+    /// Warp-level local-memory instructions executed (spill traffic).
+    pub local_insts: u64,
+    /// Warp-level shared-memory instructions executed.
+    pub shared_insts: u64,
+    /// Bytes moved to/from local memory (thread granularity).
+    pub local_bytes: u64,
+    /// SFU instructions executed (warp level).
+    pub sfu_insts: u64,
+    /// Barrier instructions executed (warp level).
+    pub barrier_insts: u64,
+    /// Conditional branches that diverged (pushed SIMT frames).
+    pub divergent_branches: u64,
+
+    /// Cycles in which a scheduler had no ready warp to issue.
+    pub idle_scheduler_cycles: u64,
+    /// Cycles in which at least one warp existed but every candidate
+    /// was blocked on the scoreboard (latency not hidden).
+    pub scoreboard_stall_cycles: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle (warp instructions).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.warp_insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// L1 hit rate in `[0, 1]`; 0 when the cache was never accessed.
+    pub fn l1_hit_rate(&self) -> f64 {
+        if self.l1_accesses == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / self.l1_accesses as f64
+        }
+    }
+
+    /// L2 hit rate in `[0, 1]`.
+    pub fn l2_hit_rate(&self) -> f64 {
+        if self.l2_accesses == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / self.l2_accesses as f64
+        }
+    }
+
+    /// Performance relative to a baseline run of the same work:
+    /// `baseline.cycles / self.cycles`.
+    pub fn speedup_over(&self, baseline: &SimStats) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            baseline.cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let s = SimStats {
+            cycles: 100,
+            warp_insts: 250,
+            l1_accesses: 10,
+            l1_hits: 7,
+            l2_accesses: 4,
+            l2_hits: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.ipc(), 2.5);
+        assert_eq!(s.l1_hit_rate(), 0.7);
+        assert_eq!(s.l2_hit_rate(), 0.25);
+    }
+
+    #[test]
+    fn rates_are_zero_without_activity() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.l1_hit_rate(), 0.0);
+        assert_eq!(s.l2_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn speedup() {
+        let fast = SimStats { cycles: 50, ..Default::default() };
+        let slow = SimStats { cycles: 100, ..Default::default() };
+        assert_eq!(fast.speedup_over(&slow), 2.0);
+        assert_eq!(slow.speedup_over(&fast), 0.5);
+    }
+}

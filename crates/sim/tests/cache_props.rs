@@ -1,0 +1,115 @@
+//! Property tests for the cache model against a reference
+//! implementation, and for occupancy arithmetic.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use crat_sim::{occupancy, Cache, CacheConfig, CacheDecision, GpuConfig};
+
+/// A trivially correct reference: fully explicit set-associative LRU
+/// with instant fills (no MSHR modeling).
+#[derive(Default)]
+struct RefCache {
+    sets: HashMap<u64, Vec<(u64, u64)>>, // set -> [(line, last_used)]
+    ways: usize,
+    num_sets: u64,
+    time: u64,
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> RefCache {
+        RefCache {
+            sets: HashMap::new(),
+            ways: cfg.ways as usize,
+            num_sets: cfg.sets() as u64,
+            ..Default::default()
+        }
+    }
+
+    /// Returns whether `line` hit; installs it either way.
+    fn access(&mut self, line: u64) -> bool {
+        self.time += 1;
+        let set = self.sets.entry(line % self.num_sets).or_default();
+        if let Some(e) = set.iter_mut().find(|(l, _)| *l == line) {
+            e.1 = self.time;
+            return true;
+        }
+        if set.len() == self.ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(i, _)| i)
+                .expect("set non-empty");
+            set.remove(lru);
+        }
+        set.push((line, self.time));
+        false
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// With instant fills, our cache's hit/miss decisions must agree
+    /// with the reference LRU on any access trace.
+    #[test]
+    fn cache_matches_reference_lru(lines in prop::collection::vec(0u64..64, 1..300)) {
+        let cfg = CacheConfig { bytes: 2048, ways: 4, line_bytes: 64, mshrs: 64 };
+        let mut ours = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg);
+        let mut now = 0u64;
+        for line in lines {
+            let addr = line * 64;
+            now += 1;
+            let expect_hit = reference.access(line);
+            match ours.access(addr, now) {
+                CacheDecision::Hit => prop_assert!(expect_hit, "false hit on line {line}"),
+                CacheDecision::MissNew => {
+                    prop_assert!(!expect_hit, "false miss on line {line}");
+                    // Instant fill.
+                    ours.complete_miss(addr, now);
+                    ours.drain_completed(now);
+                }
+                other => prop_assert!(false, "unexpected decision {other:?}"),
+            }
+        }
+    }
+
+    /// Occupancy is monotone: more registers, more shared memory, or
+    /// bigger blocks never increase the resident-block count.
+    #[test]
+    fn occupancy_is_monotone(
+        regs in 1u32..64,
+        shmem in 0u32..48*1024,
+        warps in 1u32..16,
+    ) {
+        let cfg = GpuConfig::fermi();
+        let block = warps * 32;
+        let base = occupancy(&cfg, regs, shmem, block).blocks;
+        prop_assert!(occupancy(&cfg, regs + 1, shmem, block).blocks <= base);
+        prop_assert!(occupancy(&cfg, regs, shmem + 256, block).blocks <= base);
+        if block + 32 <= cfg.max_threads_per_sm {
+            prop_assert!(occupancy(&cfg, regs, shmem, block + 32).blocks <= base + base);
+        }
+    }
+
+    /// The occupancy result never violates any hardware limit.
+    #[test]
+    fn occupancy_respects_all_limits(
+        regs in 1u32..64,
+        shmem in 0u32..48*1024,
+        warps in 1u32..16,
+    ) {
+        let cfg = GpuConfig::fermi();
+        let block = warps * 32;
+        let blocks = occupancy(&cfg, regs, shmem, block).blocks;
+        prop_assert!(blocks <= cfg.max_blocks_per_sm);
+        prop_assert!(blocks * block <= cfg.max_threads_per_sm);
+        prop_assert!(blocks * regs * block <= cfg.registers_per_sm);
+        if shmem > 0 {
+            prop_assert!(blocks * (shmem.div_ceil(128) * 128) <= cfg.shmem_per_sm);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Input variants for the input-sensitivity study (paper §7.4).
+//!
+//! Different inputs of one application change the amount of work
+//! (threads / grid size), while per-block behaviour stays stable —
+//! which is why the paper finds the same `OptTLP` across inputs.
+
+use crate::spec::AppSpec;
+
+/// One input data set of an application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputVariant {
+    /// Input name (mirrors the original suite's data sets).
+    pub name: &'static str,
+    /// Grid blocks this input launches.
+    pub grid_blocks: u32,
+}
+
+/// The input variants for an application. Apps outside the paper's
+/// §7.4 study have a single default input.
+pub fn inputs(spec: &AppSpec) -> Vec<InputVariant> {
+    match spec.abbr {
+        // The paper uses CFD and BLK for the input study with 3-4
+        // inputs each.
+        "CFD" => vec![
+            InputVariant { name: "fvcorr.097K", grid_blocks: 120 },
+            InputVariant { name: "fvcorr.193K", grid_blocks: 240 },
+            InputVariant { name: "missile.232K", grid_blocks: 300 },
+        ],
+        "BLK" => vec![
+            InputVariant { name: "opt-1M", grid_blocks: 120 },
+            InputVariant { name: "opt-2M", grid_blocks: 240 },
+            InputVariant { name: "opt-4M", grid_blocks: 480 },
+            InputVariant { name: "opt-8M", grid_blocks: 960 },
+        ],
+        _ => vec![InputVariant { name: "default", grid_blocks: spec.grid_blocks }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::spec;
+
+    #[test]
+    fn study_apps_have_multiple_inputs() {
+        assert_eq!(inputs(spec("CFD")).len(), 3);
+        assert_eq!(inputs(spec("BLK")).len(), 4);
+        assert_eq!(inputs(spec("KMN")).len(), 1);
+    }
+
+    #[test]
+    fn input_names_are_unique_per_app() {
+        for app in crate::suite::all() {
+            let mut names: Vec<&str> = inputs(app).iter().map(|i| i.name).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), inputs(app).len(), "{}", app.abbr);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Application specifications.
+//!
+//! Each paper application (Table 3) is modeled as a parameterized
+//! synthetic kernel whose *characteristics* — register demand, L1
+//! working set per block, arithmetic intensity, shared-memory use —
+//! are calibrated to place it in the regime the paper reports for that
+//! app. See `DESIGN.md` for the substitution argument.
+
+use crat_ptx::Type;
+
+/// Whether the paper classifies the application as resource sensitive
+/// (§7.1): sensitive apps respond to cache or register pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Sensitive to cache contention or register pressure (Table 3 top).
+    ResourceSensitive,
+    /// Neither cache- nor register-limited (Table 3 bottom).
+    ResourceInsensitive,
+}
+
+/// A synthetic application modeled after one paper benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSpec {
+    /// Full benchmark name (e.g. `"cfd"`).
+    pub name: &'static str,
+    /// The paper's abbreviation (e.g. `"CFD"`).
+    pub abbr: &'static str,
+    /// The dominant kernel's name in the original suite.
+    pub kernel: &'static str,
+    /// Source suite (`"Rodinia"`, `"Parboil"`, `"SDK"`).
+    pub suite: &'static str,
+    /// Sensitivity classification.
+    pub category: Category,
+
+    /// Threads per block (multiple of 32).
+    pub block_size: u32,
+    /// Grid blocks of the default input.
+    pub grid_blocks: u32,
+    /// Hot accumulators live across the main loop (register demand,
+    /// accessed every iteration).
+    pub hot_vars: u32,
+    /// Cold values live across the loop but accessed only before and
+    /// after it — the paper's cheap spill candidates (FDTD's `var2`).
+    pub cold_vars: u32,
+    /// Main-loop trip count of the default input.
+    pub trips: u32,
+    /// Per-block L1 working set in bytes (power of two); the loop
+    /// re-references this window, so resident-blocks × window vs. L1
+    /// capacity decides hit rates.
+    pub window_bytes: u32,
+    /// Byte stride between successive iterations' accesses.
+    pub stride_bytes: u32,
+    /// Global loads per loop iteration, each streaming its own region
+    /// of the window (models multi-array kernels like CFD's flux or
+    /// FDTD's stencil points).
+    pub loads_per_iter: u32,
+    /// Extra rotating multiply-adds per iteration beyond the one
+    /// update every hot accumulator receives (arithmetic intensity).
+    pub compute_per_load: u32,
+    /// SFU operations per loop iteration.
+    pub sfu_per_iter: u32,
+    /// Shared memory the app itself uses, bytes per block.
+    pub shmem_bytes: u32,
+    /// Whether the kernel synchronizes the block with a barrier.
+    pub uses_barrier: bool,
+    /// Whether the main loop contains a data-dependent, per-lane
+    /// divergent branch (irregular apps like BFS and MUM).
+    pub divergent: bool,
+    /// Element type of the data arrays.
+    pub elem_ty: Type,
+}
+
+impl AppSpec {
+    /// Whether the app is resource sensitive.
+    pub fn is_sensitive(&self) -> bool {
+        self.category == Category::ResourceSensitive
+    }
+
+    /// Element size in bytes.
+    pub fn elem_bytes(&self) -> u32 {
+        self.elem_ty.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_bytes_follow_type() {
+        let mut s = crate::suite::spec("CFD").clone();
+        s.elem_ty = Type::F64;
+        assert_eq!(s.elem_bytes(), 8);
+        s.elem_ty = Type::U32;
+        assert_eq!(s.elem_bytes(), 4);
+    }
+
+    #[test]
+    fn category_query() {
+        assert!(crate::suite::spec("CFD").is_sensitive());
+        assert!(!crate::suite::spec("BFS").is_sensitive());
+    }
+}

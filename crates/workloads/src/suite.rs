@@ -1,0 +1,184 @@
+//! The 22 applications of the paper's Table 3.
+
+use crat_ptx::Type;
+
+use crate::spec::{AppSpec, Category};
+
+use Category::{ResourceInsensitive as RI, ResourceSensitive as RS};
+
+macro_rules! app {
+    ($name:literal, $abbr:literal, $kernel:literal, $suite:literal, $cat:expr,
+     block=$block:literal, grid=$grid:literal, hot=$hot:literal, cold=$cold:literal,
+     trips=$trips:literal, window=$window:literal, stride=$stride:literal,
+     loads=$loads:literal, cpl=$cpl:literal, sfu=$sfu:literal, shm=$shm:literal, barrier=$barrier:literal,
+     divergent=$divergent:literal, ty=$ty:expr) => {
+        AppSpec {
+            name: $name,
+            abbr: $abbr,
+            kernel: $kernel,
+            suite: $suite,
+            category: $cat,
+            block_size: $block,
+            grid_blocks: $grid,
+            hot_vars: $hot,
+            cold_vars: $cold,
+            trips: $trips,
+            window_bytes: $window,
+            stride_bytes: $stride,
+            loads_per_iter: $loads,
+            compute_per_load: $cpl,
+            sfu_per_iter: $sfu,
+            shmem_bytes: $shm,
+            uses_barrier: $barrier,
+            divergent: $divergent,
+            elem_ty: $ty,
+        }
+    };
+}
+
+/// The full application table. Sensitive apps first, in the paper's
+/// order, then the insensitive ones.
+pub static APPS: &[AppSpec] = &[
+    // ----- Resource sensitive (Table 3, top) -----
+    app!("BlackScholes", "BLK", "BlackScholesGPU", "SDK", RS,
+        block=128, grid=120, hot=13, cold=4, trips=96, window=4096, stride=128,
+        loads=2, cpl=2, sfu=4, shm=0, barrier=false, divergent=false, ty=Type::F32),
+    app!("cfd", "CFD", "cuda_compute_flux", "Rodinia", RS,
+        block=192, grid=120, hot=12, cold=6, trips=96, window=4096, stride=256,
+        loads=6, cpl=0, sfu=1, shm=0, barrier=false, divergent=false, ty=Type::F32),
+    app!("dxtc", "DTC", "compress", "SDK", RS,
+        block=192, grid=160, hot=10, cold=6, trips=64, window=4096, stride=128,
+        loads=2, cpl=3, sfu=0, shm=2048, barrier=true, divergent=false, ty=Type::U32),
+    app!("EstimatePi", "ESP", "initRNG", "SDK", RS,
+        block=128, grid=120, hot=12, cold=4, trips=96, window=2048, stride=64,
+        loads=1, cpl=6, sfu=2, shm=0, barrier=false, divergent=false, ty=Type::F32),
+    app!("FDTD3d", "FDTD", "FiniteDifferences", "SDK", RS,
+        block=512, grid=60, hot=11, cold=10, trips=64, window=8192, stride=256,
+        loads=6, cpl=0, sfu=0, shm=0, barrier=false, divergent=false, ty=Type::F32),
+    app!("hotspot", "HST", "calculate_temp", "Rodinia", RS,
+        block=256, grid=120, hot=11, cold=6, trips=64, window=8192, stride=256,
+        loads=4, cpl=2, sfu=0, shm=3072, barrier=true, divergent=false, ty=Type::F32),
+    app!("kmeans", "KMN", "invert_mapping", "Rodinia", RS,
+        block=256, grid=120, hot=6, cold=0, trips=96, window=16384, stride=512,
+        loads=4, cpl=0, sfu=0, shm=0, barrier=false, divergent=false, ty=Type::F32),
+    app!("lbm", "LBM", "StreamCollide", "Parboil", RS,
+        block=128, grid=120, hot=5, cold=0, trips=64, window=8192, stride=256,
+        loads=8, cpl=0, sfu=0, shm=0, barrier=false, divergent=false, ty=Type::F32),
+    app!("spmv", "SPMV", "spmv_jds", "Parboil", RS,
+        block=128, grid=120, hot=8, cold=0, trips=64, window=16384, stride=512,
+        loads=4, cpl=0, sfu=0, shm=0, barrier=false, divergent=false, ty=Type::F32),
+    app!("stencil", "STE", "block2D", "Parboil", RS,
+        block=256, grid=120, hot=12, cold=6, trips=64, window=8192, stride=256,
+        loads=6, cpl=0, sfu=0, shm=0, barrier=false, divergent=false, ty=Type::F32),
+    app!("streamcluster", "STM", "compute_cost", "Rodinia", RS,
+        block=192, grid=120, hot=10, cold=0, trips=64, window=16384, stride=512,
+        loads=4, cpl=1, sfu=1, shm=0, barrier=false, divergent=false, ty=Type::F32),
+    // ----- Resource insensitive (Table 3, bottom) -----
+    app!("backprop", "BAK", "layerforward", "Rodinia", RI,
+        block=128, grid=120, hot=8, cold=0, trips=32, window=1024, stride=64,
+        loads=1, cpl=3, sfu=0, shm=0, barrier=false, divergent=false, ty=Type::F32),
+    app!("bfs", "BFS", "kernel", "Rodinia", RI,
+        block=128, grid=180, hot=6, cold=0, trips=32, window=2048, stride=128,
+        loads=2, cpl=1, sfu=0, shm=0, barrier=false, divergent=true, ty=Type::U32),
+    app!("b+tree", "B+T", "findK", "Rodinia", RI,
+        block=128, grid=120, hot=8, cold=0, trips=32, window=2048, stride=128,
+        loads=2, cpl=1, sfu=0, shm=0, barrier=false, divergent=false, ty=Type::U32),
+    app!("gaussian", "GAU", "Fan1", "Rodinia", RI,
+        block=64, grid=120, hot=6, cold=0, trips=32, window=1024, stride=64,
+        loads=1, cpl=3, sfu=0, shm=0, barrier=false, divergent=false, ty=Type::F32),
+    app!("lud", "LUD", "diagonal", "Rodinia", RI,
+        block=64, grid=120, hot=10, cold=0, trips=32, window=1024, stride=64,
+        loads=1, cpl=3, sfu=0, shm=1024, barrier=true, divergent=false, ty=Type::F32),
+    app!("mummergpu", "MUM", "mummergpuKernel", "Rodinia", RI,
+        block=128, grid=120, hot=8, cold=0, trips=40, window=2048, stride=128,
+        loads=2, cpl=1, sfu=0, shm=0, barrier=false, divergent=true, ty=Type::U32),
+    app!("nw", "NEED", "cuda_shared_1", "Rodinia", RI,
+        block=32, grid=240, hot=8, cold=0, trips=32, window=1024, stride=64,
+        loads=1, cpl=3, sfu=0, shm=2048, barrier=true, divergent=false, ty=Type::S32),
+    app!("particlefilter", "PTF", "kernel", "Rodinia", RI,
+        block=128, grid=120, hot=10, cold=0, trips=32, window=1024, stride=64,
+        loads=1, cpl=3, sfu=1, shm=0, barrier=false, divergent=false, ty=Type::F32),
+    app!("pathfinder", "PATH", "dynproc", "Rodinia", RI,
+        block=256, grid=120, hot=8, cold=0, trips=32, window=1024, stride=64,
+        loads=1, cpl=3, sfu=0, shm=1024, barrier=true, divergent=false, ty=Type::S32),
+    app!("sgemm", "SGM", "mysgemmNT", "Parboil", RI,
+        block=128, grid=120, hot=8, cold=0, trips=48, window=2048, stride=128,
+        loads=2, cpl=2, sfu=0, shm=2048, barrier=true, divergent=false, ty=Type::F32),
+    app!("srad", "SRAD", "srad_cuda", "Rodinia", RI,
+        block=256, grid=120, hot=10, cold=0, trips=32, window=2048, stride=128,
+        loads=2, cpl=1, sfu=1, shm=0, barrier=false, divergent=false, ty=Type::F32),
+];
+
+/// All applications.
+pub fn all() -> impl Iterator<Item = &'static AppSpec> {
+    APPS.iter()
+}
+
+/// The resource-sensitive applications (paper Figure 13).
+pub fn sensitive() -> impl Iterator<Item = &'static AppSpec> {
+    APPS.iter().filter(|a| a.is_sensitive())
+}
+
+/// The resource-insensitive applications (paper Figure 19).
+pub fn insensitive() -> impl Iterator<Item = &'static AppSpec> {
+    APPS.iter().filter(|a| !a.is_sensitive())
+}
+
+/// Look up an application by its paper abbreviation.
+///
+/// # Panics
+///
+/// Panics if the abbreviation is unknown.
+pub fn spec(abbr: &str) -> &'static AppSpec {
+    APPS.iter()
+        .find(|a| a.abbr == abbr)
+        .unwrap_or_else(|| panic!("unknown application `{abbr}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_two_apps_eleven_sensitive() {
+        assert_eq!(APPS.len(), 22);
+        assert_eq!(sensitive().count(), 11);
+        assert_eq!(insensitive().count(), 11);
+    }
+
+    #[test]
+    fn abbreviations_are_unique() {
+        let mut abbrs: Vec<&str> = APPS.iter().map(|a| a.abbr).collect();
+        abbrs.sort_unstable();
+        abbrs.dedup();
+        assert_eq!(abbrs.len(), 22);
+    }
+
+    #[test]
+    fn windows_are_powers_of_two() {
+        for a in APPS {
+            assert!(a.window_bytes.is_power_of_two(), "{}", a.abbr);
+            assert!(a.stride_bytes.is_power_of_two(), "{}", a.abbr);
+            assert_eq!(a.block_size % 32, 0, "{}", a.abbr);
+        }
+    }
+
+    #[test]
+    fn paper_table3_membership() {
+        for abbr in ["BLK", "CFD", "DTC", "ESP", "FDTD", "HST", "KMN", "LBM", "SPMV", "STE", "STM"]
+        {
+            assert!(spec(abbr).is_sensitive(), "{abbr} is sensitive in Table 3");
+        }
+        for abbr in
+            ["BAK", "BFS", "B+T", "GAU", "LUD", "MUM", "NEED", "PTF", "PATH", "SGM", "SRAD"]
+        {
+            assert!(!spec(abbr).is_sensitive(), "{abbr} is insensitive in Table 3");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown application")]
+    fn unknown_abbr_panics() {
+        spec("NOPE");
+    }
+}

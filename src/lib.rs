@@ -1,0 +1,19 @@
+//! Umbrella crate for the CRAT reproduction suite.
+//!
+//! Re-exports the public API of every member crate so examples and
+//! integration tests can depend on a single package:
+//!
+//! * [`ptx`] — the PTX-subset IR (parser, printer, builder, liveness);
+//! * [`regalloc`] — Chaitin–Briggs and linear-scan register allocation
+//!   with shared-memory spill optimization;
+//! * [`sim`] — the GPU timing simulator (SMs, warps, caches, energy);
+//! * [`core`] — the CRAT optimizer (design-space pruning, TPSC);
+//! * [`workloads`] — the synthetic benchmark suite from the paper.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use crat_core as core;
+pub use crat_ptx as ptx;
+pub use crat_regalloc as regalloc;
+pub use crat_sim as sim;
+pub use crat_workloads as workloads;
