@@ -17,11 +17,17 @@ fn bench_pipeline_variants(c: &mut Criterion) {
     let variants: Vec<(&str, CratOptions)> = vec![
         (
             "crat_shm_on",
-            CratOptions { opt_tlp: OptTlpSource::Given(2), ..CratOptions::new() },
+            CratOptions {
+                opt_tlp: OptTlpSource::Given(2),
+                ..CratOptions::new()
+            },
         ),
         (
             "crat_shm_off",
-            CratOptions { opt_tlp: OptTlpSource::Given(2), ..CratOptions::local_only() },
+            CratOptions {
+                opt_tlp: OptTlpSource::Given(2),
+                ..CratOptions::local_only()
+            },
         ),
         ("crat_static", CratOptions::static_analysis(0.6)),
     ];

@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use crat_core::{
-    analyze, estimate_opt_tlp, optimize, profile_opt_tlp, CratOptions, OptTlpSource,
-    ALLOC_FLOOR, STATIC_L1_HIT_RATE,
+    analyze, estimate_opt_tlp, optimize, profile_opt_tlp, CratOptions, OptTlpSource, ALLOC_FLOOR,
+    STATIC_L1_HIT_RATE,
 };
 use crat_regalloc::{allocate, AllocOptions};
 use crat_sim::GpuConfig;
@@ -18,8 +18,11 @@ fn bench_opt_tlp_sources(c: &mut Criterion) {
     let gpu = GpuConfig::fermi();
     let launch = launch_sized(app, 30);
     let usage = analyze(&kernel, &gpu, &launch);
-    let alloc =
-        allocate(&kernel, &AllocOptions::new(usage.default_reg.max(ALLOC_FLOOR))).unwrap();
+    let alloc = allocate(
+        &kernel,
+        &AllocOptions::new(usage.default_reg.max(ALLOC_FLOOR)),
+    )
+    .unwrap();
 
     c.bench_function("opt_tlp_profiled_cfd", |b| {
         b.iter(|| {
@@ -50,7 +53,10 @@ fn bench_exploration(c: &mut Criterion) {
                 black_box(&kernel),
                 &gpu,
                 &launch,
-                &CratOptions { opt_tlp: OptTlpSource::Given(4), ..CratOptions::new() },
+                &CratOptions {
+                    opt_tlp: OptTlpSource::Given(4),
+                    ..CratOptions::new()
+                },
             )
             .unwrap()
         })

@@ -10,7 +10,9 @@ use crat_workloads::{build_kernel, suite};
 
 fn bench_analyses(c: &mut Criterion) {
     let kernel = build_kernel(suite::spec("CFD"));
-    c.bench_function("cfg_build_cfd", |b| b.iter(|| Cfg::build(black_box(&kernel))));
+    c.bench_function("cfg_build_cfd", |b| {
+        b.iter(|| Cfg::build(black_box(&kernel)))
+    });
     let cfg = Cfg::build(&kernel);
     c.bench_function("liveness_cfd", |b| {
         b.iter(|| Liveness::compute(black_box(&kernel), black_box(&cfg)))
@@ -33,8 +35,10 @@ fn bench_allocation(c: &mut Criterion) {
         });
     }
     c.bench_function("allocate_cfd_28_shm", |b| {
-        let opts = AllocOptions::new(28)
-            .with_shm_spill(ShmSpillConfig { spare_bytes: 24 * 1024, block_size: 192 });
+        let opts = AllocOptions::new(28).with_shm_spill(ShmSpillConfig {
+            spare_bytes: 24 * 1024,
+            block_size: 192,
+        });
         b.iter(|| allocate(black_box(&kernel), &opts).unwrap())
     });
 }
@@ -50,9 +54,17 @@ fn bench_knapsack(c: &mut Criterion) {
 fn bench_parser(c: &mut Criterion) {
     let kernel = build_kernel(suite::spec("CFD"));
     let text = kernel.to_ptx();
-    c.bench_function("parse_cfd_ptx", |b| b.iter(|| crat_ptx::parse(black_box(&text)).unwrap()));
+    c.bench_function("parse_cfd_ptx", |b| {
+        b.iter(|| crat_ptx::parse(black_box(&text)).unwrap())
+    });
     c.bench_function("print_cfd_ptx", |b| b.iter(|| black_box(&kernel).to_ptx()));
 }
 
-criterion_group!(benches, bench_analyses, bench_allocation, bench_knapsack, bench_parser);
+criterion_group!(
+    benches,
+    bench_analyses,
+    bench_allocation,
+    bench_knapsack,
+    bench_parser
+);
 criterion_main!(benches);

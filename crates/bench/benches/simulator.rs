@@ -1,9 +1,12 @@
-//! Criterion benches for the simulator substrate.
+//! Criterion benches for the simulator substrate, measured through the
+//! evaluation engine's cold path (a fresh engine per iteration, so
+//! every measured call is a cache miss: key hashing + simulation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-use crat_sim::{simulate, GpuConfig, SchedulerKind};
+use crat_core::EvalEngine;
+use crat_sim::{GpuConfig, SchedulerKind};
 use crat_workloads::{build_kernel, launch_sized, suite};
 
 fn bench_simulate(c: &mut Criterion) {
@@ -13,7 +16,14 @@ fn bench_simulate(c: &mut Criterion) {
         let kernel = build_kernel(app);
         let launch = launch_sized(app, 30);
         c.bench_function(&format!("simulate_{abbr}_30blocks"), |b| {
-            b.iter(|| simulate(black_box(&kernel), &gpu, &launch, 21, None).unwrap())
+            b.iter_batched(
+                EvalEngine::serial,
+                |e| {
+                    e.simulate(black_box(&kernel), &gpu, &launch, 21, None)
+                        .unwrap()
+                },
+                BatchSize::SmallInput,
+            )
         });
     }
 }
@@ -26,7 +36,14 @@ fn bench_schedulers(c: &mut Criterion) {
         let mut gpu = GpuConfig::fermi();
         gpu.scheduler = sched;
         c.bench_function(&format!("simulate_ste_{sched:?}"), |b| {
-            b.iter(|| simulate(black_box(&kernel), &gpu, &launch, 21, None).unwrap())
+            b.iter_batched(
+                EvalEngine::serial,
+                |e| {
+                    e.simulate(black_box(&kernel), &gpu, &launch, 21, None)
+                        .unwrap()
+                },
+                BatchSize::SmallInput,
+            )
         });
     }
 }
@@ -38,7 +55,14 @@ fn bench_throttled(c: &mut Criterion) {
     let gpu = GpuConfig::fermi();
     for tlp in [1u32, 4] {
         c.bench_function(&format!("simulate_kmn_tlp{tlp}"), |b| {
-            b.iter(|| simulate(black_box(&kernel), &gpu, &launch, 21, Some(tlp)).unwrap())
+            b.iter_batched(
+                EvalEngine::serial,
+                |e| {
+                    e.simulate(black_box(&kernel), &gpu, &launch, 21, Some(tlp))
+                        .unwrap()
+                },
+                BatchSize::SmallInput,
+            )
         });
     }
 }

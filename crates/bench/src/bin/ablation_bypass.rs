@@ -5,7 +5,10 @@
 //! Bypassing global loads around the L1 leaves the whole cache to the
 //! spill traffic; this measures CRAT with and without it.
 
-use crat_bench::{csv_flag, table::{f2, Table}};
+use crat_bench::{
+    csv_flag,
+    table::{f2, Table},
+};
 use crat_core::{evaluate, Technique};
 use crat_sim::GpuConfig;
 use crat_workloads::{build_kernel, launch_sized, suite};
@@ -17,7 +20,12 @@ fn main() {
     bypass.l1_bypass_global = true;
 
     let mut t = Table::new(&[
-        "app", "OptTLP cycles", "CRAT cycles", "CRAT+bypass cycles", "CRAT", "CRAT+bypass",
+        "app",
+        "OptTLP cycles",
+        "CRAT cycles",
+        "CRAT+bypass cycles",
+        "CRAT",
+        "CRAT+bypass",
     ]);
     for abbr in ["CFD", "KMN", "FDTD", "STE", "SPMV"] {
         let app = suite::spec(abbr);

@@ -12,8 +12,14 @@ fn main() {
     let csv = csv_flag();
     let gpu = GpuConfig::fermi();
     let mut t = Table::new(&[
-        "app", "insts before", "insts after", "MaxReg before", "MaxReg after",
-        "folded", "copies", "dce",
+        "app",
+        "insts before",
+        "insts after",
+        "MaxReg before",
+        "MaxReg after",
+        "folded",
+        "copies",
+        "dce",
     ]);
     for app in suite::sensitive() {
         let kernel = build_kernel(app);

@@ -6,9 +6,13 @@
 //! 3. shared-memory spilling on/off (CRAT vs CRAT-local);
 //! 4. TPSC choice quality vs a simulation oracle over the candidates.
 
-use crat_bench::{csv_flag, table::{f2, Table}};
+use crat_bench::{
+    csv_flag,
+    table::{f2, Table},
+};
+use crat_core::engine::simulate;
 use crat_core::{optimize, CratOptions, OptTlpSource, Technique};
-use crat_sim::{simulate, GpuConfig, SchedulerKind};
+use crat_sim::{GpuConfig, SchedulerKind};
 use crat_workloads::{build_kernel, launch_sized, suite};
 
 fn main() {
@@ -38,7 +42,13 @@ fn main() {
     // 2 + 4. Pruning safety and TPSC quality: simulate every candidate
     // of the pruned set and compare the TPSC pick with the oracle.
     println!("\n2) TPSC pick vs simulation oracle over candidates:\n");
-    let mut t = Table::new(&["app", "candidates", "TPSC pick", "oracle pick", "TPSC/oracle perf"]);
+    let mut t = Table::new(&[
+        "app",
+        "candidates",
+        "TPSC pick",
+        "oracle pick",
+        "TPSC/oracle perf",
+    ]);
     for abbr in ["CFD", "FDTD", "BLK", "HST", "STE"] {
         let app = suite::spec(abbr);
         let kernel = build_kernel(app);

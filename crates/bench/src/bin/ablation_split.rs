@@ -3,19 +3,32 @@
 //! by-width split and a per-variable split on the apps with retained
 //! spills.
 
-use crat_bench::{csv_flag, table::{f2, Table}};
+use crat_bench::{
+    csv_flag,
+    table::{f2, Table},
+};
+use crat_core::engine::simulate;
 use crat_regalloc::{allocate, AllocOptions, ShmSpillConfig, SpillSplit};
-use crat_sim::{simulate, GpuConfig};
+use crat_sim::GpuConfig;
 use crat_workloads::{build_kernel, launch_sized, suite};
 
 fn main() {
     let csv = csv_flag();
     let gpu = GpuConfig::fermi();
-    let strategies =
-        [("by-type", SpillSplit::ByType), ("by-width", SpillSplit::ByWidth), ("per-var", SpillSplit::PerVariable)];
+    let strategies = [
+        ("by-type", SpillSplit::ByType),
+        ("by-width", SpillSplit::ByWidth),
+        ("per-var", SpillSplit::PerVariable),
+    ];
 
     let mut t = Table::new(&[
-        "app", "strategy", "sub-stacks", "shm insts", "local insts", "cycles", "speedup",
+        "app",
+        "strategy",
+        "sub-stacks",
+        "shm insts",
+        "local insts",
+        "cycles",
+        "speedup",
     ]);
     for (abbr, budget, tlp) in [("FDTD", 30u32, 2u32), ("DTC", 24, 6), ("CFD", 26, 3)] {
         let app = suite::spec(abbr);
@@ -25,11 +38,21 @@ fn main() {
         let mut base_cycles = None;
         for (name, split) in strategies {
             let opts = AllocOptions::new(budget)
-                .with_shm_spill(ShmSpillConfig { spare_bytes: spare, block_size: app.block_size })
+                .with_shm_spill(ShmSpillConfig {
+                    spare_bytes: spare,
+                    block_size: app.block_size,
+                })
                 .with_spill_split(split);
             let Ok(alloc) = allocate(&kernel, &opts) else {
-                t.row(vec![abbr.into(), name.into(), "-".into(), "-".into(), "-".into(),
-                    "alloc failed".into(), String::new()]);
+                t.row(vec![
+                    abbr.into(),
+                    name.into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "alloc failed".into(),
+                    String::new(),
+                ]);
                 continue;
             };
             let stats = simulate(&alloc.kernel, &gpu, &launch, alloc.slots_used, Some(tlp))

@@ -1,13 +1,20 @@
 //! §7.2 energy results: CRAT vs OptTLP total energy.
 
-use crat_bench::{csv_flag, run_suite, sensitive_apps, table::{f3, pct, Table}};
+use crat_bench::{
+    csv_flag, run_suite, sensitive_apps,
+    table::{f3, pct, Table},
+};
 use crat_core::Technique;
 use crat_sim::GpuConfig;
 
 fn main() {
     let csv = csv_flag();
     let gpu = GpuConfig::fermi();
-    let runs = run_suite(&sensitive_apps(), &gpu, &[Technique::OptTlp, Technique::Crat]);
+    let runs = run_suite(
+        &sensitive_apps(),
+        &gpu,
+        &[Technique::OptTlp, Technique::Crat],
+    );
 
     let mut t = Table::new(&["app", "OptTLP J", "CRAT J", "saving"]);
     let mut savings = Vec::new();
@@ -23,4 +30,5 @@ fn main() {
     t.print(csv);
     println!("\nPaper: CRAT saves 16.5% energy on average vs OptTLP (shorter runtime cuts");
     println!("leakage; fewer local-memory spills cut DRAM dynamic energy).");
+    crat_bench::print_engine_stats(csv);
 }

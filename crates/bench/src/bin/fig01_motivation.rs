@@ -1,27 +1,48 @@
 //! Figure 1: the motivation — thread throttling (`OptTLP`) improves
 //! performance over `MaxTLP` (a), but leaves registers idle (b).
 
-use crat_bench::{csv_flag, geomean, run_suite, sensitive_apps, table::{f2, pct, Table}};
+use crat_bench::{
+    csv_flag, geomean, run_suite, sensitive_apps,
+    table::{f2, pct, Table},
+};
 use crat_core::Technique;
 use crat_sim::GpuConfig;
 
 fn main() {
     let csv = csv_flag();
     let gpu = GpuConfig::fermi();
-    let runs = run_suite(&sensitive_apps(), &gpu, &[Technique::MaxTlp, Technique::OptTlp]);
+    let runs = run_suite(
+        &sensitive_apps(),
+        &gpu,
+        &[Technique::MaxTlp, Technique::OptTlp],
+    );
 
     let mut t = Table::new(&[
-        "app", "OptTLP speedup", "MaxTLP reg util", "OptTLP reg util", "reg waste",
+        "app",
+        "OptTLP speedup",
+        "MaxTLP reg util",
+        "OptTLP reg util",
+        "reg waste",
     ]);
     let mut speedups = Vec::new();
     let mut wastes = Vec::new();
     for r in &runs {
         let speed = r.speedup(Technique::OptTlp, Technique::MaxTlp);
-        let u_max = r.of(Technique::MaxTlp).register_utilization(&gpu, r.app.block_size);
-        let u_opt = r.of(Technique::OptTlp).register_utilization(&gpu, r.app.block_size);
+        let u_max = r
+            .of(Technique::MaxTlp)
+            .register_utilization(&gpu, r.app.block_size);
+        let u_opt = r
+            .of(Technique::OptTlp)
+            .register_utilization(&gpu, r.app.block_size);
         speedups.push(speed);
         wastes.push(1.0 - u_opt);
-        t.row(vec![r.app.abbr.into(), f2(speed), pct(u_max), pct(u_opt), pct(1.0 - u_opt)]);
+        t.row(vec![
+            r.app.abbr.into(),
+            f2(speed),
+            pct(u_max),
+            pct(u_opt),
+            pct(1.0 - u_opt),
+        ]);
     }
     t.row(vec![
         "GMEAN/AVG".into(),
@@ -32,4 +53,5 @@ fn main() {
     ]);
     t.print(csv);
     println!("\nPaper: OptTLP speeds up MaxTLP by 1.42x on average and wastes 51.3% of registers.");
+    crat_bench::print_engine_stats(csv);
 }

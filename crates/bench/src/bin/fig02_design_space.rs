@@ -1,11 +1,15 @@
 //! Figure 2: the (registers-per-thread × TLP) design space of CFD —
 //! simulated speedup over MaxTLP at every feasible point.
 
-use crat_bench::{csv_flag, table::{f2, Table}};
-use crat_core::{evaluate, Technique};
+use crat_bench::{
+    csv_flag,
+    table::{f2, Table},
+};
+use crat_core::engine::simulate;
 use crat_core::ALLOC_FLOOR;
+use crat_core::{evaluate, Technique};
 use crat_regalloc::{allocate, AllocOptions};
-use crat_sim::{occupancy, simulate, GpuConfig};
+use crat_sim::{occupancy, GpuConfig};
 use crat_workloads::{build_kernel, launch_sized, suite};
 
 fn main() {
@@ -21,8 +25,18 @@ fn main() {
         baseline.reg, baseline.tlp, baseline.stats.cycles
     );
 
-    let mut t = Table::new(&["reg", "maxTLP@reg", "TLP=1", "TLP=2", "TLP=3", "TLP=4", "TLP=5",
-        "TLP=6", "TLP=7", "TLP=8"]);
+    let mut t = Table::new(&[
+        "reg",
+        "maxTLP@reg",
+        "TLP=1",
+        "TLP=2",
+        "TLP=3",
+        "TLP=4",
+        "TLP=5",
+        "TLP=6",
+        "TLP=7",
+        "TLP=8",
+    ]);
     let mut reg = ALLOC_FLOOR.max(16);
     while reg <= 60 {
         let alloc = match allocate(&kernel, &AllocOptions::new(reg)) {
@@ -32,7 +46,13 @@ fn main() {
                 continue;
             }
         };
-        let occ = occupancy(&gpu, alloc.slots_used, kernel.shared_bytes(), app.block_size).blocks;
+        let occ = occupancy(
+            &gpu,
+            alloc.slots_used,
+            kernel.shared_bytes(),
+            app.block_size,
+        )
+        .blocks;
         let mut cells = vec![reg.to_string(), occ.to_string()];
         for tlp in 1..=8u32 {
             if tlp > occ {
@@ -47,5 +67,7 @@ fn main() {
         reg += 4;
     }
     t.print(csv);
-    println!("\nPaper: the best point trades registers against TLP (CRAT found (50, 5) on GTX680).");
+    println!(
+        "\nPaper: the best point trades registers against TLP (CRAT found (50, 5) on GTX680)."
+    );
 }

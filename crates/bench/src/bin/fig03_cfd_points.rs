@@ -2,10 +2,14 @@
 //! OptTLP+Reg (same TLP, more registers), and CRAT — with performance,
 //! L1 behaviour, and register utilization.
 
-use crat_bench::{csv_flag, table::{f2, pct, Table}};
+use crat_bench::{
+    csv_flag,
+    table::{f2, pct, Table},
+};
+use crat_core::engine::simulate;
 use crat_core::{analyze, evaluate, Technique};
 use crat_regalloc::{allocate, AllocOptions};
-use crat_sim::{max_regs_for_tlp, simulate, GpuConfig};
+use crat_sim::{max_regs_for_tlp, GpuConfig};
 use crat_workloads::{build_kernel, launch_sized, suite};
 
 fn main() {
@@ -25,9 +29,14 @@ fn main() {
         .unwrap_or(usage.default_reg)
         .min(usage.max_reg);
     let alloc_plus = allocate(&kernel, &AllocOptions::new(reg_plus)).expect("allocation");
-    let stats_plus =
-        simulate(&alloc_plus.kernel, &gpu, &launch, alloc_plus.slots_used, Some(opt_tlp.tlp))
-            .expect("simulation");
+    let stats_plus = simulate(
+        &alloc_plus.kernel,
+        &gpu,
+        &launch,
+        alloc_plus.slots_used,
+        Some(opt_tlp.tlp),
+    )
+    .expect("simulation");
 
     let mut t = Table::new(&["solution", "(reg,TLP)", "speedup", "L1 hit", "reg util"]);
     let util = |reg: u32, tlp: u32| {
@@ -44,8 +53,15 @@ fn main() {
     };
     row("MaxTLP", max_tlp.reg, max_tlp.tlp, &max_tlp.stats);
     row("OptTLP", opt_tlp.reg, opt_tlp.tlp, &opt_tlp.stats);
-    row("OptTLP+Reg", alloc_plus.slots_used, opt_tlp.tlp, &stats_plus);
+    row(
+        "OptTLP+Reg",
+        alloc_plus.slots_used,
+        opt_tlp.tlp,
+        &stats_plus,
+    );
     row("CRAT", crat.reg, crat.tlp, &crat.stats);
     t.print(csv);
-    println!("\nPaper: OptTLP -> OptTLP+Reg -> CRAT progressively improve CFD, CRAT reaching 1.78x.");
+    println!(
+        "\nPaper: OptTLP -> OptTLP+Reg -> CRAT progressively improve CFD, CRAT reaching 1.78x."
+    );
 }

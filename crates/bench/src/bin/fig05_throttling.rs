@@ -1,17 +1,28 @@
 //! Figure 5: the impact of thread throttling on the L1 data cache —
 //! hit rate (a) and pipeline stalls from cache-resource congestion (b).
 
-use crat_bench::{csv_flag, run_suite, sensitive_apps, table::{f2, pct, Table}};
+use crat_bench::{
+    csv_flag, run_suite, sensitive_apps,
+    table::{f2, pct, Table},
+};
 use crat_core::Technique;
 use crat_sim::GpuConfig;
 
 fn main() {
     let csv = csv_flag();
     let gpu = GpuConfig::fermi();
-    let runs = run_suite(&sensitive_apps(), &gpu, &[Technique::MaxTlp, Technique::OptTlp]);
+    let runs = run_suite(
+        &sensitive_apps(),
+        &gpu,
+        &[Technique::MaxTlp, Technique::OptTlp],
+    );
 
     let mut t = Table::new(&[
-        "app", "MaxTLP L1 hit", "OptTLP L1 hit", "MaxTLP stalls/kinst", "OptTLP stalls/kinst",
+        "app",
+        "MaxTLP L1 hit",
+        "OptTLP L1 hit",
+        "MaxTLP stalls/kinst",
+        "OptTLP stalls/kinst",
     ]);
     for r in &runs {
         let m = &r.of(Technique::MaxTlp).stats;
@@ -28,4 +39,5 @@ fn main() {
     }
     t.print(csv);
     println!("\nPaper: throttling raises L1 hit rates and cuts congestion stalls (Fig. 5a/5b).");
+    crat_bench::print_engine_stats(csv);
 }

@@ -3,8 +3,9 @@
 //! (b).
 
 use crat_bench::{csv_flag, table::Table};
+use crat_core::engine::simulate;
 use crat_regalloc::{allocate, AllocOptions};
-use crat_sim::{occupancy, simulate, GpuConfig};
+use crat_sim::{occupancy, GpuConfig};
 use crat_workloads::{build_kernel, launch_sized, suite};
 
 fn main() {
@@ -15,15 +16,25 @@ fn main() {
     let launch = launch_sized(app, 60);
 
     let mut t = Table::new(&[
-        "reg/thread", "TLP", "static insts", "dynamic warp insts", "local accesses",
+        "reg/thread",
+        "TLP",
+        "static insts",
+        "dynamic warp insts",
+        "local accesses",
     ]);
     for reg in (16..=60).step_by(4) {
         let Ok(alloc) = allocate(&kernel, &AllocOptions::new(reg)) else {
             continue;
         };
-        let occ = occupancy(&gpu, alloc.slots_used, kernel.shared_bytes(), app.block_size).blocks;
-        let stats = simulate(&alloc.kernel, &gpu, &launch, alloc.slots_used, None)
-            .expect("simulation");
+        let occ = occupancy(
+            &gpu,
+            alloc.slots_used,
+            kernel.shared_bytes(),
+            app.block_size,
+        )
+        .blocks;
+        let stats =
+            simulate(&alloc.kernel, &gpu, &launch, alloc.slots_used, None).expect("simulation");
         t.row(vec![
             alloc.slots_used.to_string(),
             occ.to_string(),

@@ -2,7 +2,10 @@
 //! configuration — registers are precious, shared memory mostly idle,
 //! which is what makes shared-memory spilling possible.
 
-use crat_bench::{csv_flag, run_suite, table::{pct, Table}};
+use crat_bench::{
+    csv_flag, run_suite,
+    table::{pct, Table},
+};
 use crat_core::Technique;
 use crat_sim::GpuConfig;
 use crat_workloads::suite;
@@ -27,4 +30,5 @@ fn main() {
     t.row(vec!["AVG".into(), pct(reg_sum / n), pct(shm_sum / n)]);
     t.print(csv);
     println!("\nPaper: 65.5% average register utilization vs 3.8% shared memory (Fig. 7).");
+    crat_bench::print_engine_stats(csv);
 }

@@ -3,10 +3,14 @@
 //! matters: the allocator must pick rarely-accessed long ranges
 //! (the paper's `var2`) rather than hot ones (`var1`).
 
-use crat_bench::{csv_flag, table::{f2, Table}};
+use crat_bench::{
+    csv_flag,
+    table::{f2, Table},
+};
+use crat_core::engine::simulate;
 use crat_ptx::{Cfg, Liveness};
 use crat_regalloc::{allocate, AllocOptions, ShmSpillConfig, SpillKind};
-use crat_sim::{simulate, GpuConfig};
+use crat_sim::GpuConfig;
 use crat_workloads::{build_kernel, launch_sized, suite};
 
 fn main() {
@@ -18,11 +22,18 @@ fn main() {
 
     // (a) Performance vs register limit at the app's preferred TLP.
     println!("(a) performance vs register limit (TLP fixed at 2):\n");
-    let mut ta = Table::new(&["reg limit", "slots used", "spilled vars", "speedup vs widest"]);
+    let mut ta = Table::new(&[
+        "reg limit",
+        "slots used",
+        "spilled vars",
+        "speedup vs widest",
+    ]);
     let widest = allocate(&kernel, &AllocOptions::new(63)).expect("allocation");
     let base = simulate(&widest.kernel, &gpu, &launch, widest.slots_used, Some(2)).unwrap();
     for reg in [63u32, 56, 48, 40, 32, 28] {
-        let Ok(alloc) = allocate(&kernel, &AllocOptions::new(reg)) else { continue };
+        let Ok(alloc) = allocate(&kernel, &AllocOptions::new(reg)) else {
+            continue;
+        };
         let stats = simulate(&alloc.kernel, &gpu, &launch, alloc.slots_used, Some(2)).unwrap();
         ta.row(vec![
             reg.to_string(),
@@ -61,11 +72,21 @@ fn main() {
                 n += 1;
             }
         }
-        if n == 0 { 0.0 } else { sum as f64 / n as f64 }
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
     };
     let mut tb = Table::new(&["metric", "value"]);
-    tb.row(vec!["avg weighted accesses (all vars)".into(), f2(avg_weight(true))]);
-    tb.row(vec!["avg weighted accesses (spilled vars)".into(), f2(avg_weight(false))]);
+    tb.row(vec![
+        "avg weighted accesses (all vars)".into(),
+        f2(avg_weight(true)),
+    ]);
+    tb.row(vec![
+        "avg weighted accesses (spilled vars)".into(),
+        f2(avg_weight(false)),
+    ]);
     tb.row(vec![
         "rematerialized".into(),
         local
@@ -78,10 +99,22 @@ fn main() {
     ]);
     let st_local = simulate(&local.kernel, &gpu, &launch, local.slots_used, Some(2)).unwrap();
     let st_shm = simulate(&shm.kernel, &gpu, &launch, shm.slots_used, Some(2)).unwrap();
-    tb.row(vec!["speedup: spill->local".into(), f2(st_local.speedup_over(&base))]);
-    tb.row(vec!["speedup: spill->shared".into(), f2(st_shm.speedup_over(&base))]);
-    tb.row(vec!["local mem insts (local)".into(), st_local.local_insts.to_string()]);
-    tb.row(vec!["local mem insts (shared)".into(), st_shm.local_insts.to_string()]);
+    tb.row(vec![
+        "speedup: spill->local".into(),
+        f2(st_local.speedup_over(&base)),
+    ]);
+    tb.row(vec![
+        "speedup: spill->shared".into(),
+        f2(st_shm.speedup_over(&base)),
+    ]);
+    tb.row(vec![
+        "local mem insts (local)".into(),
+        st_local.local_insts.to_string(),
+    ]);
+    tb.row(vec![
+        "local mem insts (shared)".into(),
+        st_shm.local_insts.to_string(),
+    ]);
     tb.print(csv);
     println!("\nPaper: spilling the cold var2 to shared memory reached 1.64x, spilling the hot");
     println!("var1 only 1.41x — victims must be low-frequency, and shared beats local.");

@@ -13,12 +13,18 @@ fn main() {
     let kernel = build_kernel(app);
 
     let mut t = Table::new(&[
-        "reg limit", "CRAT spill bytes", "reference spill bytes", "CRAT insts", "ref insts",
+        "reg limit",
+        "CRAT spill bytes",
+        "reference spill bytes",
+        "CRAT insts",
+        "ref insts",
     ]);
     for reg in (26..=50).step_by(3) {
         let briggs = allocate(&kernel, &AllocOptions::new(reg));
         let linear = allocate_linear_scan(&kernel, &AllocOptions::new(reg));
-        let (Ok(b), Ok(l)) = (briggs, linear) else { continue };
+        let (Ok(b), Ok(l)) = (briggs, linear) else {
+            continue;
+        };
         t.row(vec![
             reg.to_string(),
             b.spills.counts.local_spill_bytes_weighted.to_string(),

@@ -2,15 +2,22 @@
 //! CRAT over the resource-sensitive applications, normalized to
 //! OptTLP.
 
-use crat_bench::{csv_flag, geomean, run_suite, sensitive_apps, table::{f2, Table}};
+use crat_bench::{
+    csv_flag, geomean, run_suite, sensitive_apps,
+    table::{f2, Table},
+};
 use crat_core::Technique;
 use crat_sim::GpuConfig;
 
 fn main() {
     let csv = csv_flag();
     let gpu = GpuConfig::fermi();
-    let techniques =
-        [Technique::MaxTlp, Technique::OptTlp, Technique::CratLocal, Technique::Crat];
+    let techniques = [
+        Technique::MaxTlp,
+        Technique::OptTlp,
+        Technique::CratLocal,
+        Technique::Crat,
+    ];
     let runs = run_suite(&sensitive_apps(), &gpu, &techniques);
 
     let mut t = Table::new(&["app", "MaxTLP", "OptTLP", "CRAT-local", "CRAT"]);
@@ -35,4 +42,5 @@ fn main() {
     println!("\nPaper (Fig. 13): CRAT-local 1.17x and CRAT 1.25x geometric-mean speedup over");
     println!("OptTLP, up to 1.79x; MaxTLP trails OptTLP. STM/SPMV/KMN/LBM show no gain");
     println!("because their default register allocation is already optimal.");
+    crat_bench::print_engine_stats(csv);
 }

@@ -1,13 +1,20 @@
 //! Figure 14: the TLP selected by MaxTLP vs CRAT per application.
 
-use crat_bench::{csv_flag, run_suite, sensitive_apps, table::{f2, Table}};
+use crat_bench::{
+    csv_flag, run_suite, sensitive_apps,
+    table::{f2, Table},
+};
 use crat_core::Technique;
 use crat_sim::GpuConfig;
 
 fn main() {
     let csv = csv_flag();
     let gpu = GpuConfig::fermi();
-    let runs = run_suite(&sensitive_apps(), &gpu, &[Technique::MaxTlp, Technique::Crat]);
+    let runs = run_suite(
+        &sensitive_apps(),
+        &gpu,
+        &[Technique::MaxTlp, Technique::Crat],
+    );
 
     let mut t = Table::new(&["app", "MaxTLP blocks", "CRAT blocks"]);
     let (mut sum_max, mut sum_crat) = (0u32, 0u32);
@@ -19,8 +26,13 @@ fn main() {
         t.row(vec![r.app.abbr.into(), m.to_string(), c.to_string()]);
     }
     let n = runs.len() as f64;
-    t.row(vec!["AVG".into(), f2(sum_max as f64 / n), f2(sum_crat as f64 / n)]);
+    t.row(vec![
+        "AVG".into(),
+        f2(sum_max as f64 / n),
+        f2(sum_crat as f64 / n),
+    ]);
     t.print(csv);
     println!("\nPaper: CRAT runs 2.6 blocks/SM on average vs 5.1 for MaxTLP; KMN drops to 1");
     println!("block due to severe cache contention (Fig. 14).");
+    crat_bench::print_engine_stats(csv);
 }

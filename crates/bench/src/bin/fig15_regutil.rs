@@ -1,26 +1,43 @@
 //! Figure 15: register utilization of OptTLP vs CRAT.
 
-use crat_bench::{csv_flag, run_suite, sensitive_apps, table::{pct, Table}};
+use crat_bench::{
+    csv_flag, run_suite, sensitive_apps,
+    table::{pct, Table},
+};
 use crat_core::Technique;
 use crat_sim::GpuConfig;
 
 fn main() {
     let csv = csv_flag();
     let gpu = GpuConfig::fermi();
-    let runs = run_suite(&sensitive_apps(), &gpu, &[Technique::OptTlp, Technique::Crat]);
+    let runs = run_suite(
+        &sensitive_apps(),
+        &gpu,
+        &[Technique::OptTlp, Technique::Crat],
+    );
 
     let mut t = Table::new(&["app", "OptTLP util", "CRAT util", "improvement"]);
     let (mut s_opt, mut s_crat) = (0.0, 0.0);
     for r in &runs {
-        let o = r.of(Technique::OptTlp).register_utilization(&gpu, r.app.block_size);
-        let c = r.of(Technique::Crat).register_utilization(&gpu, r.app.block_size);
+        let o = r
+            .of(Technique::OptTlp)
+            .register_utilization(&gpu, r.app.block_size);
+        let c = r
+            .of(Technique::Crat)
+            .register_utilization(&gpu, r.app.block_size);
         s_opt += o;
         s_crat += c;
         t.row(vec![r.app.abbr.into(), pct(o), pct(c), pct(c - o)]);
     }
     let n = runs.len() as f64;
-    t.row(vec!["AVG".into(), pct(s_opt / n), pct(s_crat / n), pct((s_crat - s_opt) / n)]);
+    t.row(vec![
+        "AVG".into(),
+        pct(s_opt / n),
+        pct(s_crat / n),
+        pct((s_crat - s_opt) / n),
+    ]);
     t.print(csv);
     println!("\nPaper: CRAT lifts register utilization by 15-27% on average; apps whose default");
     println!("allocation is already optimal (STM, SPMV, KMN, LBM) see no change (Fig. 15).");
+    crat_bench::print_engine_stats(csv);
 }

@@ -2,17 +2,28 @@
 //! how much spill traffic the shared-memory optimization removes for
 //! the applications whose spilling cannot be eliminated entirely.
 
-use crat_bench::{csv_flag, run_suite, sensitive_apps, table::{f2, Table}};
+use crat_bench::{
+    csv_flag, run_suite, sensitive_apps,
+    table::{f2, Table},
+};
 use crat_core::Technique;
 use crat_sim::GpuConfig;
 
 fn main() {
     let csv = csv_flag();
     let gpu = GpuConfig::fermi();
-    let runs = run_suite(&sensitive_apps(), &gpu, &[Technique::CratLocal, Technique::Crat]);
+    let runs = run_suite(
+        &sensitive_apps(),
+        &gpu,
+        &[Technique::CratLocal, Technique::Crat],
+    );
 
     let mut t = Table::new(&[
-        "app", "CRAT-local local-accs", "CRAT local-accs", "normalized", "CRAT shm spills",
+        "app",
+        "CRAT-local local-accs",
+        "CRAT local-accs",
+        "normalized",
+        "CRAT shm spills",
     ]);
     let mut ratios = Vec::new();
     for r in &runs {
@@ -20,8 +31,13 @@ fn main() {
         let c = r.of(Technique::Crat).stats.local_insts;
         if l == 0 && c == 0 {
             // Spilling fully eliminated by CRAT's register choice.
-            t.row(vec![r.app.abbr.into(), "0".into(), "0".into(), "-".into(),
-                r.of(Technique::Crat).stats.shared_insts.to_string()]);
+            t.row(vec![
+                r.app.abbr.into(),
+                "0".into(),
+                "0".into(),
+                "-".into(),
+                r.of(Technique::Crat).stats.shared_insts.to_string(),
+            ]);
             continue;
         }
         let ratio = if l == 0 { 1.0 } else { c as f64 / l as f64 };
@@ -36,10 +52,16 @@ fn main() {
     }
     if !ratios.is_empty() {
         let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
-        t.row(vec!["AVG (spilling apps)".into(), String::new(), String::new(), f2(avg),
-            String::new()]);
+        t.row(vec![
+            "AVG (spilling apps)".into(),
+            String::new(),
+            String::new(),
+            f2(avg),
+            String::new(),
+        ]);
     }
     t.print(csv);
     println!("\nPaper: for DTC/FDTD/CFD/STE, where spilling cannot be eliminated, local-memory");
     println!("accesses drop by 42% on average thanks to shared-memory spilling (Fig. 16).");
+    crat_bench::print_engine_stats(csv);
 }

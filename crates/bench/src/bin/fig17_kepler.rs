@@ -1,7 +1,10 @@
 //! Figure 17: architecture scalability — CRAT on the Kepler-like
 //! configuration (double register file, 2048 threads, 16 blocks).
 
-use crat_bench::{csv_flag, geomean, run_suite, sensitive_apps, table::{f2, Table}};
+use crat_bench::{
+    csv_flag, geomean, run_suite, sensitive_apps,
+    table::{f2, Table},
+};
 use crat_core::Technique;
 use crat_sim::GpuConfig;
 
@@ -27,4 +30,5 @@ fn main() {
     println!("\nPaper: 1.32x geometric mean on Kepler vs 1.25x on Fermi; register-pressure");
     println!("apps (LBM, FDTD, CFD) gain less (bigger register file), cache-pressure apps");
     println!("(SPMV, HST, BLK, STE) gain more (more threads contending) (Fig. 17).");
+    crat_bench::print_engine_stats(csv);
 }

@@ -1,9 +1,13 @@
 //! Figure 18: input sensitivity — CRAT profiled on one input, applied
 //! across all inputs of CFD and BLK.
 
-use crat_bench::{csv_flag, table::{f2, Table}};
+use crat_bench::{
+    csv_flag,
+    table::{f2, Table},
+};
+use crat_core::engine::simulate;
 use crat_core::{evaluate, optimize, CratOptions, OptTlpSource, Technique};
-use crat_sim::{simulate, GpuConfig};
+use crat_sim::GpuConfig;
 use crat_workloads::{build_kernel, inputs, launch_sized, suite};
 
 fn main() {
@@ -40,7 +44,10 @@ fn main() {
             &kernel,
             &gpu,
             &launch0,
-            &CratOptions { opt_tlp: OptTlpSource::Profiled, ..CratOptions::new() },
+            &CratOptions {
+                opt_tlp: OptTlpSource::Profiled,
+                ..CratOptions::new()
+            },
         )
         .expect("pipeline");
         let winner = sol.winner();

@@ -1,7 +1,10 @@
 //! Figure 19: the resource-insensitive applications — neither
 //! throttling nor CRAT should move the needle much.
 
-use crat_bench::{csv_flag, geomean, insensitive_apps, run_suite, table::{f2, Table}};
+use crat_bench::{
+    csv_flag, geomean, insensitive_apps, run_suite,
+    table::{f2, Table},
+};
 use crat_core::Technique;
 use crat_sim::GpuConfig;
 
@@ -31,4 +34,5 @@ fn main() {
     t.print(csv);
     println!("\nPaper: no cache contention or register pressure here, so MaxTLP is already a");
     println!("good solution and neither OptTLP nor CRAT improves it remarkably (Fig. 19).");
+    crat_bench::print_engine_stats(csv);
 }

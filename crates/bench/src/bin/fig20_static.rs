@@ -1,6 +1,9 @@
 //! Figure 20: CRAT with profiled vs statically estimated OptTLP.
 
-use crat_bench::{csv_flag, geomean, run_suite, sensitive_apps, table::{f2, Table}};
+use crat_bench::{
+    csv_flag, geomean, run_suite, sensitive_apps,
+    table::{f2, Table},
+};
 use crat_core::Technique;
 use crat_sim::GpuConfig;
 
@@ -23,4 +26,5 @@ fn main() {
     t.print(csv);
     println!("\nPaper: the static estimate achieves 1.22x vs 1.25x for profiling (Fig. 20),");
     println!("at a fraction of the cost (see the `overhead` binary).");
+    crat_bench::print_engine_stats(csv);
 }

@@ -3,10 +3,13 @@
 
 use std::time::Instant;
 
-use crat_bench::{csv_flag, sensitive_apps, table::{f2, Table}};
+use crat_bench::{
+    csv_flag, sensitive_apps,
+    table::{f2, Table},
+};
 use crat_core::{
-    analyze, estimate_opt_tlp, optimize, profile_opt_tlp, CratOptions, OptTlpSource,
-    ALLOC_FLOOR, STATIC_L1_HIT_RATE,
+    analyze, estimate_opt_tlp, optimize, profile_opt_tlp, CratOptions, OptTlpSource, ALLOC_FLOOR,
+    STATIC_L1_HIT_RATE,
 };
 use crat_regalloc::{allocate, AllocOptions};
 use crat_sim::GpuConfig;
@@ -17,7 +20,11 @@ fn main() {
     let gpu = GpuConfig::fermi();
 
     let mut t = Table::new(&[
-        "app", "profiling runs", "profiling ms", "static ms", "exploration ms",
+        "app",
+        "profiling runs",
+        "profiling ms",
+        "static ms",
+        "exploration ms",
     ]);
     let (mut p_sum, mut s_sum, mut e_sum) = (0.0f64, 0.0f64, 0.0f64);
     let apps = sensitive_apps();
@@ -25,12 +32,15 @@ fn main() {
         let kernel = build_kernel(app);
         let launch = launch_sized(app, app.grid_blocks);
         let usage = analyze(&kernel, &gpu, &launch);
-        let alloc = allocate(&kernel, &AllocOptions::new(usage.default_reg.max(ALLOC_FLOOR)))
-            .expect("allocation");
+        let alloc = allocate(
+            &kernel,
+            &AllocOptions::new(usage.default_reg.max(ALLOC_FLOOR)),
+        )
+        .expect("allocation");
 
         let t0 = Instant::now();
-        let profile = profile_opt_tlp(&alloc.kernel, &gpu, &launch, alloc.slots_used)
-            .expect("profiling");
+        let profile =
+            profile_opt_tlp(&alloc.kernel, &gpu, &launch, alloc.slots_used).expect("profiling");
         let profiling_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         let t1 = Instant::now();
@@ -48,7 +58,10 @@ fn main() {
             &kernel,
             &gpu,
             &launch,
-            &CratOptions { opt_tlp: OptTlpSource::Given(profile.opt_tlp), ..CratOptions::new() },
+            &CratOptions {
+                opt_tlp: OptTlpSource::Given(profile.opt_tlp),
+                ..CratOptions::new()
+            },
         )
         .expect("pipeline");
         let explore_ms = t2.elapsed().as_secs_f64() * 1e3;
@@ -65,7 +78,13 @@ fn main() {
         ]);
     }
     let n = apps.len() as f64;
-    t.row(vec!["AVG".into(), String::new(), f2(p_sum / n), f2(s_sum / n), f2(e_sum / n)]);
+    t.row(vec![
+        "AVG".into(),
+        String::new(),
+        f2(p_sum / n),
+        f2(s_sum / n),
+        f2(e_sum / n),
+    ]);
     t.print(csv);
     println!("\nPaper: profiling took ~1.8h of GPGPU-Sim time (1.94 ms on hardware) per app;");
     println!("static analysis ~1 ms; exploration negligible (§7.7). The shape to match:");

@@ -8,16 +8,29 @@ fn main() {
     for cfg in [GpuConfig::fermi(), GpuConfig::kepler()] {
         println!("== {} configuration ==", cfg.name);
         let mut t = Table::new(&["parameter", "value"]);
-        t.row(vec!["SMs".into(), format!("{} SMs, {} MHz", cfg.num_sms, cfg.clock_mhz)]);
+        t.row(vec![
+            "SMs".into(),
+            format!("{} SMs, {} MHz", cfg.num_sms, cfg.clock_mhz),
+        ]);
         t.row(vec![
             "Register file".into(),
-            format!("{} KB ({} regs), {} max/thread", cfg.registers_per_sm * 4 / 1024,
-                cfg.registers_per_sm, cfg.max_regs_per_thread),
+            format!(
+                "{} KB ({} regs), {} max/thread",
+                cfg.registers_per_sm * 4 / 1024,
+                cfg.registers_per_sm,
+                cfg.max_regs_per_thread
+            ),
         ]);
-        t.row(vec!["Shared memory".into(), format!("{} KB", cfg.shmem_per_sm / 1024)]);
+        t.row(vec![
+            "Shared memory".into(),
+            format!("{} KB", cfg.shmem_per_sm / 1024),
+        ]);
         t.row(vec![
             "TLP limits".into(),
-            format!("{} threads, {} blocks", cfg.max_threads_per_sm, cfg.max_blocks_per_sm),
+            format!(
+                "{} threads, {} blocks",
+                cfg.max_threads_per_sm, cfg.max_blocks_per_sm
+            ),
         ]);
         t.row(vec![
             "Schedulers".into(),
@@ -27,7 +40,10 @@ fn main() {
             "L1 data cache".into(),
             format!(
                 "{} KB, {}-way, {} B lines, LRU, {} MSHRs",
-                cfg.l1.bytes / 1024, cfg.l1.ways, cfg.l1.line_bytes, cfg.l1.mshrs
+                cfg.l1.bytes / 1024,
+                cfg.l1.ways,
+                cfg.l1.line_bytes,
+                cfg.l1.mshrs
             ),
         ]);
         t.row(vec![
@@ -36,7 +52,10 @@ fn main() {
         ]);
         t.row(vec![
             "DRAM".into(),
-            format!("{:.0} B/cycle per SM, {} cycle latency", cfg.dram_bytes_per_cycle, cfg.lat.dram),
+            format!(
+                "{:.0} B/cycle per SM, {} cycle latency",
+                cfg.dram_bytes_per_cycle, cfg.lat.dram
+            ),
         ]);
         t.row(vec!["MinReg".into(), format!("{}", cfg.min_reg())]);
         t.print(csv);

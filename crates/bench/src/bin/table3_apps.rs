@@ -6,8 +6,16 @@ use crat_workloads::suite;
 fn main() {
     let csv = csv_flag();
     let mut t = Table::new(&[
-        "application", "kernel", "abbr", "suite", "category", "block", "hot", "cold",
-        "window(B)", "shm(B)",
+        "application",
+        "kernel",
+        "abbr",
+        "suite",
+        "category",
+        "block",
+        "hot",
+        "cold",
+        "window(B)",
+        "shm(B)",
     ]);
     for a in suite::all() {
         t.row(vec![
@@ -15,7 +23,12 @@ fn main() {
             a.kernel.into(),
             a.abbr.into(),
             a.suite.into(),
-            if a.is_sensitive() { "sensitive" } else { "insensitive" }.into(),
+            if a.is_sensitive() {
+                "sensitive"
+            } else {
+                "insensitive"
+            }
+            .into(),
             a.block_size.to_string(),
             a.hot_vars.to_string(),
             a.cold_vars.to_string(),

@@ -3,11 +3,14 @@
 //!
 //! Each figure has a binary in `src/bin/` (e.g. `fig13_performance`);
 //! run them with `cargo run --release -p crat-bench --bin <name>`.
-//! Pass `--csv` to any binary for machine-readable output.
+//! Pass `--csv` to any binary for machine-readable output, and
+//! `--threads N` (or set `CRAT_THREADS`) to bound the evaluation
+//! engine's worker pool; the default is the machine's available
+//! parallelism.
 
 pub mod table;
 
-use crat_core::{evaluate, CratError, Evaluation, Technique};
+use crat_core::{evaluate_with, CratError, EvalEngine, Evaluation, Technique};
 use crat_sim::GpuConfig;
 use crat_workloads::{build_kernel, launch_sized, suite, AppSpec};
 
@@ -50,16 +53,34 @@ pub fn run_app(
     grid_blocks: u32,
     techniques: &[Technique],
 ) -> Result<AppRun, CratError> {
+    run_app_with(engine(), app, gpu, grid_blocks, techniques)
+}
+
+/// [`run_app`] on an explicit engine: every technique's simulations go
+/// through the engine's memo cache, so techniques that share operating
+/// points (e.g. `OptTlp` and `Crat` profiling the same default binary)
+/// simulate each point once.
+///
+/// # Errors
+///
+/// Propagates the first pipeline failure.
+pub fn run_app_with(
+    engine: &EvalEngine,
+    app: &'static AppSpec,
+    gpu: &GpuConfig,
+    grid_blocks: u32,
+    techniques: &[Technique],
+) -> Result<AppRun, CratError> {
     let kernel = build_kernel(app);
     let launch = launch_sized(app, grid_blocks);
     let evals = techniques
         .iter()
-        .map(|&t| evaluate(&kernel, gpu, &launch, t))
+        .map(|&t| evaluate_with(engine, &kernel, gpu, &launch, t))
         .collect::<Result<Vec<_>, _>>()?;
     Ok(AppRun { app, evals })
 }
 
-/// Evaluate `techniques` over many apps, one thread per app.
+/// Evaluate `techniques` over many apps on the process-wide engine.
 ///
 /// # Panics
 ///
@@ -69,19 +90,24 @@ pub fn run_suite(
     gpu: &GpuConfig,
     techniques: &[Technique],
 ) -> Vec<AppRun> {
-    std::thread::scope(|s| {
-        let handles: Vec<_> = apps
-            .iter()
-            .map(|&app| {
-                let gpu = gpu.clone();
-                let techniques = techniques.to_vec();
-                s.spawn(move || {
-                    run_app(app, &gpu, app.grid_blocks, &techniques)
-                        .unwrap_or_else(|e| panic!("{}: {e}", app.abbr))
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("app thread")).collect()
+    run_suite_with(engine(), apps, gpu, techniques)
+}
+
+/// [`run_suite`] on an explicit engine: apps fan out across the
+/// engine's worker pool and all simulations share its memo cache.
+///
+/// # Panics
+///
+/// Panics if any app fails (experiment binaries want loud failures).
+pub fn run_suite_with(
+    engine: &EvalEngine,
+    apps: &[&'static AppSpec],
+    gpu: &GpuConfig,
+    techniques: &[Technique],
+) -> Vec<AppRun> {
+    engine.par_map(apps, |&app| {
+        run_app_with(engine, app, gpu, app.grid_blocks, techniques)
+            .unwrap_or_else(|e| panic!("{}: {e}", app.abbr))
     })
 }
 
@@ -112,6 +138,54 @@ pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
 /// Whether `--csv` was passed on the command line.
 pub fn csv_flag() -> bool {
     std::env::args().any(|a| a == "--csv")
+}
+
+/// Worker-pool width requested on the command line: `--threads N` or
+/// `--threads=N`. `None` when absent or unparsable (the engine then
+/// falls back to `CRAT_THREADS` / available parallelism).
+pub fn threads_flag() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return args.next().and_then(|v| v.parse().ok()).filter(|&n| n >= 1);
+        }
+        if let Some(v) = a.strip_prefix("--threads=") {
+            return v.parse().ok().filter(|&n| n >= 1);
+        }
+    }
+    None
+}
+
+/// The process-wide evaluation engine, sized by (in priority order)
+/// `--threads`, `CRAT_THREADS`, then available parallelism.
+pub fn engine() -> &'static EvalEngine {
+    match threads_flag() {
+        Some(n) => crat_core::engine::configure_global(n),
+        None => crat_core::engine::global(),
+    }
+}
+
+/// Print the engine's counters after an experiment: a `# engine:`
+/// comment in text mode, or an `engine_stat,value` block in CSV mode.
+pub fn print_engine_stats(csv: bool) {
+    let e = engine();
+    let stats = e.stats();
+    if csv {
+        println!("engine_stat,value");
+        println!("threads,{}", e.threads());
+        println!("sims_executed,{}", stats.sims_executed);
+        println!("cache_hits,{}", stats.cache_hits);
+        println!("sim_seconds,{:.3}", stats.sim_time().as_secs_f64());
+    } else {
+        println!(
+            "# engine: {} threads, {} sims, {} cache hits ({:.0}%), {:.2}s simulating",
+            e.threads(),
+            stats.sims_executed,
+            stats.cache_hits,
+            stats.hit_rate() * 100.0,
+            stats.sim_time().as_secs_f64()
+        );
+    }
 }
 
 #[cfg(test)]

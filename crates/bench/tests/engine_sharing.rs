@@ -1,0 +1,74 @@
+//! One engine per process: the Figure 13 technique set shares
+//! simulations through the memo cache, so a suite run executes
+//! strictly fewer simulations than the naive per-technique count, and
+//! a warm re-run executes none at all.
+
+use crat_bench::run_app_with;
+use crat_core::engine::EvalEngine;
+use crat_core::{analyze, Technique};
+use crat_sim::GpuConfig;
+use crat_workloads::{build_kernel, launch_sized, suite};
+
+const FIG13_TECHNIQUES: [Technique; 4] = [
+    Technique::MaxTlp,
+    Technique::OptTlp,
+    Technique::CratLocal,
+    Technique::Crat,
+];
+
+#[test]
+fn fig13_technique_set_shares_simulations_through_the_cache() {
+    let apps = [suite::spec("BAK"), suite::spec("STE")];
+    let grid = 30;
+    let gpu = GpuConfig::fermi();
+    let engine = EvalEngine::new(4);
+
+    // The naive cost of evaluating each technique in isolation: every
+    // technique may sweep up to MaxTLP levels (OptTLP profiling, CRAT's
+    // internal profiling), so apps x techniques x TLP-levels bounds an
+    // engine-less run from above.
+    let naive: u64 = apps
+        .iter()
+        .map(|app| {
+            let kernel = build_kernel(app);
+            let usage = analyze(&kernel, &gpu, &launch_sized(app, grid));
+            FIG13_TECHNIQUES.len() as u64 * u64::from(usage.max_tlp)
+        })
+        .sum();
+
+    let cold: Vec<_> = apps
+        .iter()
+        .map(|app| run_app_with(&engine, app, &gpu, grid, &FIG13_TECHNIQUES).unwrap())
+        .collect();
+    let after_cold = engine.stats();
+    assert!(
+        after_cold.sims_executed < naive,
+        "sharing must beat the naive count: {} executed vs {naive} naive",
+        after_cold.sims_executed
+    );
+    assert!(
+        after_cold.cache_hits > 0,
+        "techniques must share cached simulations"
+    );
+
+    // Warm: the same suite re-runs entirely from the cache, with
+    // identical results.
+    let warm: Vec<_> = apps
+        .iter()
+        .map(|app| run_app_with(&engine, app, &gpu, grid, &FIG13_TECHNIQUES).unwrap())
+        .collect();
+    let after_warm = engine.stats();
+    assert_eq!(
+        after_warm.sims_executed, after_cold.sims_executed,
+        "a warm suite run must not execute any simulation"
+    );
+    assert!(after_warm.cache_hits > after_cold.cache_hits);
+    for (c, w) in cold.iter().zip(&warm) {
+        for (ce, we) in c.evals.iter().zip(&w.evals) {
+            assert_eq!(ce.technique, we.technique);
+            assert_eq!(ce.stats, we.stats, "{}: warm result diverged", c.app.abbr);
+            assert_eq!(ce.reg, we.reg);
+            assert_eq!(ce.tlp, we.tlp);
+        }
+    }
+}

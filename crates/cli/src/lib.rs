@@ -14,10 +14,11 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-use crat_core::{analyze, optimize, CratOptions, OptTlpSource};
+use crat_core::engine::EvalEngine;
+use crat_core::{analyze, optimize_with, CratOptions, OptTlpSource};
 use crat_ptx::{parse, passes, Kernel};
 use crat_regalloc::{allocate, AllocOptions};
-use crat_sim::{simulate, GpuConfig, LaunchConfig};
+use crat_sim::{GpuConfig, LaunchConfig};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +85,9 @@ pub struct CommonOpts {
     pub opt_tlp: OptTlpSource,
     /// Disable shared-memory spilling.
     pub no_shm: bool,
+    /// Evaluation-engine worker threads (`None`: `CRAT_THREADS` or
+    /// available parallelism).
+    pub threads: Option<usize>,
 }
 
 impl Default for CommonOpts {
@@ -95,6 +99,7 @@ impl Default for CommonOpts {
             params: Vec::new(),
             opt_tlp: OptTlpSource::Profiled,
             no_shm: false,
+            threads: None,
         }
     }
 }
@@ -144,6 +149,9 @@ USAGE:
                 [--param name=value]... [--regs N] [--tlp N]
   crat help
 
+All simulating subcommands accept `--threads N` to bound the
+evaluation engine's worker pool (default: the CRAT_THREADS
+environment variable, or the machine's available parallelism).
 Parameter values accept decimal or 0x-hex. Unbound pointer parameters
 are auto-bound to distinct synthetic addresses.";
 
@@ -189,18 +197,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--tlp" => tlp = Some(parse_u32(&value_of(a, &mut it)?, "--tlp")?),
             "--no-shm" => opts.no_shm = true,
             "--prepass" => prepass = true,
+            "--threads" => {
+                let v = value_of(a, &mut it)?;
+                let n = v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    CliError::Usage(format!("--threads: `{v}` is not a positive integer"))
+                })?;
+                opts.threads = Some(n);
+            }
             "--param" => {
                 let kv = value_of(a, &mut it)?;
-                let (k, v) = kv
-                    .split_once('=')
-                    .ok_or_else(|| CliError::Usage(format!("--param wants name=value, got `{kv}`")))?;
+                let (k, v) = kv.split_once('=').ok_or_else(|| {
+                    CliError::Usage(format!("--param wants name=value, got `{kv}`"))
+                })?;
                 opts.params.push((k.to_string(), parse_u64(v, "--param")?));
             }
             "--opt-tlp" => {
                 let v = value_of(a, &mut it)?;
                 opts.opt_tlp = match v.as_str() {
                     "profile" => OptTlpSource::Profiled,
-                    "static" => OptTlpSource::Static { l1_hit_rate: crat_core::STATIC_L1_HIT_RATE },
+                    "static" => OptTlpSource::Static {
+                        l1_hit_rate: crat_core::STATIC_L1_HIT_RATE,
+                    },
                     n => OptTlpSource::Given(parse_u32(n, "--opt-tlp")?),
                 };
             }
@@ -214,8 +231,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "app" => Command::App { abbr: file, opts },
         "analyze" => Command::Analyze { file, opts },
         "passes" => Command::Passes { file, output },
-        "optimize" => Command::Optimize { file, output, opts, prepass },
-        "simulate" => Command::Simulate { file, regs, tlp, opts },
+        "optimize" => Command::Optimize {
+            file,
+            output,
+            opts,
+            prepass,
+        },
+        "simulate" => Command::Simulate {
+            file,
+            regs,
+            tlp,
+            opts,
+        },
         other => return Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     })
 }
@@ -241,6 +268,26 @@ fn parse_u64(s: &str, flag: &str) -> Result<u64, CliError> {
 ///
 /// Propagates I/O and pipeline failures with rendered messages.
 pub fn run(cmd: Command) -> Result<String, CliError> {
+    /// The process-wide engine, sized by `--threads` when given.
+    fn engine_for(opts: &CommonOpts) -> &'static EvalEngine {
+        match opts.threads {
+            Some(n) => crat_core::engine::configure_global(n),
+            None => crat_core::engine::global(),
+        }
+    }
+
+    /// One-line engine report appended to simulating subcommands.
+    fn engine_line(engine: &EvalEngine) -> String {
+        let s = engine.stats();
+        format!(
+            "engine: {} threads, {} sims, {} cache hits, {:.2}s simulating",
+            engine.threads(),
+            s.sims_executed,
+            s.cache_hits,
+            s.sim_time().as_secs_f64()
+        )
+    }
+
     match cmd {
         Command::Help => Ok(USAGE.to_string()),
         Command::App { abbr, opts } => {
@@ -264,14 +311,18 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 opts.grid
             };
             let launch = crat_workloads::launch_sized(app, grid);
+            let engine = engine_for(&opts);
             let mut out = String::new();
-            let _ = writeln!(out, "{} ({} / {}), grid {grid} x {} threads:", app.name,
-                app.kernel, app.suite, app.block_size);
-            use crat_core::{evaluate, Technique};
-            let baseline = evaluate(&kernel, &opts.gpu, &launch, Technique::OptTlp)
+            let _ = writeln!(
+                out,
+                "{} ({} / {}), grid {grid} x {} threads:",
+                app.name, app.kernel, app.suite, app.block_size
+            );
+            use crat_core::{evaluate_with, Technique};
+            let baseline = evaluate_with(engine, &kernel, &opts.gpu, &launch, Technique::OptTlp)
                 .map_err(|e| CliError::Tool(format!("OptTLP failed: {e}")))?;
             for t in [Technique::MaxTlp, Technique::OptTlp, Technique::Crat] {
-                let e = evaluate(&kernel, &opts.gpu, &launch, t)
+                let e = evaluate_with(engine, &kernel, &opts.gpu, &launch, t)
                     .map_err(|err| CliError::Tool(format!("{t} failed: {err}")))?;
                 let _ = writeln!(
                     out,
@@ -284,6 +335,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                     e.stats.speedup_over(&baseline.stats),
                 );
             }
+            let _ = writeln!(out, "  {}", engine_line(engine));
             Ok(out)
         }
         Command::Analyze { file, opts } => {
@@ -314,9 +366,18 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 stats.iterations
             );
             emit(output.as_deref(), &text)?;
-            Ok(if output.is_some() { report } else { format!("{report}\n{text}") })
+            Ok(if output.is_some() {
+                report
+            } else {
+                format!("{report}\n{text}")
+            })
         }
-        Command::Optimize { file, output, opts, prepass } => {
+        Command::Optimize {
+            file,
+            output,
+            opts,
+            prepass,
+        } => {
             let mut kernel = load(&file)?;
             let mut report = String::new();
             if prepass {
@@ -328,11 +389,15 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 );
             }
             let launch = build_launch(&kernel, &opts);
-            let mut copts = CratOptions { opt_tlp: opts.opt_tlp, ..CratOptions::new() };
+            let engine = engine_for(&opts);
+            let mut copts = CratOptions {
+                opt_tlp: opts.opt_tlp,
+                ..CratOptions::new()
+            };
             if opts.no_shm {
                 copts.shm_spill = false;
             }
-            let solution = optimize(&kernel, &opts.gpu, &launch, &copts)
+            let solution = optimize_with(engine, &kernel, &opts.gpu, &launch, &copts)
                 .map_err(|e| CliError::Tool(format!("optimization failed: {e}")))?;
             let _ = writeln!(
                 report,
@@ -363,11 +428,21 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 winner.achieved_tlp,
                 winner.allocation.kernel.num_regs()
             );
+            let _ = writeln!(report, "{}", engine_line(engine));
             let text = winner.allocation.kernel.to_ptx();
             emit(output.as_deref(), &text)?;
-            Ok(if output.is_some() { report } else { format!("{report}\n{text}") })
+            Ok(if output.is_some() {
+                report
+            } else {
+                format!("{report}\n{text}")
+            })
         }
-        Command::Simulate { file, regs, tlp, opts } => {
+        Command::Simulate {
+            file,
+            regs,
+            tlp,
+            opts,
+        } => {
             let kernel = load(&file)?;
             let launch = build_launch(&kernel, &opts);
             let regs = match regs {
@@ -378,7 +453,9 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                     a.slots_used
                 }
             };
-            let stats = simulate(&kernel, &opts.gpu, &launch, regs, tlp)
+            let engine = engine_for(&opts);
+            let stats = engine
+                .simulate(&kernel, &opts.gpu, &launch, regs, tlp)
                 .map_err(|e| CliError::Tool(format!("simulation failed: {e}")))?;
             let mut out = String::new();
             let _ = writeln!(out, "simulated `{}` on {}:", kernel.name(), opts.gpu.name);
@@ -386,7 +463,11 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let _ = writeln!(out, "  warp instructions   {}", stats.warp_insts);
             let _ = writeln!(out, "  IPC                 {:.3}", stats.ipc());
             let _ = writeln!(out, "  resident blocks     {}", stats.resident_blocks);
-            let _ = writeln!(out, "  L1 hit rate         {:.1}%", stats.l1_hit_rate() * 100.0);
+            let _ = writeln!(
+                out,
+                "  L1 hit rate         {:.1}%",
+                stats.l1_hit_rate() * 100.0
+            );
             let _ = writeln!(out, "  reservation fails   {}", stats.l1_reservation_fails);
             let _ = writeln!(out, "  DRAM transactions   {}", stats.dram_transactions);
             let _ = writeln!(out, "  local-mem insts     {}", stats.local_insts);
@@ -411,8 +492,7 @@ fn emit(path: Option<&str>, text: &str) -> Result<(), CliError> {
 /// distinct synthetic addresses.
 fn build_launch(kernel: &Kernel, opts: &CommonOpts) -> LaunchConfig {
     let mut launch = LaunchConfig::new(opts.grid, opts.block);
-    let bound: HashMap<&str, u64> =
-        opts.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let bound: HashMap<&str, u64> = opts.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
     let mut next_base = 0x1000_0000u64;
     for p in kernel.params() {
         let v = bound.get(p.name.as_str()).copied().unwrap_or_else(|| {
@@ -436,13 +516,31 @@ mod tests {
     #[test]
     fn parses_optimize_command() {
         let cmd = parse_args(&s(&[
-            "optimize", "k.ptx", "-o", "out.ptx", "--gpu", "kepler", "--grid", "120",
-            "--block", "256", "--param", "input=0x1000", "--opt-tlp", "static", "--no-shm",
+            "optimize",
+            "k.ptx",
+            "-o",
+            "out.ptx",
+            "--gpu",
+            "kepler",
+            "--grid",
+            "120",
+            "--block",
+            "256",
+            "--param",
+            "input=0x1000",
+            "--opt-tlp",
+            "static",
+            "--no-shm",
             "--prepass",
         ]))
         .unwrap();
         match cmd {
-            Command::Optimize { file, output, opts, prepass } => {
+            Command::Optimize {
+                file,
+                output,
+                opts,
+                prepass,
+            } => {
                 assert_eq!(file, "k.ptx");
                 assert_eq!(output.as_deref(), Some("out.ptx"));
                 assert_eq!(opts.gpu.name, "kepler");
@@ -459,8 +557,7 @@ mod tests {
 
     #[test]
     fn parses_numeric_opt_tlp_and_simulate() {
-        let cmd =
-            parse_args(&s(&["simulate", "k.ptx", "--regs", "32", "--tlp", "4"])).unwrap();
+        let cmd = parse_args(&s(&["simulate", "k.ptx", "--regs", "32", "--tlp", "4"])).unwrap();
         match cmd {
             Command::Simulate { regs, tlp, .. } => {
                 assert_eq!(regs, Some(32));
@@ -479,8 +576,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_input() {
-        assert!(matches!(parse_args(&s(&["optimize"])), Err(CliError::Usage(_))));
-        assert!(matches!(parse_args(&s(&["frobnicate", "x"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&s(&["optimize"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&s(&["frobnicate", "x"])),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(
             parse_args(&s(&["simulate", "k.ptx", "--regs", "many"])),
             Err(CliError::Usage(_))
@@ -522,11 +625,18 @@ BB0:
         std::fs::write(&path, ptx).unwrap();
         let file = path.to_str().unwrap().to_string();
 
-        let out = run(Command::Analyze { file: file.clone(), opts: CommonOpts::default() })
-            .unwrap();
+        let out = run(Command::Analyze {
+            file: file.clone(),
+            opts: CommonOpts::default(),
+        })
+        .unwrap();
         assert!(out.contains("MaxReg"));
 
-        let out = run(Command::Passes { file: file.clone(), output: None }).unwrap();
+        let out = run(Command::Passes {
+            file: file.clone(),
+            output: None,
+        })
+        .unwrap();
         assert!(out.contains("passes:"));
 
         let out = run(Command::Simulate {
@@ -561,8 +671,13 @@ mod app_tests {
 
     #[test]
     fn app_subcommand_runs_a_benchmark() {
-        let cmd = parse_args(&["app".to_string(), "BAK".to_string(), "--grid".to_string(),
-            "30".to_string()]).unwrap();
+        let cmd = parse_args(&[
+            "app".to_string(),
+            "BAK".to_string(),
+            "--grid".to_string(),
+            "30".to_string(),
+        ])
+        .unwrap();
         let out = run(cmd).unwrap();
         assert!(out.contains("MaxTLP"));
         assert!(out.contains("CRAT"));

@@ -1,0 +1,458 @@
+//! The memoizing, parallel evaluation engine.
+//!
+//! Every simulation the optimizer, the techniques, and the experiment
+//! binaries request goes through one [`EvalEngine`], which
+//!
+//! * **memoizes** results in a cache keyed by a stable structural hash
+//!   of the allocated kernel IR together with the GPU configuration,
+//!   the launch, the register count, and the TLP cap — re-evaluating
+//!   the same binary at the same operating point is free;
+//! * **parallelizes** batches of independent simulations over a
+//!   bounded pool of scoped worker threads (width from
+//!   [`std::thread::available_parallelism`], overridable via
+//!   [`EvalEngine::new`], the `CRAT_THREADS` environment variable, or
+//!   the experiment binaries' `--threads` flag);
+//! * **counts** what it did ([`EngineStats`]): simulations executed,
+//!   cache hits, and wall time spent inside the simulator.
+//!
+//! Determinism: the simulator itself is deterministic, the cache key
+//! is injective over everything the simulator reads, and batch results
+//! are returned in submission order — so results obtained through the
+//! engine are bit-identical to calling [`crat_sim::simulate`]
+//! directly, at any thread count, cold or warm.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crat_ptx::Kernel;
+use crat_sim::{GpuConfig, LaunchConfig, SimError, SimStats};
+
+/// 64-bit FNV-1a with a caller-chosen offset basis. The standard
+/// library's default hasher is randomly seeded per process; the memo
+/// cache instead needs a hash that is stable across runs so cached
+/// sim counts (and therefore reported engine stats) are reproducible.
+struct Fnv1a(u64);
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// The standard FNV-1a offset basis.
+const FNV_BASIS_LO: u64 = 0xcbf2_9ce4_8422_2325;
+/// A second, independent basis for the high half of the 128-bit key.
+const FNV_BASIS_HI: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl Hasher for Fnv1a {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The cache key: two independent 64-bit FNV-1a digests of the same
+/// structural content, giving an effectively 128-bit fingerprint so
+/// accidental collisions between distinct operating points are not a
+/// practical concern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SimKey(u64, u64);
+
+fn sim_key(
+    kernel: &Kernel,
+    gpu: &GpuConfig,
+    launch: &LaunchConfig,
+    regs_per_thread: u32,
+    tlp_cap: Option<u32>,
+) -> SimKey {
+    let digest = |basis: u64| {
+        let mut h = Fnv1a(basis);
+        kernel.hash(&mut h);
+        gpu.hash(&mut h);
+        launch.hash(&mut h);
+        regs_per_thread.hash(&mut h);
+        tlp_cap.hash(&mut h);
+        h.finish()
+    };
+    SimKey(digest(FNV_BASIS_LO), digest(FNV_BASIS_HI))
+}
+
+/// One simulation request, by reference: the engine never clones a
+/// kernel to queue it.
+#[derive(Debug, Clone, Copy)]
+pub struct SimJob<'a> {
+    /// The (allocated) kernel to run.
+    pub kernel: &'a Kernel,
+    /// The GPU configuration.
+    pub gpu: &'a GpuConfig,
+    /// The launch.
+    pub launch: &'a LaunchConfig,
+    /// Registers per thread of the binary being simulated.
+    pub regs_per_thread: u32,
+    /// Optional cap on resident blocks (thread throttling).
+    pub tlp_cap: Option<u32>,
+}
+
+/// A snapshot of the engine's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Simulations actually executed (cache misses).
+    pub sims_executed: u64,
+    /// Requests served from the memo cache, including requests that
+    /// waited for an in-flight simulation of the same key.
+    pub cache_hits: u64,
+    /// Nanoseconds of wall time spent inside the simulator, summed
+    /// over workers (exceeds elapsed time when running in parallel).
+    pub sim_nanos: u64,
+}
+
+impl EngineStats {
+    /// Total simulation requests (executed + served from cache).
+    pub fn requests(&self) -> u64 {
+        self.sims_executed + self.cache_hits
+    }
+
+    /// Fraction of requests served from the cache; 0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.requests();
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Wall time spent simulating, summed over workers.
+    pub fn sim_time(&self) -> Duration {
+        Duration::from_nanos(self.sim_nanos)
+    }
+}
+
+/// Cache slot: filled exactly once by whichever request arrives first;
+/// concurrent requests for the same key block on it instead of running
+/// a duplicate simulation.
+type Slot = Arc<OnceLock<Result<SimStats, SimError>>>;
+
+/// The memoizing, parallel evaluation engine. See the module docs.
+#[derive(Debug)]
+pub struct EvalEngine {
+    threads: usize,
+    cache: Mutex<HashMap<SimKey, Slot>>,
+    sims_executed: AtomicU64,
+    cache_hits: AtomicU64,
+    sim_nanos: AtomicU64,
+}
+
+impl EvalEngine {
+    /// An engine with `threads` workers; `0` means
+    /// [`available_parallelism`](std::thread::available_parallelism).
+    pub fn new(threads: usize) -> EvalEngine {
+        let threads = if threads == 0 {
+            hardware_threads()
+        } else {
+            threads
+        };
+        EvalEngine {
+            threads,
+            cache: Mutex::new(HashMap::new()),
+            sims_executed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            sim_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// A strictly serial engine (useful as a determinism reference).
+    pub fn serial() -> EvalEngine {
+        EvalEngine::new(1)
+    }
+
+    /// The worker-pool width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A snapshot of the engine's counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            sims_executed: self.sims_executed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            sim_nanos: self.sim_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct operating points cached so far.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("engine cache poisoned").len()
+    }
+
+    /// Drop all cached results and zero the counters.
+    pub fn reset(&self) {
+        self.cache.lock().expect("engine cache poisoned").clear();
+        self.sims_executed.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.sim_nanos.store(0, Ordering::Relaxed);
+    }
+
+    /// Simulate through the memo cache. Drop-in for
+    /// [`crat_sim::simulate`]: the result (including errors) is
+    /// bit-identical to a direct call.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the underlying simulation returns; errors are cached
+    /// like successes (the simulator is deterministic, so retrying
+    /// cannot change the outcome).
+    pub fn simulate(
+        &self,
+        kernel: &Kernel,
+        gpu: &GpuConfig,
+        launch: &LaunchConfig,
+        regs_per_thread: u32,
+        tlp_cap: Option<u32>,
+    ) -> Result<SimStats, SimError> {
+        let key = sim_key(kernel, gpu, launch, regs_per_thread, tlp_cap);
+        let (slot, owner) = {
+            let mut cache = self.cache.lock().expect("engine cache poisoned");
+            match cache.entry(key) {
+                Entry::Occupied(e) => (e.get().clone(), false),
+                Entry::Vacant(v) => (v.insert(Arc::new(OnceLock::new())).clone(), true),
+            }
+        };
+        if owner {
+            let started = Instant::now();
+            let result = crat_sim::simulate(kernel, gpu, launch, regs_per_thread, tlp_cap);
+            let nanos = started.elapsed().as_nanos() as u64;
+            self.sims_executed.fetch_add(1, Ordering::Relaxed);
+            self.sim_nanos.fetch_add(nanos, Ordering::Relaxed);
+            slot.set(result.clone())
+                .expect("slot filled once, by its owner");
+            result
+        } else {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            slot.wait().clone()
+        }
+    }
+
+    /// Run a batch of simulations across the worker pool, returning
+    /// results **in submission order** (batch `i` → result `i`), so
+    /// callers that scan for the first error or the earliest minimum
+    /// behave exactly as a serial loop would.
+    pub fn simulate_batch(&self, jobs: &[SimJob<'_>]) -> Vec<Result<SimStats, SimError>> {
+        self.par_map(jobs, |j| {
+            self.simulate(j.kernel, j.gpu, j.launch, j.regs_per_thread, j.tlp_cap)
+        })
+    }
+
+    /// Apply `f` to every item across the worker pool and collect the
+    /// results in item order. Falls back to a plain serial map when
+    /// the pool width is 1 or the batch has a single item.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let n = items.len();
+        let width = self.threads.min(n);
+        if width <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..width)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(&items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for w in workers {
+                indexed.extend(w.join().expect("engine worker panicked"));
+            }
+        });
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+impl Default for EvalEngine {
+    fn default() -> EvalEngine {
+        EvalEngine::new(0)
+    }
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Worker-pool width requested by the environment: `CRAT_THREADS` if
+/// set to a positive integer, otherwise the machine's available
+/// parallelism.
+pub fn threads_from_env() -> usize {
+    std::env::var("CRAT_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(hardware_threads)
+}
+
+static GLOBAL: OnceLock<EvalEngine> = OnceLock::new();
+
+/// The process-wide shared engine (one memo cache per process). The
+/// first caller fixes the pool width — either [`configure_global`] or,
+/// lazily, [`threads_from_env`].
+pub fn global() -> &'static EvalEngine {
+    GLOBAL.get_or_init(|| EvalEngine::new(threads_from_env()))
+}
+
+/// Fix the global engine's pool width (`0` = available parallelism)
+/// before anything else uses it. Returns the engine; if the global
+/// engine already exists its width is left unchanged.
+pub fn configure_global(threads: usize) -> &'static EvalEngine {
+    GLOBAL.get_or_init(|| EvalEngine::new(threads))
+}
+
+/// Simulate through the process-wide engine. Signature-compatible with
+/// [`crat_sim::simulate`] so call sites can switch by changing one
+/// import.
+///
+/// # Errors
+///
+/// Whatever the underlying simulation returns.
+pub fn simulate(
+    kernel: &Kernel,
+    gpu: &GpuConfig,
+    launch: &LaunchConfig,
+    regs_per_thread: u32,
+    tlp_cap: Option<u32>,
+) -> Result<SimStats, SimError> {
+    global().simulate(kernel, gpu, launch, regs_per_thread, tlp_cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crat_workloads::{build_kernel, launch_sized, suite};
+
+    fn setup() -> (Kernel, GpuConfig, LaunchConfig) {
+        let app = suite::spec("BAK");
+        (build_kernel(app), GpuConfig::fermi(), launch_sized(app, 30))
+    }
+
+    #[test]
+    fn key_is_stable_and_sensitive() {
+        let (k, gpu, launch) = setup();
+        let a = sim_key(&k, &gpu, &launch, 16, Some(2));
+        let b = sim_key(&k, &gpu, &launch, 16, Some(2));
+        assert_eq!(a, b, "same inputs must produce the same key");
+        assert_ne!(
+            a,
+            sim_key(&k, &gpu, &launch, 17, Some(2)),
+            "regs must be keyed"
+        );
+        assert_ne!(
+            a,
+            sim_key(&k, &gpu, &launch, 16, Some(3)),
+            "tlp cap must be keyed"
+        );
+        assert_ne!(
+            a,
+            sim_key(&k, &gpu, &launch, 16, None),
+            "capped vs uncapped must differ"
+        );
+        let kepler = GpuConfig::kepler();
+        assert_ne!(
+            a,
+            sim_key(&k, &kepler, &launch, 16, Some(2)),
+            "gpu must be keyed"
+        );
+    }
+
+    #[test]
+    fn key_ignores_param_insertion_order() {
+        let (k, gpu, _) = setup();
+        let l1 = LaunchConfig::new(30, 128)
+            .with_param("a", 1)
+            .with_param("b", 2);
+        let l2 = LaunchConfig::new(30, 128)
+            .with_param("b", 2)
+            .with_param("a", 1);
+        assert_eq!(
+            sim_key(&k, &gpu, &l1, 16, None),
+            sim_key(&k, &gpu, &l2, 16, None)
+        );
+    }
+
+    #[test]
+    fn cache_hit_returns_identical_stats() {
+        let (k, gpu, launch) = setup();
+        let engine = EvalEngine::serial();
+        let cold = engine.simulate(&k, &gpu, &launch, 16, Some(2)).unwrap();
+        let warm = engine.simulate(&k, &gpu, &launch, 16, Some(2)).unwrap();
+        assert_eq!(cold, warm);
+        let direct = crat_sim::simulate(&k, &gpu, &launch, 16, Some(2)).unwrap();
+        assert_eq!(cold, direct, "engine result must match a direct simulation");
+        let stats = engine.stats();
+        assert_eq!(stats.sims_executed, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.requests(), 2);
+        assert_eq!(stats.hit_rate(), 0.5);
+        assert_eq!(engine.cache_len(), 1);
+    }
+
+    #[test]
+    fn batch_preserves_submission_order() {
+        let (k, gpu, launch) = setup();
+        let engine = EvalEngine::new(4);
+        let jobs: Vec<SimJob<'_>> = (1..=4)
+            .map(|tlp| SimJob {
+                kernel: &k,
+                gpu: &gpu,
+                launch: &launch,
+                regs_per_thread: 16,
+                tlp_cap: Some(tlp),
+            })
+            .collect();
+        let parallel = engine.simulate_batch(&jobs);
+        let serial: Vec<_> = jobs
+            .iter()
+            .map(|j| crat_sim::simulate(j.kernel, j.gpu, j.launch, j.regs_per_thread, j.tlp_cap))
+            .collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let engine = EvalEngine::new(8);
+        let items: Vec<u64> = (0..100).collect();
+        let parallel = engine.par_map(&items, |&x| x * x + 1);
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn reset_clears_cache_and_counters() {
+        let (k, gpu, launch) = setup();
+        let engine = EvalEngine::serial();
+        engine.simulate(&k, &gpu, &launch, 16, Some(1)).unwrap();
+        engine.reset();
+        assert_eq!(engine.stats(), EngineStats::default());
+        assert_eq!(engine.cache_len(), 0);
+    }
+}

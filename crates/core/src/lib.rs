@@ -36,6 +36,7 @@
 //! ```
 
 mod design_space;
+pub mod engine;
 mod pipeline;
 mod profile_tlp;
 mod resource;
@@ -48,12 +49,16 @@ use std::error::Error;
 use std::fmt;
 
 pub use design_space::{prune, staircase, DesignPoint, ALLOC_FLOOR};
-pub use pipeline::{optimize, optimize_oracle, Candidate, CratOptions, CratSolution, OptTlpSource};
-pub use profile_tlp::{profile_opt_tlp, TlpProfile};
+pub use engine::{EngineStats, EvalEngine, SimJob};
+pub use pipeline::{
+    optimize, optimize_oracle, optimize_oracle_with, optimize_with, Candidate, CratOptions,
+    CratSolution, OptTlpSource,
+};
+pub use profile_tlp::{profile_opt_tlp, profile_opt_tlp_with, TlpProfile};
 pub use resource::{analyze, ResourceUsage};
 pub use segments::{segment_kernel, Segment};
 pub use static_tlp::estimate_opt_tlp;
-pub use techniques::{evaluate, Evaluation, Technique, STATIC_L1_HIT_RATE};
+pub use techniques::{evaluate, evaluate_with, Evaluation, Technique, STATIC_L1_HIT_RATE};
 pub use tpsc::{tlp_gain, tpsc};
 
 /// Errors of the CRAT pipeline.

@@ -7,7 +7,8 @@ use crat_regalloc::{allocate, AllocError, AllocOptions, Allocation, ShmSpillConf
 use crat_sim::{occupancy, GpuConfig, LaunchConfig};
 
 use crate::design_space::{prune, DesignPoint};
-use crate::profile_tlp::profile_opt_tlp;
+use crate::engine::{EvalEngine, SimJob};
+use crate::profile_tlp::profile_opt_tlp_with;
 use crate::resource::{analyze, ResourceUsage};
 use crate::static_tlp::estimate_opt_tlp;
 use crate::tpsc::tpsc;
@@ -65,12 +66,18 @@ impl CratOptions {
 
     /// The paper's `CRAT-local`: no shared-memory spilling.
     pub fn local_only() -> CratOptions {
-        CratOptions { shm_spill: false, ..CratOptions::default() }
+        CratOptions {
+            shm_spill: false,
+            ..CratOptions::default()
+        }
     }
 
     /// The paper's `CRAT-static`: OptTLP from static analysis.
     pub fn static_analysis(l1_hit_rate: f64) -> CratOptions {
-        CratOptions { opt_tlp: OptTlpSource::Static { l1_hit_rate }, ..CratOptions::default() }
+        CratOptions {
+            opt_tlp: OptTlpSource::Static { l1_hit_rate },
+            ..CratOptions::default()
+        }
     }
 }
 
@@ -154,22 +161,18 @@ pub(crate) fn robust_allocate(
     shm: Option<ShmSpillConfig>,
 ) -> Result<(Allocation, u32), AllocError> {
     let mut budget = budget;
-    for _ in 0..6 {
+    for attempt in 0..7 {
         let mut opts = AllocOptions::new(budget);
         if let Some(s) = shm {
             opts = opts.with_shm_spill(s);
         }
         match allocate(kernel, &opts) {
             Ok(a) => return Ok((a, budget)),
-            Err(AllocError::BudgetTooSmall { .. }) => budget += 2,
+            Err(AllocError::BudgetTooSmall { .. }) if attempt < 6 => budget += 2,
             Err(e) => return Err(e),
         }
     }
-    let mut opts = AllocOptions::new(budget);
-    if let Some(s) = shm {
-        opts = opts.with_shm_spill(s);
-    }
-    allocate(kernel, &opts).map(|a| (a, budget))
+    unreachable!("the final attempt either succeeds or returns its error")
 }
 
 /// Run the CRAT pipeline on one kernel.
@@ -184,10 +187,30 @@ pub fn optimize(
     launch: &LaunchConfig,
     opts: &CratOptions,
 ) -> Result<CratSolution, CratError> {
+    optimize_with(crate::engine::global(), kernel, gpu, launch, opts)
+}
+
+/// [`optimize`] on an explicit engine. Profiling runs go through the
+/// engine's memo cache and worker pool, and the per-candidate
+/// allocation-and-scoring loop fans out across the pool (allocation is
+/// pure CPU work and candidates are independent). Candidate order,
+/// error propagation (lowest failing TLP first), and the TPSC
+/// tie-break are identical to a serial evaluation.
+///
+/// # Errors
+///
+/// Same as [`optimize`].
+pub fn optimize_with(
+    engine: &EvalEngine,
+    kernel: &Kernel,
+    gpu: &GpuConfig,
+    launch: &LaunchConfig,
+    opts: &CratOptions,
+) -> Result<CratSolution, CratError> {
     let usage = analyze(kernel, gpu, launch);
-    let cost_local = opts.cost_local.unwrap_or_else(|| {
-        (gpu.lat.l1_hit + (gpu.lat.l2 + gpu.lat.dram) / 2) as f64
-    });
+    let cost_local = opts
+        .cost_local
+        .unwrap_or_else(|| (gpu.lat.l1_hit + (gpu.lat.l2 + gpu.lat.dram) / 2) as f64);
     let cost_shm = opts.cost_shm.unwrap_or(gpu.lat.shared as f64);
 
     let opt_tlp = match opts.opt_tlp {
@@ -211,11 +234,19 @@ pub fn optimize(
             )
         }
         OptTlpSource::Profiled => {
-            let (default_alloc, used_budget) =
-                robust_allocate(kernel, usage.default_reg.max(crate::design_space::ALLOC_FLOOR), None)?;
-            let _ = used_budget;
-            profile_opt_tlp(&default_alloc.kernel, gpu, launch, default_alloc.slots_used)?
-                .opt_tlp
+            let (default_alloc, _) = robust_allocate(
+                kernel,
+                usage.default_reg.max(crate::design_space::ALLOC_FLOOR),
+                None,
+            )?;
+            profile_opt_tlp_with(
+                engine,
+                &default_alloc.kernel,
+                gpu,
+                launch,
+                default_alloc.slots_used,
+            )?
+            .opt_tlp
         }
     };
 
@@ -225,34 +256,44 @@ pub fn optimize(
     }
 
     let work = thread_work_cycles(kernel, gpu, cost_local, cost_shm).max(1.0);
-    let mut candidates = Vec::with_capacity(points.len());
-    for point in points {
-        // Spare shared memory at this TLP, leaving the app's own usage
-        // untouched (Algorithm 1's SpareShmSize). A small margin covers
-        // the 128-byte allocation rounding.
-        let shm = if opts.shm_spill {
-            let per_block = gpu.shmem_per_sm / point.tlp.max(1);
-            let spare = per_block
-                .saturating_sub(usage.shm_size.div_ceil(128) * 128)
-                .saturating_sub(128);
-            Some(ShmSpillConfig { spare_bytes: spare, block_size: usage.block_size })
-        } else {
-            None
-        };
+    let candidates = engine
+        .par_map(&points, |&point| -> Result<Candidate, CratError> {
+            // Spare shared memory at this TLP, leaving the app's own
+            // usage untouched (Algorithm 1's SpareShmSize). A small
+            // margin covers the 128-byte allocation rounding.
+            let shm = if opts.shm_spill {
+                let per_block = gpu.shmem_per_sm / point.tlp.max(1);
+                let spare = per_block
+                    .saturating_sub(usage.shm_size.div_ceil(128) * 128)
+                    .saturating_sub(128);
+                Some(ShmSpillConfig {
+                    spare_bytes: spare,
+                    block_size: usage.block_size,
+                })
+            } else {
+                None
+            };
 
-        let (allocation, _) = robust_allocate(kernel, point.reg, shm)?;
-        let total_shm = usage.shm_size + allocation.spills.shared_spill_bytes_per_block;
-        let achieved_tlp = occupancy(gpu, allocation.slots_used, total_shm, usage.block_size)
-            .blocks
-            .min(point.tlp);
-        let score = tpsc(
-            achieved_tlp.max(1),
-            usage.block_size,
-            gpu.max_threads_per_sm,
-            allocation.spill_cost(cost_local, cost_shm) / work,
-        );
-        candidates.push(Candidate { point, achieved_tlp, tpsc: score, allocation });
-    }
+            let (allocation, _) = robust_allocate(kernel, point.reg, shm)?;
+            let total_shm = usage.shm_size + allocation.spills.shared_spill_bytes_per_block;
+            let achieved_tlp = occupancy(gpu, allocation.slots_used, total_shm, usage.block_size)
+                .blocks
+                .min(point.tlp);
+            let score = tpsc(
+                achieved_tlp.max(1),
+                usage.block_size,
+                gpu.max_threads_per_sm,
+                allocation.spill_cost(cost_local, cost_shm) / work,
+            );
+            Ok(Candidate {
+                point,
+                achieved_tlp,
+                tpsc: score,
+                allocation,
+            })
+        })
+        .into_iter()
+        .collect::<Result<Vec<Candidate>, CratError>>()?;
 
     // Smallest TPSC wins; ties break toward more parallelism, then
     // more registers.
@@ -267,7 +308,12 @@ pub fn optimize(
         })
         .expect("candidates is non-empty");
 
-    Ok(CratSolution { usage, opt_tlp, candidates, chosen })
+    Ok(CratSolution {
+        usage,
+        opt_tlp,
+        candidates,
+        chosen,
+    })
 }
 
 /// Like [`optimize`], but select the winner by *simulating every
@@ -284,16 +330,39 @@ pub fn optimize_oracle(
     launch: &LaunchConfig,
     opts: &CratOptions,
 ) -> Result<CratSolution, CratError> {
-    let mut solution = optimize(kernel, gpu, launch, opts)?;
-    let mut best: Option<(usize, u64)> = None;
-    for (i, c) in solution.candidates.iter().enumerate() {
-        let stats = crat_sim::simulate(
-            &c.allocation.kernel,
+    optimize_oracle_with(crate::engine::global(), kernel, gpu, launch, opts)
+}
+
+/// [`optimize_oracle`] on an explicit engine: the per-candidate
+/// simulations are submitted as one batch. Results come back in
+/// candidate order, so the winner (the *earliest* minimum-cycle
+/// candidate) and any propagated error match the serial loop's.
+///
+/// # Errors
+///
+/// Same as [`optimize_oracle`].
+pub fn optimize_oracle_with(
+    engine: &EvalEngine,
+    kernel: &Kernel,
+    gpu: &GpuConfig,
+    launch: &LaunchConfig,
+    opts: &CratOptions,
+) -> Result<CratSolution, CratError> {
+    let mut solution = optimize_with(engine, kernel, gpu, launch, opts)?;
+    let jobs: Vec<SimJob<'_>> = solution
+        .candidates
+        .iter()
+        .map(|c| SimJob {
+            kernel: &c.allocation.kernel,
             gpu,
             launch,
-            c.allocation.slots_used,
-            Some(c.achieved_tlp),
-        )?;
+            regs_per_thread: c.allocation.slots_used,
+            tlp_cap: Some(c.achieved_tlp),
+        })
+        .collect();
+    let mut best: Option<(usize, u64)> = None;
+    for (i, result) in engine.simulate_batch(&jobs).into_iter().enumerate() {
+        let stats = result?;
         if best.is_none_or(|(_, b)| stats.cycles < b) {
             best = Some((i, stats.cycles));
         }
@@ -351,7 +420,11 @@ mod tests {
             assert!(c.point.tlp <= sol.opt_tlp);
             assert!(c.allocation.slots_used <= c.point.reg + 12);
         }
-        let min = sol.candidates.iter().map(|c| c.tpsc).fold(f64::INFINITY, f64::min);
+        let min = sol
+            .candidates
+            .iter()
+            .map(|c| c.tpsc)
+            .fold(f64::INFINITY, f64::min);
         assert_eq!(sol.winner().tpsc, min);
     }
 
@@ -367,7 +440,10 @@ mod tests {
             &kernel,
             &gpu,
             &launch,
-            &CratOptions { opt_tlp: OptTlpSource::Given(2), ..CratOptions::new() },
+            &CratOptions {
+                opt_tlp: OptTlpSource::Given(2),
+                ..CratOptions::new()
+            },
         )
         .unwrap();
         assert_eq!(g.opt_tlp, 2);
@@ -380,14 +456,23 @@ mod tests {
         let kernel = build_kernel(app);
         let gpu = GpuConfig::fermi();
         let launch = launch_sized(app, 30);
-        let opts = CratOptions { opt_tlp: OptTlpSource::Given(3), ..CratOptions::new() };
+        let opts = CratOptions {
+            opt_tlp: OptTlpSource::Given(3),
+            ..CratOptions::new()
+        };
         let tpsc_sol = optimize(&kernel, &gpu, &launch, &opts).unwrap();
         let oracle_sol = optimize_oracle(&kernel, &gpu, &launch, &opts).unwrap();
         let cycles = |s: &CratSolution| {
             let w = s.winner();
-            crat_sim::simulate(&w.allocation.kernel, &gpu, &launch, w.allocation.slots_used, Some(w.achieved_tlp))
-                .unwrap()
-                .cycles
+            crat_sim::simulate(
+                &w.allocation.kernel,
+                &gpu,
+                &launch,
+                w.allocation.slots_used,
+                Some(w.achieved_tlp),
+            )
+            .unwrap()
+            .cycles
         };
         assert!(cycles(&oracle_sol) <= cycles(&tpsc_sol));
     }

@@ -4,7 +4,9 @@
 //! possible TLPs" — a small space, at most `MaxTLP` runs).
 
 use crat_ptx::Kernel;
-use crat_sim::{simulate, GpuConfig, LaunchConfig, SimError, SimStats};
+use crat_sim::{GpuConfig, LaunchConfig, SimError, SimStats};
+
+use crate::engine::{EvalEngine, SimJob};
 
 /// The outcome of the TLP profiling sweep.
 #[derive(Debug, Clone)]
@@ -45,19 +47,61 @@ pub fn profile_opt_tlp(
     launch: &LaunchConfig,
     regs_per_thread: u32,
 ) -> Result<TlpProfile, SimError> {
-    let max = crat_sim::occupancy(gpu, regs_per_thread, kernel.shared_bytes(), launch.block_size)
-        .blocks
-        .max(1);
+    profile_opt_tlp_with(
+        crate::engine::global(),
+        kernel,
+        gpu,
+        launch,
+        regs_per_thread,
+    )
+}
+
+/// [`profile_opt_tlp`] on an explicit engine: the sweep's runs are
+/// independent, so they are submitted as one batch and evaluated
+/// concurrently. Results come back in TLP order, so the winner (the
+/// *earliest* strict minimum) and any propagated error are identical
+/// to the serial sweep's.
+///
+/// # Errors
+///
+/// Propagates the first simulation failure (lowest failing TLP).
+pub fn profile_opt_tlp_with(
+    engine: &EvalEngine,
+    kernel: &Kernel,
+    gpu: &GpuConfig,
+    launch: &LaunchConfig,
+    regs_per_thread: u32,
+) -> Result<TlpProfile, SimError> {
+    let max = crat_sim::occupancy(
+        gpu,
+        regs_per_thread,
+        kernel.shared_bytes(),
+        launch.block_size,
+    )
+    .blocks
+    .max(1);
+    let jobs: Vec<SimJob<'_>> = (1..=max)
+        .map(|tlp| SimJob {
+            kernel,
+            gpu,
+            launch,
+            regs_per_thread,
+            tlp_cap: Some(tlp),
+        })
+        .collect();
     let mut runs = Vec::with_capacity(max as usize);
     let mut best = (1u32, u64::MAX);
-    for tlp in 1..=max {
-        let stats = simulate(kernel, gpu, launch, regs_per_thread, Some(tlp))?;
+    for (tlp, result) in (1..=max).zip(engine.simulate_batch(&jobs)) {
+        let stats = result?;
         if stats.cycles < best.1 {
             best = (tlp, stats.cycles);
         }
         runs.push((tlp, stats));
     }
-    Ok(TlpProfile { opt_tlp: best.0, runs })
+    Ok(TlpProfile {
+        opt_tlp: best.0,
+        runs,
+    })
 }
 
 #[cfg(test)]
@@ -78,7 +122,10 @@ mod tests {
             "KMN should be throttled: opt {} of max {max_tlp}",
             p.opt_tlp
         );
-        assert_eq!(p.best().cycles, p.runs.iter().map(|(_, s)| s.cycles).min().unwrap());
+        assert_eq!(
+            p.best().cycles,
+            p.runs.iter().map(|(_, s)| s.cycles).min().unwrap()
+        );
     }
 
     #[test]

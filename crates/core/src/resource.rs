@@ -80,8 +80,9 @@ mod tests {
     fn kernel_with_live(n: usize) -> Kernel {
         let mut b = KernelBuilder::new("k");
         let tid = b.special_tid_x(Type::U32);
-        let vals: Vec<_> =
-            (0..n).map(|i| b.add(Type::U32, tid, Operand::Imm(i as i64))).collect();
+        let vals: Vec<_> = (0..n)
+            .map(|i| b.add(Type::U32, tid, Operand::Imm(i as i64)))
+            .collect();
         let mut acc = vals[0];
         for &v in &vals[1..] {
             acc = b.add(Type::U32, acc, v);

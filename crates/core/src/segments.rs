@@ -78,8 +78,11 @@ pub fn segment_kernel(kernel: &Kernel, gpu: &GpuConfig, l1_hit_rate: f64) -> Vec
                             pending_compute = 0;
                             pending_insts = 0;
                         }
-                        let cycles =
-                            if space == Space::Local { local_cycles } else { mem_cycles };
+                        let cycles = if space == Space::Local {
+                            local_cycles
+                        } else {
+                            mem_cycles
+                        };
                         segs.push(Segment::Memory { cycles });
                     }
                     Some(Space::Shared) => {
@@ -102,7 +105,10 @@ pub fn segment_kernel(kernel: &Kernel, gpu: &GpuConfig, l1_hit_rate: f64) -> Vec
         }
     }
     if pending_insts > 0 {
-        segs.push(Segment::Compute { cycles: pending_compute, insts: pending_insts });
+        segs.push(Segment::Compute {
+            cycles: pending_compute,
+            insts: pending_insts,
+        });
     }
     segs
 }
@@ -149,7 +155,10 @@ mod tests {
         let hot = segment_kernel(&k, &gpu, 1.0);
         let cold = segment_kernel(&k, &gpu, 0.0);
         let mem_of = |segs: &[Segment]| {
-            segs.iter().find(|s| s.is_memory()).map(Segment::cycles).unwrap()
+            segs.iter()
+                .find(|s| s.is_memory())
+                .map(Segment::cycles)
+                .unwrap()
         };
         assert_eq!(mem_of(&hot), gpu.lat.l1_hit);
         assert_eq!(mem_of(&cold), gpu.lat.l1_hit + gpu.lat.l2 + gpu.lat.dram);

@@ -48,15 +48,19 @@ fn mimic_gto(
 ) -> u32 {
     let nwarps = (max_tlp * warps_per_block) as usize;
     let mut warps: Vec<WarpState> = (0..nwarps)
-        .map(|_| WarpState { next: 0, ready_at: 0, issued_anything: false })
+        .map(|_| WarpState {
+            next: 0,
+            ready_at: 0,
+            issued_anything: false,
+        })
         .collect();
 
     // Compute throughput scales with the number of schedulers; memory
     // misses serialize through the DRAM pipe.
     let sched = gpu.num_schedulers.max(1) as u64;
-    let miss_service =
-        ((1.0 - l1_hit_rate.clamp(0.0, 1.0)) * (gpu.l1.line_bytes as f64 / gpu.dram_bytes_per_cycle))
-            .ceil() as u64;
+    let miss_service = ((1.0 - l1_hit_rate.clamp(0.0, 1.0))
+        * (gpu.l1.line_bytes as f64 / gpu.dram_bytes_per_cycle))
+        .ceil() as u64;
 
     let mut core_time = 0u64;
     let mut pipe_free = 0u64;
@@ -142,7 +146,13 @@ mod tests {
             b.binary_to(crat_ptx::BinOp::Add, Type::F32, acc, acc, v);
         }
         for k in 0..alus {
-            b.mad_to(Type::F32, acc, acc, Operand::FImm(1.001), Operand::FImm(k as f64));
+            b.mad_to(
+                Type::F32,
+                acc,
+                acc,
+                Operand::FImm(1.001),
+                Operand::FImm(k as f64),
+            );
         }
         b.end_loop(l);
         let out = b.param_ptr("out");

@@ -6,13 +6,13 @@ use std::fmt;
 use crat_ptx::Kernel;
 use crat_regalloc::Allocation;
 use crat_sim::{
-    estimate_energy, simulate, EnergyCoefficients, EnergyReport, GpuConfig, LaunchConfig,
-    SimStats,
+    estimate_energy, EnergyCoefficients, EnergyReport, GpuConfig, LaunchConfig, SimStats,
 };
 
 use crate::design_space::ALLOC_FLOOR;
-use crate::pipeline::{optimize, robust_allocate, CratOptions};
-use crate::profile_tlp::profile_opt_tlp;
+use crate::engine::EvalEngine;
+use crate::pipeline::{optimize_with, robust_allocate, CratOptions};
+use crate::profile_tlp::profile_opt_tlp_with;
 use crate::resource::analyze;
 use crate::CratError;
 
@@ -100,6 +100,25 @@ pub fn evaluate(
     launch: &LaunchConfig,
     technique: Technique,
 ) -> Result<Evaluation, CratError> {
+    evaluate_with(crate::engine::global(), kernel, gpu, launch, technique)
+}
+
+/// [`evaluate`] on an explicit engine: every simulation the technique
+/// needs — the final run, the profiling sweep, CRAT's internal
+/// profiling — goes through the engine's memo cache and worker pool,
+/// so techniques that share work (e.g. `OptTlp` and `Crat` profiling
+/// the same default binary) pay for it once per process.
+///
+/// # Errors
+///
+/// Propagates allocation and simulation failures.
+pub fn evaluate_with(
+    engine: &EvalEngine,
+    kernel: &Kernel,
+    gpu: &GpuConfig,
+    launch: &LaunchConfig,
+    technique: Technique,
+) -> Result<Evaluation, CratError> {
     let usage = analyze(kernel, gpu, launch);
     let default_budget = usage.default_reg.max(ALLOC_FLOOR);
     let coeff = EnergyCoefficients::default();
@@ -107,13 +126,14 @@ pub fn evaluate(
     let (allocation, tlp, stats) = match technique {
         Technique::MaxTlp => {
             let (alloc, _) = robust_allocate(kernel, default_budget, None)?;
-            let stats = simulate(&alloc.kernel, gpu, launch, alloc.slots_used, None)?;
+            let stats = engine.simulate(&alloc.kernel, gpu, launch, alloc.slots_used, None)?;
             let tlp = stats.resident_blocks;
             (alloc, tlp, stats)
         }
         Technique::OptTlp => {
             let (alloc, _) = robust_allocate(kernel, default_budget, None)?;
-            let profile = profile_opt_tlp(&alloc.kernel, gpu, launch, alloc.slots_used)?;
+            let profile =
+                profile_opt_tlp_with(engine, &alloc.kernel, gpu, launch, alloc.slots_used)?;
             let stats = profile.best().clone();
             (alloc, profile.opt_tlp, stats)
         }
@@ -123,9 +143,9 @@ pub fn evaluate(
                 Technique::Crat => CratOptions::new(),
                 _ => CratOptions::static_analysis(STATIC_L1_HIT_RATE),
             };
-            let solution = optimize(kernel, gpu, launch, &opts)?;
+            let solution = optimize_with(engine, kernel, gpu, launch, &opts)?;
             let winner = solution.winner().clone();
-            let stats = simulate(
+            let stats = engine.simulate(
                 &winner.allocation.kernel,
                 gpu,
                 launch,
@@ -182,7 +202,12 @@ mod tests {
             opt.stats.cycles
         );
         // CRAT allocates more registers per thread than the default.
-        assert!(crat.reg > opt.reg, "crat reg {} vs opt {}", crat.reg, opt.reg);
+        assert!(
+            crat.reg > opt.reg,
+            "crat reg {} vs opt {}",
+            crat.reg,
+            opt.reg
+        );
     }
 
     #[test]

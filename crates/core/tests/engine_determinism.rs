@@ -1,0 +1,122 @@
+//! The engine's central guarantee: results obtained through the memo
+//! cache and worker pool are bit-identical to the pre-engine serial
+//! path (a direct [`crat_sim::simulate`] loop), at any thread count,
+//! cold or warm.
+
+use crat_core::engine::EvalEngine;
+use crat_core::{optimize_with, profile_opt_tlp_with, CratOptions, OptTlpSource};
+use crat_sim::GpuConfig;
+use crat_workloads::{build_kernel, launch_sized, suite};
+
+#[test]
+fn profiled_sweep_is_identical_across_thread_counts() {
+    let app = suite::spec("BAK");
+    let kernel = build_kernel(app);
+    let gpu = GpuConfig::fermi();
+    let launch = launch_sized(app, 30);
+    let regs = 16;
+
+    let serial = EvalEngine::serial();
+    let parallel = EvalEngine::new(8);
+    let one = profile_opt_tlp_with(&serial, &kernel, &gpu, &launch, regs).unwrap();
+    let many = profile_opt_tlp_with(&parallel, &kernel, &gpu, &launch, regs).unwrap();
+
+    assert_eq!(one.opt_tlp, many.opt_tlp);
+    assert_eq!(one.runs, many.runs);
+
+    // Both must match the pre-refactor serial path: one direct
+    // simulation per TLP level.
+    for (tlp, stats) in &one.runs {
+        let direct = crat_sim::simulate(&kernel, &gpu, &launch, regs, Some(*tlp)).unwrap();
+        assert_eq!(
+            stats, &direct,
+            "TLP {tlp} diverged from a direct simulation"
+        );
+    }
+
+    // A warm re-run serves everything from the cache and still returns
+    // identical results.
+    let before = parallel.stats().sims_executed;
+    let warm = profile_opt_tlp_with(&parallel, &kernel, &gpu, &launch, regs).unwrap();
+    assert_eq!(warm.runs, many.runs);
+    assert_eq!(
+        parallel.stats().sims_executed,
+        before,
+        "warm sweep must not simulate"
+    );
+    assert!(parallel.stats().cache_hits >= many.runs.len() as u64);
+}
+
+#[test]
+fn optimize_is_identical_across_thread_counts() {
+    let app = suite::spec("FDTD");
+    let kernel = build_kernel(app);
+    let gpu = GpuConfig::fermi();
+    let launch = launch_sized(app, 30);
+    let opts = CratOptions::new();
+
+    let one = optimize_with(&EvalEngine::serial(), &kernel, &gpu, &launch, &opts).unwrap();
+    let many = optimize_with(&EvalEngine::new(8), &kernel, &gpu, &launch, &opts).unwrap();
+
+    assert_eq!(one.opt_tlp, many.opt_tlp);
+    assert_eq!(one.chosen, many.chosen);
+    assert_eq!(one.candidates.len(), many.candidates.len());
+    for (a, b) in one.candidates.iter().zip(&many.candidates) {
+        assert_eq!(a.point, b.point);
+        assert_eq!(a.achieved_tlp, b.achieved_tlp);
+        assert_eq!(
+            a.tpsc.to_bits(),
+            b.tpsc.to_bits(),
+            "TPSC must be bit-identical"
+        );
+        assert_eq!(a.allocation.kernel, b.allocation.kernel);
+        assert_eq!(a.allocation.slots_used, b.allocation.slots_used);
+    }
+}
+
+#[test]
+fn evaluate_is_identical_across_thread_counts_and_warm_cache() {
+    let app = suite::spec("BAK");
+    let kernel = build_kernel(app);
+    let gpu = GpuConfig::fermi();
+    let launch = launch_sized(app, 30);
+    let opts = CratOptions {
+        opt_tlp: OptTlpSource::Given(3),
+        ..CratOptions::new()
+    };
+
+    let serial = EvalEngine::serial();
+    let parallel = EvalEngine::new(4);
+    let run = |engine: &EvalEngine| {
+        let sol = optimize_with(engine, &kernel, &gpu, &launch, &opts).unwrap();
+        let w = sol.winner().clone();
+        engine
+            .simulate(
+                &w.allocation.kernel,
+                &gpu,
+                &launch,
+                w.allocation.slots_used,
+                Some(w.achieved_tlp),
+            )
+            .unwrap()
+    };
+
+    let cold_serial = run(&serial);
+    let cold_parallel = run(&parallel);
+    let warm_parallel = run(&parallel);
+    assert_eq!(cold_serial, cold_parallel);
+    assert_eq!(cold_parallel, warm_parallel);
+
+    // And the direct path agrees.
+    let sol = optimize_with(&serial, &kernel, &gpu, &launch, &opts).unwrap();
+    let w = sol.winner();
+    let direct = crat_sim::simulate(
+        &w.allocation.kernel,
+        &gpu,
+        &launch,
+        w.allocation.slots_used,
+        Some(w.achieved_tlp),
+    )
+    .unwrap();
+    assert_eq!(direct, cold_serial);
+}

@@ -23,7 +23,7 @@ impl fmt::Display for BlockId {
 }
 
 /// How control leaves a basic block.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Terminator {
     /// `bra TARGET;` — unconditional branch.
     Bra(BlockId),
@@ -48,7 +48,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Bra(t) => vec![*t],
-            Terminator::CondBra { taken, not_taken, .. } => vec![*taken, *not_taken],
+            Terminator::CondBra {
+                taken, not_taken, ..
+            } => vec![*taken, *not_taken],
             Terminator::Exit => vec![],
         }
     }
@@ -70,7 +72,7 @@ impl Terminator {
 }
 
 /// A basic block: a label, straight-line instructions, one terminator.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct BasicBlock {
     /// This block's id (equals its index in the kernel's block list).
     pub id: BlockId,
@@ -83,7 +85,11 @@ pub struct BasicBlock {
 impl BasicBlock {
     /// An empty block that falls through to `Exit` (builder patches it).
     pub fn new(id: BlockId) -> BasicBlock {
-        BasicBlock { id, insts: Vec::new(), terminator: Terminator::Exit }
+        BasicBlock {
+            id,
+            insts: Vec::new(),
+            terminator: Terminator::Exit,
+        }
     }
 
     /// Number of instructions, excluding the terminator.

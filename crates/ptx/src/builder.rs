@@ -107,12 +107,22 @@ impl KernelBuilder {
 
     /// Declare a `.shared` array.
     pub fn shared_var(&mut self, name: &str, size: u32) {
-        self.kernel.add_var(VarDecl { name: name.to_string(), space: Space::Shared, align: 4, size });
+        self.kernel.add_var(VarDecl {
+            name: name.to_string(),
+            space: Space::Shared,
+            align: 4,
+            size,
+        });
     }
 
     /// Declare a `.local` array.
     pub fn local_var(&mut self, name: &str, size: u32) {
-        self.kernel.add_var(VarDecl { name: name.to_string(), space: Space::Local, align: 4, size });
+        self.kernel.add_var(VarDecl {
+            name: name.to_string(),
+            space: Space::Local,
+            align: 4,
+            size,
+        });
     }
 
     // ------------------------------------------------------------------
@@ -127,13 +137,21 @@ impl KernelBuilder {
     /// `mov` an operand into a fresh register.
     pub fn mov(&mut self, ty: Type, src: impl Into<Operand>) -> VReg {
         let dst = self.kernel.new_reg(ty);
-        self.push(Op::Mov { ty, dst, src: src.into() });
+        self.push(Op::Mov {
+            ty,
+            dst,
+            src: src.into(),
+        });
         dst
     }
 
     /// `mov` into an existing register (e.g. loop-carried updates).
     pub fn mov_to(&mut self, ty: Type, dst: VReg, src: impl Into<Operand>) {
-        self.push(Op::Mov { ty, dst, src: src.into() });
+        self.push(Op::Mov {
+            ty,
+            dst,
+            src: src.into(),
+        });
     }
 
     /// Read `%tid.x` into a fresh register.
@@ -159,7 +177,11 @@ impl KernelBuilder {
     /// Read any special register into a fresh register.
     pub fn special(&mut self, ty: Type, sr: SpecialReg) -> VReg {
         let dst = self.kernel.new_reg(ty);
-        self.push(Op::Mov { ty, dst, src: Operand::Special(sr) });
+        self.push(Op::Mov {
+            ty,
+            dst,
+            src: Operand::Special(sr),
+        });
         dst
     }
 
@@ -175,7 +197,13 @@ impl KernelBuilder {
         b: impl Into<Operand>,
     ) -> VReg {
         let dst = self.kernel.new_reg(ty);
-        self.push(Op::Binary { op, ty, dst, a: a.into(), b: b.into() });
+        self.push(Op::Binary {
+            op,
+            ty,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
         dst
     }
 
@@ -188,7 +216,13 @@ impl KernelBuilder {
         a: impl Into<Operand>,
         b: impl Into<Operand>,
     ) {
-        self.push(Op::Binary { op, ty, dst, a: a.into(), b: b.into() });
+        self.push(Op::Binary {
+            op,
+            ty,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
     }
 
     /// `add` into a fresh register.
@@ -250,19 +284,34 @@ impl KernelBuilder {
     /// A unary operation into a fresh register.
     pub fn unary(&mut self, op: UnOp, ty: Type, src: impl Into<Operand>) -> VReg {
         let dst = self.kernel.new_reg(ty);
-        self.push(Op::Unary { op, ty, dst, src: src.into() });
+        self.push(Op::Unary {
+            op,
+            ty,
+            dst,
+            src: src.into(),
+        });
         dst
     }
 
     /// A unary operation writing an existing register.
     pub fn unary_to(&mut self, op: UnOp, ty: Type, dst: VReg, src: impl Into<Operand>) {
-        self.push(Op::Unary { op, ty, dst, src: src.into() });
+        self.push(Op::Unary {
+            op,
+            ty,
+            dst,
+            src: src.into(),
+        });
     }
 
     /// Type conversion into a fresh register.
     pub fn cvt(&mut self, dst_ty: Type, src_ty: Type, src: impl Into<Operand>) -> VReg {
         let dst = self.kernel.new_reg(dst_ty);
-        self.push(Op::Cvt { dst_ty, src_ty, dst, src: src.into() });
+        self.push(Op::Cvt {
+            dst_ty,
+            src_ty,
+            dst,
+            src: src.into(),
+        });
         dst
     }
 
@@ -279,13 +328,29 @@ impl KernelBuilder {
     /// Load into a fresh register.
     pub fn ld(&mut self, space: Space, ty: Type, addr: impl Into<Address>) -> VReg {
         let dst = self.kernel.new_reg(ty);
-        self.push(Op::Ld { space, ty, dst, addr: addr.into() });
+        self.push(Op::Ld {
+            space,
+            ty,
+            dst,
+            addr: addr.into(),
+        });
         dst
     }
 
     /// Store a value.
-    pub fn st(&mut self, space: Space, ty: Type, addr: impl Into<Address>, src: impl Into<Operand>) {
-        self.push(Op::St { space, ty, addr: addr.into(), src: src.into() });
+    pub fn st(
+        &mut self,
+        space: Space,
+        ty: Type,
+        addr: impl Into<Address>,
+        src: impl Into<Operand>,
+    ) {
+        self.push(Op::St {
+            space,
+            ty,
+            addr: addr.into(),
+            src: src.into(),
+        });
     }
 
     /// Block-wide barrier.
@@ -305,7 +370,13 @@ impl KernelBuilder {
         b: impl Into<Operand>,
     ) -> VReg {
         let dst = self.kernel.new_reg(Type::Pred);
-        self.push(Op::Setp { cmp, ty, dst, a: a.into(), b: b.into() });
+        self.push(Op::Setp {
+            cmp,
+            ty,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
         dst
     }
 
@@ -318,13 +389,22 @@ impl KernelBuilder {
         pred: VReg,
     ) -> VReg {
         let dst = self.kernel.new_reg(ty);
-        self.push(Op::Selp { ty, dst, a: a.into(), b: b.into(), pred });
+        self.push(Op::Selp {
+            ty,
+            dst,
+            a: a.into(),
+            b: b.into(),
+            pred,
+        });
         dst
     }
 
     /// Append a raw (optionally guarded) instruction.
     pub fn push_guarded(&mut self, guard: Option<Guard>, op: Op) {
-        self.kernel.block_mut(self.current).insts.push(Instruction { guard, op });
+        self.kernel
+            .block_mut(self.current)
+            .insts
+            .push(Instruction { guard, op });
     }
 
     fn push(&mut self, op: Op) {
@@ -351,8 +431,12 @@ impl KernelBuilder {
     /// Terminate the current block with a conditional branch. Does not
     /// switch blocks (callers pick where to continue).
     pub fn cond_branch(&mut self, pred: VReg, taken: BlockId, not_taken: BlockId) {
-        self.kernel.block_mut(self.current).terminator =
-            Terminator::CondBra { pred, negated: false, taken, not_taken };
+        self.kernel.block_mut(self.current).terminator = Terminator::CondBra {
+            pred,
+            negated: false,
+            taken,
+            not_taken,
+        };
     }
 
     /// Terminate the current block with `ret`.
@@ -382,17 +466,30 @@ impl KernelBuilder {
         self.cond_branch(p, body, exit);
         if let Operand::Imm(n) = end {
             let trips = ((n - start).max(0) as u64 / step.unsigned_abs()).max(1);
-            self.kernel.set_trip_hint(header, trips.min(u32::MAX as u64) as u32);
+            self.kernel
+                .set_trip_hint(header, trips.min(u32::MAX as u64) as u32);
         }
         self.switch_to(body);
-        LoopHandle { header, body, exit, counter, step }
+        LoopHandle {
+            header,
+            body,
+            exit,
+            counter,
+            step,
+        }
     }
 
     /// Close a loop opened by [`KernelBuilder::loop_range`]: increments
     /// the counter, branches back to the header, and continues in the
     /// exit block.
     pub fn end_loop(&mut self, l: LoopHandle) {
-        self.binary_to(BinOp::Add, Type::U32, l.counter, l.counter, Operand::Imm(l.step));
+        self.binary_to(
+            BinOp::Add,
+            Type::U32,
+            l.counter,
+            l.counter,
+            Operand::Imm(l.step),
+        );
         self.branch(l.header);
         self.switch_to(l.exit);
     }

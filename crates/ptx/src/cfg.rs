@@ -46,7 +46,14 @@ impl Cfg {
         let loops = compute_loops(kernel, n, &preds, &back_edges);
         let ipdom = immediate_post_dominators(n, &succs);
 
-        Cfg { succs, preds, rpo, loops, back_edges, ipdom }
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            loops,
+            back_edges,
+            ipdom,
+        }
     }
 
     /// Successor blocks of `b`.
@@ -184,8 +191,7 @@ fn immediate_post_dominators(n: usize, succs: &[Vec<BlockId>]) -> Vec<Option<Blo
     pdom[n] = vec![false; total];
     pdom[n][n] = true;
 
-    let exits: Vec<usize> =
-        (0..n).filter(|&i| succs[i].is_empty()).collect();
+    let exits: Vec<usize> = (0..n).filter(|&i| succs[i].is_empty()).collect();
     let mut changed = true;
     while changed {
         changed = false;
@@ -222,8 +228,7 @@ fn immediate_post_dominators(n: usize, succs: &[Vec<BlockId>]) -> Vec<Option<Blo
     // strict post-dominator of b.
     (0..n)
         .map(|b| {
-            let strict: Vec<usize> =
-                (0..total).filter(|&d| d != b && pdom[b][d]).collect();
+            let strict: Vec<usize> = (0..total).filter(|&d| d != b && pdom[b][d]).collect();
             strict
                 .iter()
                 .copied()
@@ -266,7 +271,12 @@ fn compute_loops(
             }
         }
     }
-    (0..n).map(|i| LoopInfo { depth: depth[i], weight: weight[i] }).collect()
+    (0..n)
+        .map(|i| LoopInfo {
+            depth: depth[i],
+            weight: weight[i],
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -285,11 +295,13 @@ mod tests {
         let exit = k.add_block();
         let p = k.new_reg(Type::Pred);
         let i = k.new_reg(Type::U32);
-        k.block_mut(BlockId(0)).insts.push(Instruction::new(Op::Mov {
-            ty: Type::U32,
-            dst: i,
-            src: Operand::Imm(0),
-        }));
+        k.block_mut(BlockId(0))
+            .insts
+            .push(Instruction::new(Op::Mov {
+                ty: Type::U32,
+                dst: i,
+                src: Operand::Imm(0),
+            }));
         k.block_mut(BlockId(0)).terminator = Terminator::Bra(header);
         k.block_mut(header).insts.push(Instruction::new(Op::Setp {
             cmp: CmpOp::Lt,
@@ -298,8 +310,12 @@ mod tests {
             a: Operand::Reg(i),
             b: Operand::Imm(10),
         }));
-        k.block_mut(header).terminator =
-            Terminator::CondBra { pred: p, negated: false, taken: body, not_taken: exit };
+        k.block_mut(header).terminator = Terminator::CondBra {
+            pred: p,
+            negated: false,
+            taken: body,
+            not_taken: exit,
+        };
         k.block_mut(body).terminator = Terminator::Bra(header);
         k.set_trip_hint(header, 10);
         k
@@ -367,10 +383,18 @@ mod tests {
         let exit = k.add_block();
         let p = k.new_reg(Type::Pred);
         k.block_mut(BlockId(0)).terminator = Terminator::Bra(h1);
-        k.block_mut(h1).terminator =
-            Terminator::CondBra { pred: p, negated: false, taken: h2, not_taken: exit };
-        k.block_mut(h2).terminator =
-            Terminator::CondBra { pred: p, negated: false, taken: b2, not_taken: latch };
+        k.block_mut(h1).terminator = Terminator::CondBra {
+            pred: p,
+            negated: false,
+            taken: h2,
+            not_taken: exit,
+        };
+        k.block_mut(h2).terminator = Terminator::CondBra {
+            pred: p,
+            negated: false,
+            taken: b2,
+            not_taken: latch,
+        };
         k.block_mut(b2).terminator = Terminator::Bra(h2);
         k.block_mut(latch).terminator = Terminator::Bra(h1);
         k.set_trip_hint(h1, 4);
@@ -397,8 +421,12 @@ mod ipdom_tests {
         let b1 = k.add_block();
         let b2 = k.add_block();
         let b3 = k.add_block();
-        k.block_mut(BlockId(0)).terminator =
-            Terminator::CondBra { pred: p, negated: false, taken: b1, not_taken: b2 };
+        k.block_mut(BlockId(0)).terminator = Terminator::CondBra {
+            pred: p,
+            negated: false,
+            taken: b1,
+            not_taken: b2,
+        };
         k.block_mut(b1).terminator = Terminator::Bra(b3);
         k.block_mut(b2).terminator = Terminator::Bra(b3);
         k
@@ -422,8 +450,12 @@ mod ipdom_tests {
         let p = k.new_reg(crate::types::Type::Pred);
         let b1 = k.add_block();
         let b2 = k.add_block();
-        k.block_mut(BlockId(0)).terminator =
-            Terminator::CondBra { pred: p, negated: false, taken: b1, not_taken: b2 };
+        k.block_mut(BlockId(0)).terminator = Terminator::CondBra {
+            pred: p,
+            negated: false,
+            taken: b1,
+            not_taken: b2,
+        };
         k.block_mut(b1).terminator = Terminator::Bra(b2);
         let cfg = Cfg::build(&k);
         assert_eq!(cfg.immediate_post_dominator(BlockId(0)), Some(b2));
@@ -439,8 +471,12 @@ mod ipdom_tests {
         let body = k.add_block();
         let exit = k.add_block();
         k.block_mut(BlockId(0)).terminator = Terminator::Bra(header);
-        k.block_mut(header).terminator =
-            Terminator::CondBra { pred: p, negated: false, taken: body, not_taken: exit };
+        k.block_mut(header).terminator = Terminator::CondBra {
+            pred: p,
+            negated: false,
+            taken: body,
+            not_taken: exit,
+        };
         k.block_mut(body).terminator = Terminator::Bra(header);
         let cfg = Cfg::build(&k);
         assert_eq!(cfg.immediate_post_dominator(body), Some(header));

@@ -18,7 +18,10 @@ pub struct ParseError {
 
 impl ParseError {
     pub(crate) fn new(line: usize, message: impl Into<String>) -> ParseError {
-        ParseError { line, message: message.into() }
+        ParseError {
+            line,
+            message: message.into(),
+        }
     }
 }
 
@@ -106,7 +109,12 @@ impl fmt::Display for ValidateError {
             ValidateError::UnknownReg { reg, block } => {
                 write!(f, "register {reg} in {block} is not in the register table")
             }
-            ValidateError::TypeMismatch { reg, expected, found, block } => write!(
+            ValidateError::TypeMismatch {
+                reg,
+                expected,
+                found,
+                block,
+            } => write!(
                 f,
                 "register {reg} in {block} used as {expected} but declared {found}"
             ),
@@ -114,9 +122,17 @@ impl fmt::Display for ValidateError {
                 write!(f, "variable `{name}` referenced in {block} is not declared")
             }
             ValidateError::UnknownParam { name, block } => {
-                write!(f, "parameter `{name}` referenced in {block} is not declared")
+                write!(
+                    f,
+                    "parameter `{name}` referenced in {block} is not declared"
+                )
             }
-            ValidateError::SpaceMismatch { name, expected, found, block } => write!(
+            ValidateError::SpaceMismatch {
+                name,
+                expected,
+                found,
+                block,
+            } => write!(
                 f,
                 "`{name}` accessed as {expected} in {block} but declared {found}"
             ),
@@ -134,7 +150,10 @@ mod tests {
     fn errors_display_nonempty() {
         let e = ParseError::new(3, "bad token");
         assert!(e.to_string().contains("line 3"));
-        let v = ValidateError::DanglingBlock { from: BlockId(0), target: BlockId(9) };
+        let v = ValidateError::DanglingBlock {
+            from: BlockId(0),
+            target: BlockId(9),
+        };
         assert!(v.to_string().contains("BB9"));
     }
 }

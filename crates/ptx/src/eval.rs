@@ -230,9 +230,7 @@ pub fn cvt_op(dst_ty: Type, src_ty: Type, v: u64) -> u64 {
         (s, d) if s == d => truncate(d, v),
         (Type::U32, Type::U64) => v & 0xFFFF_FFFF,
         (Type::S32, Type::U64) | (Type::S32, Type::S32) => (v as u32 as i32) as i64 as u64,
-        (Type::U64, Type::U32) | (Type::U32, Type::S32) | (Type::S32, Type::U32) => {
-            v & 0xFFFF_FFFF
-        }
+        (Type::U64, Type::U32) | (Type::U32, Type::S32) | (Type::S32, Type::U32) => v & 0xFFFF_FFFF,
         (Type::U64, Type::S32) => v & 0xFFFF_FFFF,
         (Type::U32, Type::F32) => of_f32(v as u32 as f32),
         (Type::S32, Type::F32) => of_f32((v as u32 as i32) as f32),
@@ -280,7 +278,11 @@ mod tests {
     #[test]
     fn s32_signed_semantics() {
         let neg1 = (-1i32) as u32 as u64;
-        assert_eq!(binary_op(BinOp::Shr, Type::S32, neg1, 1), neg1, "arithmetic shift");
+        assert_eq!(
+            binary_op(BinOp::Shr, Type::S32, neg1, 1),
+            neg1,
+            "arithmetic shift"
+        );
         assert_eq!(binary_op(BinOp::Min, Type::S32, neg1, 5), neg1);
         assert_eq!(binary_op(BinOp::Min, Type::U32, neg1, 5), 5);
     }
@@ -316,7 +318,11 @@ mod tests {
         assert_eq!(cvt_op(Type::U64, Type::S32, neg), (-3i64) as u64);
         assert_eq!(f32_of(cvt_op(Type::F32, Type::U32, 7)), 7.0);
         assert_eq!(cvt_op(Type::U32, Type::F32, of_f32(9.7)), 9);
-        assert_eq!(cvt_op(Type::U32, Type::F32, of_f32(-9.7)), 0, "negative clamps for unsigned");
+        assert_eq!(
+            cvt_op(Type::U32, Type::F32, of_f32(-9.7)),
+            0,
+            "negative clamps for unsigned"
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::types::{BinOp, CmpOp, Space, Type, UnOp};
 /// instructions: they live in each block's [`Terminator`].
 ///
 /// [`Terminator`]: crate::Terminator
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Op {
     /// `mov.<ty> dst, src` — copy a value (or read a special register,
     /// or take the address of a kernel variable via [`Op::MovVarAddr`]).
@@ -22,29 +22,79 @@ pub enum Op {
     /// (`mov.u64 %d0, SpillStack`).
     MovVarAddr { dst: VReg, var: String },
     /// `op.<ty> dst, a` — unary arithmetic (SFU operations included).
-    Unary { op: UnOp, ty: Type, dst: VReg, src: Operand },
+    Unary {
+        op: UnOp,
+        ty: Type,
+        dst: VReg,
+        src: Operand,
+    },
     /// `op.<ty> dst, a, b` — binary arithmetic/logic.
-    Binary { op: BinOp, ty: Type, dst: VReg, a: Operand, b: Operand },
+    Binary {
+        op: BinOp,
+        ty: Type,
+        dst: VReg,
+        a: Operand,
+        b: Operand,
+    },
     /// `mad.lo.<ty> dst, a, b, c` — multiply-add (`dst = a*b + c`).
-    Mad { ty: Type, dst: VReg, a: Operand, b: Operand, c: Operand },
+    Mad {
+        ty: Type,
+        dst: VReg,
+        a: Operand,
+        b: Operand,
+        c: Operand,
+    },
     /// `fma.rn.<ty> dst, a, b, c` — fused multiply-add for floats.
-    Fma { ty: Type, dst: VReg, a: Operand, b: Operand, c: Operand },
+    Fma {
+        ty: Type,
+        dst: VReg,
+        a: Operand,
+        b: Operand,
+        c: Operand,
+    },
     /// `cvt.<dst_ty>.<src_ty> dst, src` — type conversion.
-    Cvt { dst_ty: Type, src_ty: Type, dst: VReg, src: Operand },
+    Cvt {
+        dst_ty: Type,
+        src_ty: Type,
+        dst: VReg,
+        src: Operand,
+    },
     /// `ld.<space>.<ty> dst, [addr]` — load.
-    Ld { space: Space, ty: Type, dst: VReg, addr: Address },
+    Ld {
+        space: Space,
+        ty: Type,
+        dst: VReg,
+        addr: Address,
+    },
     /// `st.<space>.<ty> [addr], src` — store.
-    St { space: Space, ty: Type, addr: Address, src: Operand },
+    St {
+        space: Space,
+        ty: Type,
+        addr: Address,
+        src: Operand,
+    },
     /// `setp.<cmp>.<ty> dst, a, b` — compare, producing a predicate.
-    Setp { cmp: CmpOp, ty: Type, dst: VReg, a: Operand, b: Operand },
+    Setp {
+        cmp: CmpOp,
+        ty: Type,
+        dst: VReg,
+        a: Operand,
+        b: Operand,
+    },
     /// `selp.<ty> dst, a, b, pred` — select `a` if `pred` else `b`.
-    Selp { ty: Type, dst: VReg, a: Operand, b: Operand, pred: VReg },
+    Selp {
+        ty: Type,
+        dst: VReg,
+        a: Operand,
+        b: Operand,
+        pred: VReg,
+    },
     /// `bar.sync 0` — block-wide barrier.
     BarSync,
 }
 
 /// A (possibly guarded) instruction.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct Instruction {
     /// Optional predication guard (`@%p` / `@!%p`).
     pub guard: Option<Guard>,
@@ -69,7 +119,10 @@ impl Instruction {
 
     /// A guarded instruction.
     pub fn guarded(guard: Guard, op: Op) -> Instruction {
-        Instruction { guard: Some(guard), op }
+        Instruction {
+            guard: Some(guard),
+            op,
+        }
     }
 
     /// The register defined by this instruction, if any.
@@ -194,7 +247,9 @@ impl Instruction {
                 map_op(c, &mut f);
                 *dst = f(*dst, RegAccess::Def);
             }
-            Op::Selp { dst, a, b, pred, .. } => {
+            Op::Selp {
+                dst, a, b, pred, ..
+            } => {
                 map_op(a, &mut f);
                 map_op(b, &mut f);
                 *pred = f(*pred, RegAccess::Use);
@@ -229,7 +284,10 @@ impl Instruction {
     pub fn is_sfu(&self) -> bool {
         match &self.op {
             Op::Unary { op, .. } => op.is_sfu(),
-            Op::Binary { op: BinOp::Div | BinOp::Rem, .. } => true,
+            Op::Binary {
+                op: BinOp::Div | BinOp::Rem,
+                ..
+            } => true,
             _ => false,
         }
     }
@@ -262,7 +320,11 @@ impl fmt::Display for Instruction {
 impl Op {
     /// `mov` reading a special register.
     pub fn mov_special(ty: Type, dst: VReg, sr: SpecialReg) -> Op {
-        Op::Mov { ty, dst, src: Operand::Special(sr) }
+        Op::Mov {
+            ty,
+            dst,
+            src: Operand::Special(sr),
+        }
     }
 }
 
@@ -305,7 +367,11 @@ mod tests {
     fn guard_counts_as_use() {
         let i = Instruction::guarded(
             Guard::when(r(9)),
-            Op::Mov { ty: Type::U32, dst: r(1), src: Operand::Imm(0) },
+            Op::Mov {
+                ty: Type::U32,
+                dst: r(1),
+                src: Operand::Imm(0),
+            },
         );
         assert_eq!(i.uses(), vec![r(9)]);
         assert!(i.is_conditional_def());
@@ -335,7 +401,13 @@ mod tests {
             b: Operand::Imm(1),
         });
         // Rename only defs.
-        i.map_regs(|v, acc| if acc == RegAccess::Def { VReg(v.0 + 1) } else { v });
+        i.map_regs(|v, acc| {
+            if acc == RegAccess::Def {
+                VReg(v.0 + 1)
+            } else {
+                v
+            }
+        });
         assert_eq!(i.def(), Some(r(1)));
         assert_eq!(i.uses(), vec![r(0)]);
     }

@@ -10,7 +10,7 @@ use crate::reg::VReg;
 use crate::types::{Space, Type};
 
 /// A kernel parameter (`.param`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Param {
     /// Parameter name, unique within the kernel.
     pub name: String,
@@ -19,7 +19,7 @@ pub struct Param {
 }
 
 /// A kernel-scope variable declaration: a `.shared` or `.local` array.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VarDecl {
     /// Variable name, unique within the kernel.
     pub name: String,
@@ -43,6 +43,24 @@ pub struct Kernel {
     /// Estimated trip count for loops headed by a block, used by the
     /// static analyses. Keys are loop-header block ids.
     trip_hints: HashMap<BlockId, u32>,
+}
+
+/// Structural hashing over every component the simulator can observe.
+/// Trip hints are folded in sorted order so the hash is independent of
+/// `HashMap` iteration order: two `==` kernels always hash identically,
+/// which the simulation memo cache relies on.
+impl std::hash::Hash for Kernel {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.name.hash(state);
+        self.params.hash(state);
+        self.vars.hash(state);
+        self.reg_types.hash(state);
+        self.blocks.hash(state);
+        let mut hints: Vec<(BlockId, u32)> =
+            self.trip_hints.iter().map(|(b, t)| (*b, *t)).collect();
+        hints.sort_unstable();
+        hints.hash(state);
+    }
 }
 
 impl Kernel {
@@ -75,7 +93,10 @@ impl Kernel {
 
     /// Add a parameter. Returns its index.
     pub fn add_param(&mut self, name: impl Into<String>, ty: Type) -> usize {
-        self.params.push(Param { name: name.into(), ty });
+        self.params.push(Param {
+            name: name.into(),
+            ty,
+        });
         self.params.len() - 1
     }
 
@@ -103,12 +124,20 @@ impl Kernel {
 
     /// Total bytes of `.shared` variables declared by the kernel.
     pub fn shared_bytes(&self) -> u32 {
-        self.vars.iter().filter(|v| v.space == Space::Shared).map(|v| v.size).sum()
+        self.vars
+            .iter()
+            .filter(|v| v.space == Space::Shared)
+            .map(|v| v.size)
+            .sum()
     }
 
     /// Total bytes of `.local` variables declared by the kernel.
     pub fn local_bytes(&self) -> u32 {
-        self.vars.iter().filter(|v| v.space == Space::Local).map(|v| v.size).sum()
+        self.vars
+            .iter()
+            .filter(|v| v.space == Space::Local)
+            .map(|v| v.size)
+            .sum()
     }
 
     /// Allocate a fresh virtual register of type `ty`.
@@ -175,9 +204,12 @@ impl Kernel {
 
     /// Iterate over every instruction with its location.
     pub fn insts(&self) -> impl Iterator<Item = (BlockId, usize, &Instruction)> {
-        self.blocks
-            .iter()
-            .flat_map(|b| b.insts.iter().enumerate().map(move |(i, inst)| (b.id, i, inst)))
+        self.blocks.iter().flat_map(|b| {
+            b.insts
+                .iter()
+                .enumerate()
+                .map(move |(i, inst)| (b.id, i, inst))
+        })
     }
 
     /// Record an estimated trip count for the loop headed by `header`.
@@ -211,7 +243,10 @@ impl Kernel {
     pub fn validate(&self) -> Result<(), ValidateError> {
         for (idx, b) in self.blocks.iter().enumerate() {
             if b.id.index() != idx {
-                return Err(ValidateError::BlockIdMismatch { expected: idx, found: b.id });
+                return Err(ValidateError::BlockIdMismatch {
+                    expected: idx,
+                    found: b.id,
+                });
             }
             for target in b.terminator.successors() {
                 if target.index() >= self.blocks.len() {
@@ -234,12 +269,22 @@ impl Kernel {
         }
         let actual = self.reg_ty(r);
         if actual != expect {
-            return Err(ValidateError::TypeMismatch { reg: r, expected: expect, found: actual, block });
+            return Err(ValidateError::TypeMismatch {
+                reg: r,
+                expected: expect,
+                found: actual,
+                block,
+            });
         }
         Ok(())
     }
 
-    fn check_operand(&self, o: &Operand, expect: Type, block: BlockId) -> Result<(), ValidateError> {
+    fn check_operand(
+        &self,
+        o: &Operand,
+        expect: Type,
+        block: BlockId,
+    ) -> Result<(), ValidateError> {
         match o {
             Operand::Reg(r) => self.check_reg(*r, expect, block),
             _ => Ok(()),
@@ -255,9 +300,10 @@ impl Kernel {
         match &addr.base {
             AddrBase::Reg(r) => self.check_reg(*r, Type::U64, block),
             AddrBase::Var(name) => {
-                let var = self
-                    .var(name)
-                    .ok_or_else(|| ValidateError::UnknownVar { name: name.clone(), block })?;
+                let var = self.var(name).ok_or_else(|| ValidateError::UnknownVar {
+                    name: name.clone(),
+                    block,
+                })?;
                 if var.space != space {
                     return Err(ValidateError::SpaceMismatch {
                         name: name.clone(),
@@ -278,7 +324,10 @@ impl Kernel {
                     });
                 }
                 if self.param(name).is_none() {
-                    return Err(ValidateError::UnknownParam { name: name.clone(), block });
+                    return Err(ValidateError::UnknownParam {
+                        name: name.clone(),
+                        block,
+                    });
                 }
                 Ok(())
             }
@@ -297,7 +346,10 @@ impl Kernel {
             Op::MovVarAddr { dst, var } => {
                 self.check_reg(*dst, Type::U64, block)?;
                 if self.var(var).is_none() {
-                    return Err(ValidateError::UnknownVar { name: var.clone(), block });
+                    return Err(ValidateError::UnknownVar {
+                        name: var.clone(),
+                        block,
+                    });
                 }
                 Ok(())
             }
@@ -316,15 +368,30 @@ impl Kernel {
                 self.check_operand(b, *ty, block)?;
                 self.check_operand(c, *ty, block)
             }
-            Op::Cvt { dst_ty, src_ty, dst, src } => {
+            Op::Cvt {
+                dst_ty,
+                src_ty,
+                dst,
+                src,
+            } => {
                 self.check_reg(*dst, *dst_ty, block)?;
                 self.check_operand(src, *src_ty, block)
             }
-            Op::Ld { space, ty, dst, addr } => {
+            Op::Ld {
+                space,
+                ty,
+                dst,
+                addr,
+            } => {
                 self.check_reg(*dst, *ty, block)?;
                 self.check_addr(addr, *space, block)
             }
-            Op::St { space, ty, addr, src } => {
+            Op::St {
+                space,
+                ty,
+                addr,
+                src,
+            } => {
                 self.check_addr(addr, *space, block)?;
                 self.check_operand(src, *ty, block)
             }
@@ -333,7 +400,13 @@ impl Kernel {
                 self.check_operand(a, *ty, block)?;
                 self.check_operand(b, *ty, block)
             }
-            Op::Selp { ty, dst, a, b, pred } => {
+            Op::Selp {
+                ty,
+                dst,
+                a,
+                b,
+                pred,
+            } => {
                 self.check_reg(*dst, *ty, block)?;
                 self.check_operand(a, *ty, block)?;
                 self.check_operand(b, *ty, block)?;
@@ -375,19 +448,27 @@ mod tests {
     fn validate_catches_dangling_branch() {
         let mut k = Kernel::new("k");
         k.block_mut(BlockId(0)).terminator = Terminator::Bra(BlockId(7));
-        assert!(matches!(k.validate(), Err(ValidateError::DanglingBlock { .. })));
+        assert!(matches!(
+            k.validate(),
+            Err(ValidateError::DanglingBlock { .. })
+        ));
     }
 
     #[test]
     fn validate_catches_type_mismatch() {
         let mut k = Kernel::new("k");
         let f = k.new_reg(Type::F32);
-        k.block_mut(BlockId(0)).insts.push(Instruction::new(Op::Mov {
-            ty: Type::U32,
-            dst: f,
-            src: Operand::Imm(0),
-        }));
-        assert!(matches!(k.validate(), Err(ValidateError::TypeMismatch { .. })));
+        k.block_mut(BlockId(0))
+            .insts
+            .push(Instruction::new(Op::Mov {
+                ty: Type::U32,
+                dst: f,
+                src: Operand::Imm(0),
+            }));
+        assert!(matches!(
+            k.validate(),
+            Err(ValidateError::TypeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -400,13 +481,21 @@ mod tests {
             dst: d,
             addr: Address::var("nosuch", 0),
         }));
-        assert!(matches!(k.validate(), Err(ValidateError::UnknownVar { .. })));
+        assert!(matches!(
+            k.validate(),
+            Err(ValidateError::UnknownVar { .. })
+        ));
     }
 
     #[test]
     fn validate_catches_space_mismatch() {
         let mut k = Kernel::new("k");
-        k.add_var(VarDecl { name: "buf".into(), space: Space::Local, align: 4, size: 16 });
+        k.add_var(VarDecl {
+            name: "buf".into(),
+            space: Space::Local,
+            align: 4,
+            size: 16,
+        });
         let d = k.new_reg(Type::U32);
         k.block_mut(BlockId(0)).insts.push(Instruction::new(Op::Ld {
             space: Space::Shared,
@@ -414,15 +503,33 @@ mod tests {
             dst: d,
             addr: Address::var("buf", 0),
         }));
-        assert!(matches!(k.validate(), Err(ValidateError::SpaceMismatch { .. })));
+        assert!(matches!(
+            k.validate(),
+            Err(ValidateError::SpaceMismatch { .. })
+        ));
     }
 
     #[test]
     fn shared_and_local_byte_totals() {
         let mut k = Kernel::new("k");
-        k.add_var(VarDecl { name: "a".into(), space: Space::Shared, align: 4, size: 256 });
-        k.add_var(VarDecl { name: "b".into(), space: Space::Shared, align: 4, size: 128 });
-        k.add_var(VarDecl { name: "c".into(), space: Space::Local, align: 4, size: 64 });
+        k.add_var(VarDecl {
+            name: "a".into(),
+            space: Space::Shared,
+            align: 4,
+            size: 256,
+        });
+        k.add_var(VarDecl {
+            name: "b".into(),
+            space: Space::Shared,
+            align: 4,
+            size: 128,
+        });
+        k.add_var(VarDecl {
+            name: "c".into(),
+            space: Space::Local,
+            align: 4,
+            size: 64,
+        });
         assert_eq!(k.shared_bytes(), 384);
         assert_eq!(k.local_bytes(), 64);
         assert_eq!(k.remove_var("b").unwrap().size, 128);

@@ -154,7 +154,13 @@ impl Liveness {
             next += b.insts.len() as u32 + 1;
         }
 
-        Liveness { live_in, live_out, block_start, num_points: next, num_regs: nregs }
+        Liveness {
+            live_in,
+            live_out,
+            block_start,
+            num_points: next,
+            num_regs: nregs,
+        }
     }
 
     /// Registers live at entry to `b`.
@@ -200,8 +206,13 @@ impl Liveness {
         let mut accesses = vec![0u32; n];
         let mut weighted = vec![0u64; n];
 
-        let touch = |v: VReg, p: ProgramPoint, w: u64, acc: &mut Vec<u32>, wacc: &mut Vec<u64>,
-                         start: &mut Vec<ProgramPoint>, end: &mut Vec<ProgramPoint>| {
+        let touch = |v: VReg,
+                     p: ProgramPoint,
+                     w: u64,
+                     acc: &mut Vec<u32>,
+                     wacc: &mut Vec<u64>,
+                     start: &mut Vec<ProgramPoint>,
+                     end: &mut Vec<ProgramPoint>| {
             let i = v.index();
             start[i] = start[i].min(p);
             end[i] = end[i].max(p);
@@ -239,14 +250,26 @@ impl Liveness {
                 }
             }
             if let Some(p) = b.terminator.used_reg() {
-                touch(p, bend, w, &mut accesses, &mut weighted, &mut start, &mut end);
+                touch(
+                    p,
+                    bend,
+                    w,
+                    &mut accesses,
+                    &mut weighted,
+                    &mut start,
+                    &mut end,
+                );
             }
         }
 
         (0..n)
             .map(|i| LiveRange {
                 vreg: VReg(i as u32),
-                start: if start[i] == ProgramPoint::MAX { 0 } else { start[i] },
+                start: if start[i] == ProgramPoint::MAX {
+                    0
+                } else {
+                    start[i]
+                },
                 end: end[i],
                 accesses: accesses[i],
                 weighted_accesses: weighted[i],
@@ -264,7 +287,9 @@ impl Liveness {
         for b in kernel.blocks() {
             let mut live = self.live_out[b.id.index()].clone();
             let slots_of = |set: &BitSet| -> u32 {
-                set.iter().map(|v| kernel.reg_ty(VReg(v as u32)).reg_slots()).sum()
+                set.iter()
+                    .map(|v| kernel.reg_ty(VReg(v as u32)).reg_slots())
+                    .sum()
             };
             max = max.max(slots_of(&live));
             for inst in b.insts.iter().rev() {
@@ -379,11 +404,13 @@ mod tests {
         let exit = k.add_block();
         let i = k.new_reg(Type::U32);
         let p = k.new_reg(Type::Pred);
-        k.block_mut(BlockId(0)).insts.push(Instruction::new(Op::Mov {
-            ty: Type::U32,
-            dst: i,
-            src: Operand::Imm(0),
-        }));
+        k.block_mut(BlockId(0))
+            .insts
+            .push(Instruction::new(Op::Mov {
+                ty: Type::U32,
+                dst: i,
+                src: Operand::Imm(0),
+            }));
         k.block_mut(BlockId(0)).terminator = Terminator::Bra(header);
         k.block_mut(header).insts.push(Instruction::new(Op::Setp {
             cmp: CmpOp::Lt,
@@ -392,8 +419,12 @@ mod tests {
             a: Operand::Reg(i),
             b: Operand::Imm(10),
         }));
-        k.block_mut(header).terminator =
-            Terminator::CondBra { pred: p, negated: false, taken: body, not_taken: exit };
+        k.block_mut(header).terminator = Terminator::CondBra {
+            pred: p,
+            negated: false,
+            taken: body,
+            not_taken: exit,
+        };
         k.block_mut(body).insts.push(Instruction::new(Op::Binary {
             op: BinOp::Add,
             ty: Type::U32,
@@ -432,10 +463,18 @@ mod tests {
             a: Operand::Imm(0),
             b: Operand::Imm(0),
         }));
-        b.insts.push(Instruction::new(Op::Mov { ty: Type::U32, dst: r0, src: Operand::Imm(1) }));
+        b.insts.push(Instruction::new(Op::Mov {
+            ty: Type::U32,
+            dst: r0,
+            src: Operand::Imm(1),
+        }));
         b.insts.push(Instruction::guarded(
             crate::reg::Guard::when(p),
-            Op::Mov { ty: Type::U32, dst: r0, src: Operand::Imm(2) },
+            Op::Mov {
+                ty: Type::U32,
+                dst: r0,
+                src: Operand::Imm(2),
+            },
         ));
         b.insts.push(Instruction::new(Op::Mov {
             ty: Type::U32,
@@ -462,8 +501,16 @@ mod tests {
         let b2 = k.new_reg(Type::U64);
         let c = k.new_reg(Type::U64);
         let blk = k.block_mut(BlockId(0));
-        blk.insts.push(Instruction::new(Op::Mov { ty: Type::U64, dst: a, src: Operand::Imm(1) }));
-        blk.insts.push(Instruction::new(Op::Mov { ty: Type::U64, dst: b2, src: Operand::Imm(2) }));
+        blk.insts.push(Instruction::new(Op::Mov {
+            ty: Type::U64,
+            dst: a,
+            src: Operand::Imm(1),
+        }));
+        blk.insts.push(Instruction::new(Op::Mov {
+            ty: Type::U64,
+            dst: b2,
+            src: Operand::Imm(2),
+        }));
         blk.insts.push(Instruction::new(Op::Binary {
             op: BinOp::Add,
             ty: Type::U64,

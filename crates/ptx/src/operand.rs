@@ -17,6 +17,20 @@ pub enum Operand {
     Special(SpecialReg),
 }
 
+/// Structural hashing: floats hash by bit pattern so that equal IR
+/// always hashes equally (the simulation memo cache depends on it).
+impl std::hash::Hash for Operand {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Operand::Reg(r) => r.hash(state),
+            Operand::Imm(v) => v.hash(state),
+            Operand::FImm(v) => v.to_bits().hash(state),
+            Operand::Special(sr) => sr.hash(state),
+        }
+    }
+}
+
 impl Operand {
     /// The register this operand reads, if any.
     pub fn as_reg(&self) -> Option<VReg> {
@@ -55,17 +69,9 @@ impl fmt::Display for Operand {
         match self {
             Operand::Reg(r) => write!(f, "{r}"),
             Operand::Imm(v) => write!(f, "{v}"),
-            // Print floats in a round-trippable way: always keep a
-            // decimal point or exponent so the parser can tell them
-            // from integers.
-            Operand::FImm(v) => {
-                let s = format!("{v}");
-                if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
-                    write!(f, "0f{}", f64_bits_hex(*v))
-                } else {
-                    write!(f, "0f{}", f64_bits_hex(*v))
-                }
-            }
+            // Print floats as exact bit patterns so parsing round-trips
+            // (including NaN/inf payloads).
+            Operand::FImm(v) => write!(f, "0f{}", f64_bits_hex(*v)),
             Operand::Special(sr) => write!(f, "{sr}"),
         }
     }
@@ -107,22 +113,34 @@ pub struct Address {
 impl Address {
     /// Address through a register base with no offset.
     pub fn reg(base: VReg) -> Address {
-        Address { base: AddrBase::Reg(base), offset: 0 }
+        Address {
+            base: AddrBase::Reg(base),
+            offset: 0,
+        }
     }
 
     /// Address through a register base plus a byte offset.
     pub fn reg_offset(base: VReg, offset: i64) -> Address {
-        Address { base: AddrBase::Reg(base), offset }
+        Address {
+            base: AddrBase::Reg(base),
+            offset,
+        }
     }
 
     /// Address of a named kernel variable plus a byte offset.
     pub fn var(name: impl Into<String>, offset: i64) -> Address {
-        Address { base: AddrBase::Var(name.into()), offset }
+        Address {
+            base: AddrBase::Var(name.into()),
+            offset,
+        }
     }
 
     /// Address of a kernel parameter (for `ld.param`).
     pub fn param(name: impl Into<String>) -> Address {
-        Address { base: AddrBase::Param(name.into()), offset: 0 }
+        Address {
+            base: AddrBase::Param(name.into()),
+            offset: 0,
+        }
     }
 
     /// The register this address reads, if its base is a register.

@@ -61,51 +61,87 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                 }
             }
             b'(' => {
-                toks.push(Token { line, kind: Tok::LParen });
+                toks.push(Token {
+                    line,
+                    kind: Tok::LParen,
+                });
                 i += 1;
             }
             b')' => {
-                toks.push(Token { line, kind: Tok::RParen });
+                toks.push(Token {
+                    line,
+                    kind: Tok::RParen,
+                });
                 i += 1;
             }
             b'{' => {
-                toks.push(Token { line, kind: Tok::LBrace });
+                toks.push(Token {
+                    line,
+                    kind: Tok::LBrace,
+                });
                 i += 1;
             }
             b'}' => {
-                toks.push(Token { line, kind: Tok::RBrace });
+                toks.push(Token {
+                    line,
+                    kind: Tok::RBrace,
+                });
                 i += 1;
             }
             b'[' => {
-                toks.push(Token { line, kind: Tok::LBracket });
+                toks.push(Token {
+                    line,
+                    kind: Tok::LBracket,
+                });
                 i += 1;
             }
             b']' => {
-                toks.push(Token { line, kind: Tok::RBracket });
+                toks.push(Token {
+                    line,
+                    kind: Tok::RBracket,
+                });
                 i += 1;
             }
             b',' => {
-                toks.push(Token { line, kind: Tok::Comma });
+                toks.push(Token {
+                    line,
+                    kind: Tok::Comma,
+                });
                 i += 1;
             }
             b';' => {
-                toks.push(Token { line, kind: Tok::Semi });
+                toks.push(Token {
+                    line,
+                    kind: Tok::Semi,
+                });
                 i += 1;
             }
             b':' => {
-                toks.push(Token { line, kind: Tok::Colon });
+                toks.push(Token {
+                    line,
+                    kind: Tok::Colon,
+                });
                 i += 1;
             }
             b'+' => {
-                toks.push(Token { line, kind: Tok::Plus });
+                toks.push(Token {
+                    line,
+                    kind: Tok::Plus,
+                });
                 i += 1;
             }
             b'@' => {
-                toks.push(Token { line, kind: Tok::At });
+                toks.push(Token {
+                    line,
+                    kind: Tok::At,
+                });
                 i += 1;
             }
             b'!' => {
-                toks.push(Token { line, kind: Tok::Bang });
+                toks.push(Token {
+                    line,
+                    kind: Tok::Bang,
+                });
                 i += 1;
             }
             b'"' => {
@@ -120,7 +156,10 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                 if j >= bytes.len() {
                     return Err(ParseError::new(line, "unterminated string"));
                 }
-                toks.push(Token { line, kind: Tok::Str(src[start..j].to_string()) });
+                toks.push(Token {
+                    line,
+                    kind: Tok::Str(src[start..j].to_string()),
+                });
                 i = j + 1;
             }
             b'.' => {
@@ -132,7 +171,10 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                 if j == start {
                     return Err(ParseError::new(line, "lone `.`"));
                 }
-                toks.push(Token { line, kind: Tok::Dot(src[start..j].to_string()) });
+                toks.push(Token {
+                    line,
+                    kind: Tok::Dot(src[start..j].to_string()),
+                });
                 i = j;
             }
             b'%' => {
@@ -145,7 +187,10 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                 if j == i + 1 {
                     return Err(ParseError::new(line, "lone `%`"));
                 }
-                toks.push(Token { line, kind: Tok::Percent(src[start..j].to_string()) });
+                toks.push(Token {
+                    line,
+                    kind: Tok::Percent(src[start..j].to_string()),
+                });
                 i = j;
             }
             b'-' => {
@@ -160,7 +205,10 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                 let v: i64 = src[start..j]
                     .parse()
                     .map_err(|_| ParseError::new(line, "integer overflow"))?;
-                toks.push(Token { line, kind: Tok::Int(v) });
+                toks.push(Token {
+                    line,
+                    kind: Tok::Int(v),
+                });
                 i = j;
             }
             b'0' if i + 1 < bytes.len() && bytes[i + 1] == b'f' => {
@@ -174,7 +222,10 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                 }
                 let bits = u64::from_str_radix(&src[start..j], 16)
                     .map_err(|_| ParseError::new(line, "float bits overflow"))?;
-                toks.push(Token { line, kind: Tok::FloatBits(bits) });
+                toks.push(Token {
+                    line,
+                    kind: Tok::FloatBits(bits),
+                });
                 i = j;
             }
             b'0'..=b'9' => {
@@ -186,7 +237,10 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                 let v: i64 = src[start..j]
                     .parse()
                     .map_err(|_| ParseError::new(line, "integer overflow"))?;
-                toks.push(Token { line, kind: Tok::Int(v) });
+                toks.push(Token {
+                    line,
+                    kind: Tok::Int(v),
+                });
                 i = j;
             }
             c if ident_char(c) => {
@@ -195,11 +249,17 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                 while j < bytes.len() && ident_char(bytes[j]) {
                     j += 1;
                 }
-                toks.push(Token { line, kind: Tok::Ident(src[start..j].to_string()) });
+                toks.push(Token {
+                    line,
+                    kind: Tok::Ident(src[start..j].to_string()),
+                });
                 i = j;
             }
             other => {
-                return Err(ParseError::new(line, format!("unexpected byte `{}`", other as char)));
+                return Err(ParseError::new(
+                    line,
+                    format!("unexpected byte `{}`", other as char),
+                ));
             }
         }
     }
@@ -233,13 +293,21 @@ mod tests {
     fn lexes_negative_offset() {
         assert_eq!(
             kinds("[%v1-8]"),
-            vec![Tok::LBracket, Tok::Percent("%v1".into()), Tok::Int(-8), Tok::RBracket]
+            vec![
+                Tok::LBracket,
+                Tok::Percent("%v1".into()),
+                Tok::Int(-8),
+                Tok::RBracket
+            ]
         );
     }
 
     #[test]
     fn lexes_float_bits() {
-        assert_eq!(kinds("0f3FF0000000000000"), vec![Tok::FloatBits(0x3FF0000000000000)]);
+        assert_eq!(
+            kinds("0f3FF0000000000000"),
+            vec![Tok::FloatBits(0x3FF0000000000000)]
+        );
     }
 
     #[test]
@@ -250,7 +318,10 @@ mod tests {
 
     #[test]
     fn lexes_string() {
-        assert_eq!(kinds("\"trip BB1 64\""), vec![Tok::Str("trip BB1 64".into())]);
+        assert_eq!(
+            kinds("\"trip BB1 64\""),
+            vec![Tok::Str("trip BB1 64".into())]
+        );
     }
 
     #[test]

@@ -50,10 +50,9 @@ struct Parser {
 
 impl Parser {
     fn line(&self) -> usize {
-        self.toks.get(self.pos).map_or_else(
-            || self.toks.last().map_or(1, |t| t.line),
-            |t| t.line,
-        )
+        self.toks
+            .get(self.pos)
+            .map_or_else(|| self.toks.last().map_or(1, |t| t.line), |t| t.line)
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
@@ -220,8 +219,11 @@ impl Parser {
                     self.expect(&Tok::Semi)?;
                 }
                 "shared" | "local" => {
-                    let space =
-                        if d == "shared" { Space::Shared } else { Space::Local };
+                    let space = if d == "shared" {
+                        Space::Shared
+                    } else {
+                        Space::Local
+                    };
                     let a = self.expect_dot()?;
                     if a != "align" {
                         return Err(self.err(format!("expected `.align`, found `.{a}`")));
@@ -236,14 +238,17 @@ impl Parser {
                     let size = self.expect_int()? as u32;
                     self.expect(&Tok::RBracket)?;
                     self.expect(&Tok::Semi)?;
-                    kernel.add_var(VarDecl { name: vname, space, align, size });
+                    kernel.add_var(VarDecl {
+                        name: vname,
+                        space,
+                        align,
+                        size,
+                    });
                 }
                 "pragma" => {
                     let s = match self.next()? {
                         Tok::Str(s) => s,
-                        other => {
-                            return Err(self.err(format!("expected string, found {other:?}")))
-                        }
+                        other => return Err(self.err(format!("expected string, found {other:?}"))),
                     };
                     self.expect(&Tok::Semi)?;
                     let parts: Vec<&str> = s.split_whitespace().collect();
@@ -404,7 +409,11 @@ impl Parser {
                         }
                         Op::MovVarAddr { dst, var }
                     }
-                    _ => Op::Mov { ty, dst, src: self.operand()? },
+                    _ => Op::Mov {
+                        ty,
+                        dst,
+                        src: self.operand()?,
+                    },
                 }
             }
             "neg" | "not" | "abs" | "sqrt" | "rsqrt" | "ex2" | "lg2" | "sin" | "cos" | "rcp" => {
@@ -428,7 +437,12 @@ impl Parser {
                     .ok_or_else(|| self.err(format!("unknown type `.{suffix}`")))?;
                 let dst = self.vreg()?;
                 self.expect(&Tok::Comma)?;
-                Op::Unary { op: un, ty, dst, src: self.operand()? }
+                Op::Unary {
+                    op: un,
+                    ty,
+                    dst,
+                    src: self.operand()?,
+                }
             }
             "add" | "sub" | "mul" | "div" | "rem" | "min" | "max" | "and" | "or" | "xor"
             | "shl" | "shr" => {
@@ -457,7 +471,13 @@ impl Parser {
                 let a = self.operand()?;
                 self.expect(&Tok::Comma)?;
                 let b = self.operand()?;
-                Op::Binary { op: bin, ty, dst, a, b }
+                Op::Binary {
+                    op: bin,
+                    ty,
+                    dst,
+                    a,
+                    b,
+                }
             }
             "mad" | "fma" => {
                 let mut suffix = self.expect_dot()?;
@@ -484,7 +504,12 @@ impl Parser {
                 let src_ty = self.dot_type()?;
                 let dst = self.vreg()?;
                 self.expect(&Tok::Comma)?;
-                Op::Cvt { dst_ty, src_ty, dst, src: self.operand()? }
+                Op::Cvt {
+                    dst_ty,
+                    src_ty,
+                    dst,
+                    src: self.operand()?,
+                }
             }
             "ld" => {
                 let sp = self.expect_dot()?;
@@ -493,7 +518,12 @@ impl Parser {
                 let ty = self.dot_type()?;
                 let dst = self.vreg()?;
                 self.expect(&Tok::Comma)?;
-                Op::Ld { space, ty, dst, addr: self.address(space)? }
+                Op::Ld {
+                    space,
+                    ty,
+                    dst,
+                    addr: self.address(space)?,
+                }
             }
             "st" => {
                 let sp = self.expect_dot()?;
@@ -502,7 +532,12 @@ impl Parser {
                 let ty = self.dot_type()?;
                 let addr = self.address(space)?;
                 self.expect(&Tok::Comma)?;
-                Op::St { space, ty, addr, src: self.operand()? }
+                Op::St {
+                    space,
+                    ty,
+                    addr,
+                    src: self.operand()?,
+                }
             }
             "setp" => {
                 let cmp_s = self.expect_dot()?;
@@ -525,7 +560,13 @@ impl Parser {
                 let b = self.operand()?;
                 self.expect(&Tok::Comma)?;
                 let pred = self.vreg()?;
-                Op::Selp { ty, dst, a, b, pred }
+                Op::Selp {
+                    ty,
+                    dst,
+                    a,
+                    b,
+                    pred,
+                }
             }
             "bar" => {
                 let s = self.expect_dot()?;
@@ -544,7 +585,9 @@ impl Parser {
 
 /// Parse `%v<N>` names.
 fn parse_vreg(name: &str) -> Option<VReg> {
-    name.strip_prefix("%v").and_then(|n| n.parse().ok()).map(VReg)
+    name.strip_prefix("%v")
+        .and_then(|n| n.parse().ok())
+        .map(VReg)
 }
 
 #[cfg(test)]

@@ -96,8 +96,7 @@ pub fn eliminate_dead_code(kernel: &mut Kernel) -> usize {
             for inst in old.into_iter().rev() {
                 let side_effecting =
                     matches!(inst.op, Op::St { .. } | Op::BarSync) || inst.guard.is_some();
-                let dead = !side_effecting
-                    && inst.def().is_some_and(|d| !live.contains(d.index()));
+                let dead = !side_effecting && inst.def().is_some_and(|d| !live.contains(d.index()));
                 if dead {
                     removed += 1;
                     continue;
@@ -150,7 +149,12 @@ pub fn propagate_copies(kernel: &mut Kernel) -> usize {
                 copy_of.retain(|_, s| *s != d);
                 // Record new unguarded register-to-register copies.
                 if inst.guard.is_none() {
-                    if let Op::Mov { src: Operand::Reg(s), dst, .. } = inst.op {
+                    if let Op::Mov {
+                        src: Operand::Reg(s),
+                        dst,
+                        ..
+                    } = inst.op
+                    {
                         if s != dst {
                             let root = copy_of.get(&s).copied().unwrap_or(s);
                             copy_of.insert(dst, root);
@@ -196,14 +200,10 @@ pub fn constant_fold(kernel: &mut Kernel) -> usize {
                 }
             };
             let replacement: Option<(VReg, Type, u64)> = match &inst.op {
-                Op::Mov { ty, dst, src } => {
-                    value(src, *ty, &known).map(|v| (*dst, *ty, v))
-                }
+                Op::Mov { ty, dst, src } => value(src, *ty, &known).map(|v| (*dst, *ty, v)),
                 Op::Binary { op, ty, dst, a, b } => {
                     match (value(a, *ty, &known), value(b, *ty, &known)) {
-                        (Some(x), Some(y)) => {
-                            Some((*dst, *ty, eval::binary_op(*op, *ty, x, y)))
-                        }
+                        (Some(x), Some(y)) => Some((*dst, *ty, eval::binary_op(*op, *ty, x, y))),
                         _ => None,
                     }
                 }
@@ -222,14 +222,23 @@ pub fn constant_fold(kernel: &mut Kernel) -> usize {
                         _ => None,
                     }
                 }
-                Op::Cvt { dst_ty, src_ty, dst, src } => value(src, *src_ty, &known)
+                Op::Cvt {
+                    dst_ty,
+                    src_ty,
+                    dst,
+                    src,
+                } => value(src, *src_ty, &known)
                     .map(|x| (*dst, *dst_ty, eval::cvt_op(*dst_ty, *src_ty, x))),
-                Op::Selp { ty, dst, a, b, pred } => {
-                    known.get(pred).copied().and_then(|p| {
-                        let chosen = if p != 0 { a } else { b };
-                        value(chosen, *ty, &known).map(|v| (*dst, *ty, v))
-                    })
-                }
+                Op::Selp {
+                    ty,
+                    dst,
+                    a,
+                    b,
+                    pred,
+                } => known.get(pred).copied().and_then(|p| {
+                    let chosen = if p != 0 { a } else { b };
+                    value(chosen, *ty, &known).map(|v| (*dst, *ty, v))
+                }),
                 _ => None,
             };
 
@@ -283,7 +292,13 @@ pub fn constant_fold(kernel: &mut Kernel) -> usize {
 
         // A constant branch predicate turns a conditional branch into
         // an unconditional one.
-        if let Terminator::CondBra { pred, negated, taken, not_taken } = block.terminator {
+        if let Terminator::CondBra {
+            pred,
+            negated,
+            taken,
+            not_taken,
+        } = block.terminator
+        {
             if let Some(&p) = known.get(&pred) {
                 let go = (p != 0) != negated;
                 block.terminator = Terminator::Bra(if go { taken } else { not_taken });
@@ -328,8 +343,19 @@ mod tests {
         b.shared_var("s", 64);
         let tid = b.special_tid_x(Type::U32);
         let base = b.fresh(Type::U64);
-        b.push_guarded(None, Op::MovVarAddr { dst: base, var: "s".to_string() });
-        b.st(Space::Shared, Type::U32, crate::operand::Address::reg(base), tid);
+        b.push_guarded(
+            None,
+            Op::MovVarAddr {
+                dst: base,
+                var: "s".to_string(),
+            },
+        );
+        b.st(
+            Space::Shared,
+            Type::U32,
+            crate::operand::Address::reg(base),
+            tid,
+        );
         b.bar_sync();
         let mut k = finish_with_store(b, tid);
         let before = k.num_insts();
@@ -366,7 +392,12 @@ mod tests {
         let add = k
             .insts()
             .find_map(|(_, _, i)| match &i.op {
-                Op::Binary { op: BinOp::Add, dst, a, .. } if *dst == z => Some(*a),
+                Op::Binary {
+                    op: BinOp::Add,
+                    dst,
+                    a,
+                    ..
+                } if *dst == z => Some(*a),
                 _ => None,
             })
             .unwrap();
@@ -384,9 +415,9 @@ mod tests {
         let folded = constant_fold(&mut k);
         assert!(folded >= 2, "folded {folded}");
         // `seven` is now a constant move of 7.
-        let is_const7 = k.insts().any(|(_, _, i)| {
-            matches!(i.op, Op::Mov { dst, src: Operand::Imm(7), .. } if dst == seven)
-        });
+        let is_const7 = k.insts().any(
+            |(_, _, i)| matches!(i.op, Op::Mov { dst, src: Operand::Imm(7), .. } if dst == seven),
+        );
         assert!(is_const7);
         assert!(k.validate().is_ok());
     }
@@ -406,7 +437,9 @@ mod tests {
         let mut k = b.finish();
         let folded = constant_fold(&mut k);
         assert!(folded >= 1);
-        assert!(matches!(k.block(crate::block::BlockId(0)).terminator, Terminator::Bra(t) if t == t1));
+        assert!(
+            matches!(k.block(crate::block::BlockId(0)).terminator, Terminator::Bra(t) if t == t1)
+        );
     }
 
     #[test]
@@ -444,9 +477,9 @@ mod tests {
         let _ = stats;
         assert!(k.validate().is_ok());
         // The loop still runs: counter increment must survive.
-        let has_inc = k.insts().any(|(_, _, i)| {
-            matches!(i.op, Op::Binary { op: BinOp::Add, dst, .. } if dst == l.counter)
-        });
+        let has_inc = k.insts().any(
+            |(_, _, i)| matches!(i.op, Op::Binary { op: BinOp::Add, dst, .. } if dst == l.counter),
+        );
         assert!(has_inc);
     }
 }

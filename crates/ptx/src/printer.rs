@@ -34,7 +34,11 @@ fn fmt_instruction(out: &mut String, inst: &Instruction) {
         }
         Op::Binary { op, ty, dst, a, b } => {
             // Integer multiply carries the `.lo` qualifier as in PTX.
-            let lo = if *op == crate::types::BinOp::Mul && ty.is_int() { ".lo" } else { "" };
+            let lo = if *op == crate::types::BinOp::Mul && ty.is_int() {
+                ".lo"
+            } else {
+                ""
+            };
             let _ = write!(out, "{}{lo}{ty} {dst}, {a}, {b};", op.mnemonic());
         }
         Op::Mad { ty, dst, a, b, c } => {
@@ -44,19 +48,40 @@ fn fmt_instruction(out: &mut String, inst: &Instruction) {
         Op::Fma { ty, dst, a, b, c } => {
             let _ = write!(out, "fma.rn{ty} {dst}, {a}, {b}, {c};");
         }
-        Op::Cvt { dst_ty, src_ty, dst, src } => {
+        Op::Cvt {
+            dst_ty,
+            src_ty,
+            dst,
+            src,
+        } => {
             let _ = write!(out, "cvt{dst_ty}{src_ty} {dst}, {src};");
         }
-        Op::Ld { space, ty, dst, addr } => {
+        Op::Ld {
+            space,
+            ty,
+            dst,
+            addr,
+        } => {
             let _ = write!(out, "ld{space}{ty} {dst}, {addr};");
         }
-        Op::St { space, ty, addr, src } => {
+        Op::St {
+            space,
+            ty,
+            addr,
+            src,
+        } => {
             let _ = write!(out, "st{space}{ty} {addr}, {src};");
         }
         Op::Setp { cmp, ty, dst, a, b } => {
             let _ = write!(out, "setp.{}{ty} {dst}, {a}, {b};", cmp.mnemonic());
         }
-        Op::Selp { ty, dst, a, b, pred } => {
+        Op::Selp {
+            ty,
+            dst,
+            a,
+            b,
+            pred,
+        } => {
             let _ = write!(out, "selp{ty} {dst}, {a}, {b}, {pred};");
         }
         Op::BarSync => {
@@ -92,12 +117,15 @@ pub(crate) fn print_kernel(kernel: &Kernel) -> String {
     }
 
     for v in kernel.vars() {
-        let _ = writeln!(out, "    {} .align {} .b8 {}[{}];", v.space, v.align, v.name, v.size);
+        let _ = writeln!(
+            out,
+            "    {} .align {} .b8 {}[{}];",
+            v.space, v.align, v.name, v.size
+        );
     }
 
     // Trip-count hints as pragmas, in block order for determinism.
-    let mut hints: Vec<(u32, u32)> =
-        kernel.trip_hints().iter().map(|(b, t)| (b.0, *t)).collect();
+    let mut hints: Vec<(u32, u32)> = kernel.trip_hints().iter().map(|(b, t)| (b.0, *t)).collect();
     hints.sort_unstable();
     for (b, t) in hints {
         let _ = writeln!(out, "    .pragma \"trip BB{b} {t}\";");
@@ -114,7 +142,12 @@ pub(crate) fn print_kernel(kernel: &Kernel) -> String {
             Terminator::Bra(t) => {
                 let _ = writeln!(out, "    bra {t};");
             }
-            Terminator::CondBra { pred, negated, taken, not_taken } => {
+            Terminator::CondBra {
+                pred,
+                negated,
+                taken,
+                not_taken,
+            } => {
                 let bang = if *negated { "!" } else { "" };
                 let _ = writeln!(out, "    @{bang}{pred} bra {taken};");
                 let _ = writeln!(out, "    bra {not_taken};");
@@ -133,7 +166,7 @@ mod tests {
     use super::*;
     use crate::block::BlockId;
     use crate::operand::{Address, Operand};
-    use crate::reg::{Guard, SpecialReg, VReg};
+    use crate::reg::{Guard, SpecialReg};
     use crate::types::{BinOp, CmpOp, Space};
 
     #[test]
@@ -180,7 +213,11 @@ mod tests {
             (
                 Instruction::guarded(
                     Guard::unless(p),
-                    Op::Mov { ty: Type::U32, dst: r0, src: Operand::Imm(0) },
+                    Op::Mov {
+                        ty: Type::U32,
+                        dst: r0,
+                        src: Operand::Imm(0),
+                    },
                 ),
                 "@!%v2 mov.u32 %v0, 0;",
             ),
@@ -210,11 +247,13 @@ mod tests {
         k.add_param("out", Type::U64);
         k.add_param("n", Type::U32);
         let r = k.new_reg(Type::U32);
-        k.block_mut(BlockId(0)).insts.push(Instruction::new(Op::Mov {
-            ty: Type::U32,
-            dst: r,
-            src: Operand::Imm(3),
-        }));
+        k.block_mut(BlockId(0))
+            .insts
+            .push(Instruction::new(Op::Mov {
+                ty: Type::U32,
+                dst: r,
+                src: Operand::Imm(3),
+            }));
         let text = k.to_ptx();
         assert!(text.starts_with(".entry kern (.param .u64 out, .param .u32 n)"));
         assert!(text.contains(".reg .u32 %v0;"));

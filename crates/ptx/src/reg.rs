@@ -103,12 +103,18 @@ pub struct Guard {
 impl Guard {
     /// A guard that fires when `pred` is true.
     pub fn when(pred: VReg) -> Guard {
-        Guard { pred, negated: false }
+        Guard {
+            pred,
+            negated: false,
+        }
     }
 
     /// A guard that fires when `pred` is false.
     pub fn unless(pred: VReg) -> Guard {
-        Guard { pred, negated: true }
+        Guard {
+            pred,
+            negated: true,
+        }
     }
 }
 

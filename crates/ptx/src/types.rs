@@ -83,7 +83,14 @@ impl Type {
 
     /// All types of the subset, for exhaustive tests.
     pub fn all() -> [Type; 6] {
-        [Type::U32, Type::S32, Type::U64, Type::F32, Type::F64, Type::Pred]
+        [
+            Type::U32,
+            Type::S32,
+            Type::U64,
+            Type::F32,
+            Type::F64,
+            Type::Pred,
+        ]
     }
 }
 
@@ -324,7 +331,14 @@ impl CmpOp {
 
     /// All comparison operators, for exhaustive tests.
     pub fn all() -> [CmpOp; 6] {
-        [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]
+        [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ]
     }
 }
 
@@ -383,8 +397,9 @@ mod tests {
     #[test]
     fn float_int_classification_is_partition() {
         for ty in Type::all() {
-            let classes =
-                usize::from(ty.is_float()) + usize::from(ty.is_int()) + usize::from(ty == Type::Pred);
+            let classes = usize::from(ty.is_float())
+                + usize::from(ty.is_int())
+                + usize::from(ty == Type::Pred);
             assert_eq!(classes, 1, "{ty:?} must be in exactly one class");
         }
     }

@@ -11,7 +11,10 @@ pub struct BitSet {
 impl BitSet {
     /// An empty set able to hold indices `0..len`.
     pub fn new(len: usize) -> BitSet {
-        BitSet { words: vec![0; len.div_ceil(64)], len }
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Capacity (the `len` given at construction).

@@ -3,20 +3,10 @@
 
 use proptest::prelude::*;
 
-use crat_ptx::{
-    parse, Address, BinOp, BitSet, CmpOp, KernelBuilder, Operand, Space, Type, UnOp,
-};
+use crat_ptx::{parse, Address, BinOp, BitSet, CmpOp, KernelBuilder, Operand, Space, Type, UnOp};
 
 fn value_type() -> impl Strategy<Value = Type> {
     prop::sample::select(vec![Type::U32, Type::S32, Type::U64, Type::F32, Type::F64])
-}
-
-fn imm_for(ty: Type) -> BoxedStrategy<Operand> {
-    if ty.is_float() {
-        (-1.0e6f64..1.0e6).prop_map(Operand::FImm).boxed()
-    } else {
-        (-1_000_000i64..1_000_000).prop_map(Operand::Imm).boxed()
-    }
 }
 
 #[derive(Debug, Clone)]
@@ -40,13 +30,21 @@ fn step_strategy() -> impl Strategy<Value = Step> {
             any::<i8>()
         )
             .prop_map(|(op, ty, a, b)| Step::Binary(op, ty, a, b)),
-        (prop::sample::select(vec![UnOp::Neg, UnOp::Abs]), value_type(), any::<i8>())
+        (
+            prop::sample::select(vec![UnOp::Neg, UnOp::Abs]),
+            value_type(),
+            any::<i8>()
+        )
             .prop_map(|(op, ty, a)| Step::Unary(op, ty, a)),
         (value_type(), any::<i8>(), any::<i8>(), any::<i8>())
             .prop_map(|(ty, a, b, c)| Step::Mad(ty, a, b, c)),
-        (value_type(), value_type(), any::<i8>())
-            .prop_map(|(d, s, a)| Step::Cvt(d, s, a)),
-        (prop::sample::select(CmpOp::all().to_vec()), value_type(), any::<i8>(), any::<i8>())
+        (value_type(), value_type(), any::<i8>()).prop_map(|(d, s, a)| Step::Cvt(d, s, a)),
+        (
+            prop::sample::select(CmpOp::all().to_vec()),
+            value_type(),
+            any::<i8>(),
+            any::<i8>()
+        )
             .prop_map(|(c, ty, a, b)| Step::Setp(c, ty, a, b)),
         (value_type(), any::<i8>()).prop_map(|(ty, a)| Step::LdGlobal(ty, a)),
         (value_type(), any::<i8>(), any::<i8>()).prop_map(|(ty, a, v)| Step::StGlobal(ty, a, v)),
@@ -65,9 +63,9 @@ fn build_kernel(steps: &[Step]) -> crat_ptx::Kernel {
     by_type.entry(Type::U32).or_default().push(tid);
     by_type.entry(Type::U64).or_default().push(ptr);
 
-    let mut pick = |by_type: &std::collections::HashMap<Type, Vec<crat_ptx::VReg>>,
-                    ty: Type,
-                    sel: i8|
+    let pick = |by_type: &std::collections::HashMap<Type, Vec<crat_ptx::VReg>>,
+                ty: Type,
+                sel: i8|
      -> Option<crat_ptx::VReg> {
         let regs = by_type.get(&ty)?;
         if regs.is_empty() {
@@ -89,37 +87,50 @@ fn build_kernel(steps: &[Step]) -> crat_ptx::Kernel {
             Step::Binary(op, ty, a, bb) => {
                 // Bitwise/shift ops are invalid on floats; skip those.
                 if ty.is_float()
-                    && matches!(op, BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr)
+                    && matches!(
+                        op,
+                        BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
+                    )
                 {
                     continue;
                 }
                 let lhs = pick(&by_type, ty, a);
                 let rhs = pick(&by_type, ty, bb);
-                let (Some(x), Some(y)) = (lhs, rhs) else { continue };
+                let (Some(x), Some(y)) = (lhs, rhs) else {
+                    continue;
+                };
                 let d = b.binary(op, ty, x, y);
                 by_type.entry(ty).or_default().push(d);
             }
             Step::Unary(op, ty, a) => {
-                let Some(x) = pick(&by_type, ty, a) else { continue };
+                let Some(x) = pick(&by_type, ty, a) else {
+                    continue;
+                };
                 let d = b.unary(op, ty, x);
                 by_type.entry(ty).or_default().push(d);
             }
             Step::Mad(ty, a, bb, c) => {
-                let (Some(x), Some(y), Some(z)) =
-                    (pick(&by_type, ty, a), pick(&by_type, ty, bb), pick(&by_type, ty, c))
-                else {
+                let (Some(x), Some(y), Some(z)) = (
+                    pick(&by_type, ty, a),
+                    pick(&by_type, ty, bb),
+                    pick(&by_type, ty, c),
+                ) else {
                     continue;
                 };
                 let d = b.mad(ty, x, y, z);
                 by_type.entry(ty).or_default().push(d);
             }
             Step::Cvt(dt, st, a) => {
-                let Some(x) = pick(&by_type, st, a) else { continue };
+                let Some(x) = pick(&by_type, st, a) else {
+                    continue;
+                };
                 let d = b.cvt(dt, st, x);
                 by_type.entry(dt).or_default().push(d);
             }
             Step::Setp(c, ty, a, bb) => {
-                let Some(x) = pick(&by_type, ty, a) else { continue };
+                let Some(x) = pick(&by_type, ty, a) else {
+                    continue;
+                };
                 let rhs = pick(&by_type, ty, bb)
                     .map(Operand::Reg)
                     .unwrap_or_else(|| imm_sample(ty));
@@ -134,7 +145,9 @@ fn build_kernel(steps: &[Step]) -> crat_ptx::Kernel {
                 by_type.entry(ty).or_default().push(d);
             }
             Step::StGlobal(ty, off, v) => {
-                let Some(x) = pick(&by_type, ty, v) else { continue };
+                let Some(x) = pick(&by_type, ty, v) else {
+                    continue;
+                };
                 b.st(
                     Space::Global,
                     ty,

@@ -88,8 +88,7 @@ fn run(
                         .report(&work, &cfg, shm.block_size)
                         .shared_spill_bytes_per_block;
                     let spare = shm.spare_bytes.saturating_sub(used);
-                    let picks =
-                        plan_shared_rehoming(&st, &work, &cfg, spare, shm.block_size);
+                    let picks = plan_shared_rehoming(&st, &work, &cfg, spare, shm.block_size);
                     if !picks.is_empty() {
                         for si in picks {
                             st.rehome_to_shared(&mut work, si, shm.block_size);
@@ -110,13 +109,21 @@ fn run(
             }
             ColorOutcome::Spill(vregs) => {
                 if std::env::var("CRAT_ALLOC_DEBUG").is_ok() {
-                    eprintln!("spill round: {:?}", vregs.iter().map(|v| (v.0, work.reg_ty(*v))).collect::<Vec<_>>());
+                    eprintln!(
+                        "spill round: {:?}",
+                        vregs
+                            .iter()
+                            .map(|v| (v.0, work.reg_ty(*v)))
+                            .collect::<Vec<_>>()
+                    );
                 }
                 st.spill_vregs(&mut work, &vregs);
             }
             ColorOutcome::Fatal => {
                 return Err((
-                    AllocError::BudgetTooSmall { budget_slots: opts.budget_slots },
+                    AllocError::BudgetTooSmall {
+                        budget_slots: opts.budget_slots,
+                    },
                     rehomed,
                 ))
             }
@@ -148,7 +155,10 @@ fn plan_shared_rehoming(
         .iter()
         .map(|&i| report.substacks[i].shared_bytes_per_block(block_size) as u64)
         .collect();
-    let gains: Vec<u64> = local.iter().map(|&i| report.substacks[i].gain_weighted).collect();
+    let gains: Vec<u64> = local
+        .iter()
+        .map(|&i| report.substacks[i].gain_weighted)
+        .collect();
     let picks = knapsack_select(&weights, &gains, spare_bytes as u64);
     local
         .into_iter()
@@ -229,8 +239,9 @@ mod tests {
     fn pressure_kernel(n: usize) -> Kernel {
         let mut b = KernelBuilder::new("pressure");
         let out = b.param_ptr("out");
-        let accs: Vec<VReg> =
-            (0..n).map(|i| b.mov(Type::U32, Operand::Imm(i as i64))).collect();
+        let accs: Vec<VReg> = (0..n)
+            .map(|i| b.mov(Type::U32, Operand::Imm(i as i64)))
+            .collect();
         let l = b.loop_range(0, Operand::Imm(32), 1);
         for &a in &accs {
             b.mad_to(Type::U32, a, a, Operand::Imm(3), l.counter);
@@ -296,8 +307,10 @@ mod tests {
         let local_only = allocate(&k, &AllocOptions::new(budget)).unwrap();
         assert!(local_only.spills.counts.total_local() > 0);
 
-        let opts = AllocOptions::new(budget)
-            .with_shm_spill(ShmSpillConfig { spare_bytes: 48 * 1024, block_size: 128 });
+        let opts = AllocOptions::new(budget).with_shm_spill(ShmSpillConfig {
+            spare_bytes: 48 * 1024,
+            block_size: 128,
+        });
         let shm = allocate(&k, &opts).unwrap();
         assert!(shm.kernel.validate().is_ok());
         assert!(shm.slots_used <= budget);
@@ -308,7 +321,8 @@ mod tests {
         );
         assert!(shm.spills.shared_spill_bytes_per_block > 0);
         assert!(
-            shm.spills.counts.total_local_weighted() < local_only.spills.counts.total_local_weighted()
+            shm.spills.counts.total_local_weighted()
+                < local_only.spills.counts.total_local_weighted()
         );
     }
 
@@ -317,8 +331,10 @@ mod tests {
         let k = pressure_kernel(16);
         let generous = allocate(&k, &AllocOptions::new(64)).unwrap();
         let budget = generous.slots_used - 6;
-        let opts = AllocOptions::new(budget)
-            .with_shm_spill(ShmSpillConfig { spare_bytes: 0, block_size: 128 });
+        let opts = AllocOptions::new(budget).with_shm_spill(ShmSpillConfig {
+            spare_bytes: 0,
+            block_size: 128,
+        });
         let a = allocate(&k, &opts).unwrap();
         assert_eq!(a.spills.counts.total_shared(), 0);
         assert!(a.spills.counts.total_local() > 0);

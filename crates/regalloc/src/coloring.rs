@@ -163,7 +163,11 @@ pub fn try_color(
         .map(|(v, &s)| s + graph.width(*v))
         .max()
         .unwrap_or(0);
-    ColorOutcome::Colored(ColorAssignment { slot_of, slot_types, slots_used })
+    ColorOutcome::Colored(ColorAssignment {
+        slot_of,
+        slot_types,
+        slots_used,
+    })
 }
 
 /// The class a slot is locked to: one class per register width.
@@ -249,7 +253,7 @@ fn find_slot(
         let free = (s..s + width).all(|k| !forbidden[k as usize]);
         if free {
             let class_ok = (s..s + width)
-                .all(|k| slot_types[k as usize].map_or(true, |t| slot_class(t) == class));
+                .all(|k| slot_types[k as usize].is_none_or(|t| slot_class(t) == class));
             // 32-bit values prefer slots whose aligned partner is
             // already blocked ("half-broken pairs"), leaving whole
             // pairs free for 64-bit values under tight budgets.
@@ -446,8 +450,13 @@ mod tests {
         let lv = Liveness::compute(&k, &cfg);
         let ranges = lv.ranges(&k, &cfg);
         let g = InterferenceGraph::build(&k, &cfg, &lv);
-        let cand =
-            cheapest_spill_candidate(k.num_regs(), &vec![true; k.num_regs()], &g, &ranges, &HashSet::new());
+        let cand = cheapest_spill_candidate(
+            k.num_regs(),
+            &vec![true; k.num_regs()],
+            &g,
+            &ranges,
+            &HashSet::new(),
+        );
         assert_eq!(cand, Some(cold));
     }
 }

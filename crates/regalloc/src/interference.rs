@@ -27,7 +27,9 @@ impl InterferenceGraph {
         let n = kernel.num_regs();
         let mut g = InterferenceGraph {
             adj: vec![HashSet::new(); n],
-            allocatable: (0..n).map(|i| kernel.reg_ty(VReg(i as u32)) != Type::Pred).collect(),
+            allocatable: (0..n)
+                .map(|i| kernel.reg_ty(VReg(i as u32)) != Type::Pred)
+                .collect(),
             widths: (0..n)
                 .map(|i| kernel.reg_ty(VReg(i as u32)).reg_slots().max(1))
                 .collect(),
@@ -96,7 +98,10 @@ impl InterferenceGraph {
     /// budget `k` when `weighted_degree + width <= k` (Briggs'
     /// conservative test generalized to aliased/wide registers).
     pub fn weighted_degree(&self, v: VReg) -> u32 {
-        self.adj[v.index()].iter().map(|&i| self.widths[i as usize]).sum()
+        self.adj[v.index()]
+            .iter()
+            .map(|&i| self.widths[i as usize])
+            .sum()
     }
 
     /// Width-weighted degree counting only neighbors still present in
@@ -121,7 +126,10 @@ impl InterferenceGraph {
 /// For `mov dst, src` with a register source, the source register.
 fn move_source(inst: &Instruction) -> Option<VReg> {
     match &inst.op {
-        Op::Mov { src: Operand::Reg(s), .. } => Some(*s),
+        Op::Mov {
+            src: Operand::Reg(s),
+            ..
+        } => Some(*s),
         _ => None,
     }
 }
@@ -159,7 +167,7 @@ mod tests {
         let k = b.finish();
         let g = graph_of(&k);
         assert!(!g.interferes(x, z));
-        assert!(!g.interferes(x, y) || g.interferes(x, y) == false);
+        assert!(!g.interferes(x, y) || !g.interferes(x, y));
         assert_eq!(g.degree(z), 0);
     }
 

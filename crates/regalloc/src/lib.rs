@@ -151,7 +151,10 @@ impl fmt::Display for AllocError {
         match self {
             AllocError::InvalidKernel(e) => write!(f, "invalid kernel: {e}"),
             AllocError::BudgetTooSmall { budget_slots } => {
-                write!(f, "register budget of {budget_slots} slots cannot hold spill temporaries")
+                write!(
+                    f,
+                    "register budget of {budget_slots} slots cannot hold spill temporaries"
+                )
             }
             AllocError::IterationLimit => f.write_str("spill loop failed to converge"),
         }
@@ -182,13 +185,18 @@ mod tests {
         let o = AllocOptions::new(32);
         assert_eq!(o.budget_slots, 32);
         assert!(o.shm_spill.is_none());
-        let o = o.with_shm_spill(ShmSpillConfig { spare_bytes: 1024, block_size: 64 });
+        let o = o.with_shm_spill(ShmSpillConfig {
+            spare_bytes: 1024,
+            block_size: 64,
+        });
         assert_eq!(o.shm_spill.unwrap().spare_bytes, 1024);
     }
 
     #[test]
     fn errors_display() {
-        assert!(AllocError::BudgetTooSmall { budget_slots: 3 }.to_string().contains('3'));
+        assert!(AllocError::BudgetTooSmall { budget_slots: 3 }
+            .to_string()
+            .contains('3'));
         assert!(!AllocError::IterationLimit.to_string().is_empty());
     }
 }

@@ -137,7 +137,9 @@ pub fn allocate_linear_scan(
                         // spilled. If earlier rounds queued spills the
                         // next scan may still fit; otherwise give up.
                         if spills.is_empty() {
-                            return Err(AllocError::BudgetTooSmall { budget_slots: budget });
+                            return Err(AllocError::BudgetTooSmall {
+                                budget_slots: budget,
+                            });
                         }
                         break 'nodes;
                     }
@@ -159,7 +161,11 @@ pub fn allocate_linear_scan(
                 .map(|(v, &s)| s + work.reg_ty(*v).reg_slots().max(1))
                 .max()
                 .unwrap_or(0);
-            let assignment = ColorAssignment { slot_of, slot_types, slots_used };
+            let assignment = ColorAssignment {
+                slot_of,
+                slot_types,
+                slots_used,
+            };
             let report = st.report(&work, &cfg, 1);
             let (physical, pred_regs_used) = rename_to_physical(&work, &assignment);
             debug_assert_eq!(physical.validate(), Ok(()));
@@ -186,8 +192,9 @@ mod tests {
     fn pressure_kernel(n: usize) -> Kernel {
         let mut b = KernelBuilder::new("pressure");
         let out = b.param_ptr("out");
-        let accs: Vec<VReg> =
-            (0..n).map(|i| b.mov(Type::U32, Operand::Imm(i as i64))).collect();
+        let accs: Vec<VReg> = (0..n)
+            .map(|i| b.mov(Type::U32, Operand::Imm(i as i64)))
+            .collect();
         let l = b.loop_range(0, Operand::Imm(32), 1);
         for &a in &accs {
             b.mad_to(Type::U32, a, a, Operand::Imm(3), l.counter);
@@ -231,7 +238,9 @@ mod tests {
     fn allocators_comparable_but_independent() {
         for n in [10, 14, 18] {
             let k = pressure_kernel(n);
-            let full = allocate_linear_scan(&k, &AllocOptions::new(64)).unwrap().slots_used;
+            let full = allocate_linear_scan(&k, &AllocOptions::new(64))
+                .unwrap()
+                .slots_used;
             for cut in [3, 5] {
                 let budget = full.saturating_sub(cut).max(11);
                 let briggs = allocate(&k, &AllocOptions::new(budget)).unwrap();
@@ -246,7 +255,10 @@ mod tests {
                     briggs.spills.counts.total_memory_insts().max(1),
                     linear.spills.counts.total_memory_insts().max(1),
                 );
-                assert!(b <= l * 8 && l <= b * 8, "n={n} budget={budget}: briggs={b} linear={l}");
+                assert!(
+                    b <= l * 8 && l <= b * 8,
+                    "n={n} budget={budget}: briggs={b} linear={l}"
+                );
             }
         }
     }
@@ -254,7 +266,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let k = pressure_kernel(12);
-        let full = allocate_linear_scan(&k, &AllocOptions::new(64)).unwrap().slots_used;
+        let full = allocate_linear_scan(&k, &AllocOptions::new(64))
+            .unwrap()
+            .slots_used;
         let a1 = allocate_linear_scan(&k, &AllocOptions::new(full - 3)).unwrap();
         let a2 = allocate_linear_scan(&k, &AllocOptions::new(full - 3)).unwrap();
         assert_eq!(a1.kernel, a2.kernel);

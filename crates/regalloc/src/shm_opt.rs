@@ -26,13 +26,23 @@ pub fn knapsack_select(weights: &[u64], gains: &[u64], capacity: u64) -> Vec<boo
     assert_eq!(weights.len(), gains.len(), "weights and gains must pair up");
     let n = weights.len();
     if n == 0 || capacity == 0 {
-        return weights.iter().map(|&w| w == 0).zip(gains).map(|(z, &g)| z && g > 0).collect();
+        return weights
+            .iter()
+            .map(|&w| w == 0)
+            .zip(gains)
+            .map(|(z, &g)| z && g > 0)
+            .collect();
     }
 
     // Compress capacity to the gcd of the weights to keep the DP small
     // when sizes share a granularity (they do: multiples of 4 bytes ×
     // block size).
-    let unit = weights.iter().copied().filter(|&w| w > 0).fold(0u64, gcd).max(1);
+    let unit = weights
+        .iter()
+        .copied()
+        .filter(|&w| w > 0)
+        .fold(0u64, gcd)
+        .max(1);
     let cap = (capacity / unit) as usize;
     let w: Vec<usize> = weights.iter().map(|&x| (x / unit) as usize).collect();
 
@@ -73,12 +83,22 @@ fn gcd(a: u64, b: u64) -> u64 {
 
 /// Total gain of a selection (helper for tests and reporting).
 pub fn selection_gain(picks: &[bool], gains: &[u64]) -> u64 {
-    picks.iter().zip(gains).filter(|(p, _)| **p).map(|(_, g)| g).sum()
+    picks
+        .iter()
+        .zip(gains)
+        .filter(|(p, _)| **p)
+        .map(|(_, g)| g)
+        .sum()
 }
 
 /// Total weight of a selection.
 pub fn selection_weight(picks: &[bool], weights: &[u64]) -> u64 {
-    picks.iter().zip(weights).filter(|(p, _)| **p).map(|(_, w)| w).sum()
+    picks
+        .iter()
+        .zip(weights)
+        .filter(|(p, _)| **p)
+        .map(|(_, w)| w)
+        .sum()
 }
 
 #[cfg(test)]

@@ -86,7 +86,10 @@ fn remat_template(kernel: &Kernel, v: VReg) -> Option<Op> {
                 ..
             }
             | Op::MovVarAddr { .. }
-            | Op::Ld { space: Space::Param, .. } => found = Some(inst.op.clone()),
+            | Op::Ld {
+                space: Space::Param,
+                ..
+            } => found = Some(inst.op.clone()),
             _ => return None,
         }
     }
@@ -107,7 +110,10 @@ fn op_with_dst(op: &Op, new_dst: VReg) -> Op {
 impl SpillState {
     /// State using the given split strategy.
     pub fn with_split(split: crate::SpillSplit) -> SpillState {
-        SpillState { split, ..SpillState::default() }
+        SpillState {
+            split,
+            ..SpillState::default()
+        }
     }
 
     /// The shared local array's base register, creating the array and
@@ -126,7 +132,10 @@ impl SpillState {
         let entry = kernel.entry();
         kernel.block_mut(entry).insts.insert(
             0,
-            Instruction::new(Op::MovVarAddr { dst: base, var: LOCAL_STACK_VAR.to_string() }),
+            Instruction::new(Op::MovVarAddr {
+                dst: base,
+                var: LOCAL_STACK_VAR.to_string(),
+            }),
         );
         self.unspillable.insert(base);
         self.local_base = Some(base);
@@ -166,7 +175,9 @@ impl SpillState {
         let width = self.substacks[si].width();
         let offset = self.local_next_offset.div_ceil(width) * width;
         self.local_next_offset = offset + width;
-        let mut var = kernel.remove_var(LOCAL_STACK_VAR).expect("local stack exists");
+        let mut var = kernel
+            .remove_var(LOCAL_STACK_VAR)
+            .expect("local stack exists");
         var.size = self.local_next_offset;
         kernel.add_var(var);
         let sub = &mut self.substacks[si];
@@ -188,7 +199,11 @@ impl SpillState {
         // Block execution weights for rematerialization accounting.
         let weights: Vec<u64> = {
             let cfg = crat_ptx::Cfg::build(kernel);
-            kernel.blocks().iter().map(|b| cfg.block_weight(b.id)).collect()
+            kernel
+                .blocks()
+                .iter()
+                .map(|b| cfg.block_weight(b.id))
+                .collect()
         };
 
         let mut dedup: Vec<VReg> = vregs.to_vec();
@@ -223,8 +238,7 @@ impl SpillState {
         let spilled: HashSet<VReg> = slot_of.keys().chain(remat.keys()).copied().collect();
         let mut temps = Vec::new();
 
-        let nblocks = kernel.blocks().len();
-        for bi in 0..nblocks {
+        for (bi, &block_weight) in weights.iter().enumerate() {
             let id = crat_ptx::BlockId(bi as u32);
             let old = std::mem::take(&mut kernel.block_mut(id).insts);
             let mut new_insts = Vec::with_capacity(old.len());
@@ -237,8 +251,11 @@ impl SpillState {
                     }
                 }
 
-                let mut uses: Vec<VReg> =
-                    inst.uses().into_iter().filter(|u| spilled.contains(u)).collect();
+                let mut uses: Vec<VReg> = inst
+                    .uses()
+                    .into_iter()
+                    .filter(|u| spilled.contains(u))
+                    .collect();
                 uses.sort_unstable();
                 uses.dedup();
                 let def = inst.def().filter(|d| spilled.contains(d));
@@ -255,16 +272,16 @@ impl SpillState {
                     if let Some(template) = remat.get(&u) {
                         new_insts.push(Instruction::new(op_with_dst(template, tmp)));
                         self.remat_static += 1;
-                        self.remat_weighted = self.remat_weighted.saturating_add(weights[bi]);
+                        self.remat_weighted = self.remat_weighted.saturating_add(block_weight);
                     } else {
                         let (si, slot, ty) = slot_of[&u];
                         new_insts.push(Instruction::new(self.access(si, slot, ty, tmp, true)));
                     }
                 }
                 if let Some(d) = def {
-                    if !tmp_of.contains_key(&d) {
+                    if let std::collections::hash_map::Entry::Vacant(e) = tmp_of.entry(d) {
                         let tmp = kernel.new_reg(kernel.reg_ty(d));
-                        tmp_of.insert(d, tmp);
+                        e.insert(tmp);
                         temps.push(tmp);
                         self.unspillable.insert(tmp);
                     }
@@ -279,8 +296,10 @@ impl SpillState {
                     let tmp = tmp_of[&d];
                     // A guarded def stores under the same guard so the
                     // stack slot is only written when the def happens.
-                    new_insts
-                        .push(Instruction { guard, op: self.access(si, slot, ty, tmp, false) });
+                    new_insts.push(Instruction {
+                        guard,
+                        op: self.access(si, slot, ty, tmp, false),
+                    });
                 }
             }
             kernel.block_mut(id).insts = new_insts;
@@ -292,13 +311,27 @@ impl SpillState {
     /// slot.
     fn access(&self, si: usize, slot: u32, ty: Type, tmp: VReg, is_load: bool) -> Op {
         let sub = &self.substacks[si];
-        debug_assert_eq!(sub.home, SpillHome::Local, "new spills only target local stacks");
+        debug_assert_eq!(
+            sub.home,
+            SpillHome::Local,
+            "new spills only target local stacks"
+        );
         let base = self.local_base.expect("local stack exists");
         let addr = Address::reg_offset(base, sub.slot_offsets[slot as usize] as i64);
         if is_load {
-            Op::Ld { space: Space::Local, ty, dst: tmp, addr }
+            Op::Ld {
+                space: Space::Local,
+                ty,
+                dst: tmp,
+                addr,
+            }
         } else {
-            Op::St { space: Space::Local, ty, addr, src: crat_ptx::Operand::Reg(tmp) }
+            Op::St {
+                space: Space::Local,
+                ty,
+                addr,
+                src: crat_ptx::Operand::Reg(tmp),
+            }
         }
     }
 
@@ -333,7 +366,10 @@ impl SpillState {
             self.unspillable.insert(r);
         }
         let setup = vec![
-            Instruction::new(Op::MovVarAddr { dst: b0, var: shm_name }),
+            Instruction::new(Op::MovVarAddr {
+                dst: b0,
+                var: shm_name,
+            }),
             Instruction::new(Op::Mov {
                 ty: Type::U32,
                 dst: t,
@@ -377,10 +413,17 @@ impl SpillState {
         for block in kernel.blocks_mut() {
             for inst in &mut block.insts {
                 match &mut inst.op {
-                    Op::Ld { space: space @ Space::Local, addr, .. }
-                    | Op::St { space: space @ Space::Local, addr, .. }
-                        if addr.base == AddrBase::Reg(local_base)
-                            && offset_to_slot.contains_key(&addr.offset) =>
+                    Op::Ld {
+                        space: space @ Space::Local,
+                        addr,
+                        ..
+                    }
+                    | Op::St {
+                        space: space @ Space::Local,
+                        addr,
+                        ..
+                    } if addr.base == AddrBase::Reg(local_base)
+                        && offset_to_slot.contains_key(&addr.offset) =>
                     {
                         *space = Space::Shared;
                         let slot = offset_to_slot[&addr.offset];
@@ -403,9 +446,10 @@ impl SpillState {
         if self.substacks.iter().all(|s| s.home == SpillHome::Shared) {
             kernel.remove_var(LOCAL_STACK_VAR);
             let entry = kernel.entry();
-            kernel.block_mut(entry).insts.retain(|i| {
-                !matches!(&i.op, Op::MovVarAddr { var, .. } if var == LOCAL_STACK_VAR)
-            });
+            kernel
+                .block_mut(entry)
+                .insts
+                .retain(|i| !matches!(&i.op, Op::MovVarAddr { var, .. } if var == LOCAL_STACK_VAR));
             self.unspillable.remove(&local_base);
             self.local_base = None;
             self.local_next_offset = 0;
@@ -439,8 +483,12 @@ impl SpillState {
             let w = cfg.block_weight(block.id);
             for inst in &block.insts {
                 let (is_load, space, addr, ty) = match &inst.op {
-                    Op::Ld { space, addr, ty, .. } => (true, *space, addr, *ty),
-                    Op::St { space, addr, ty, .. } => (false, *space, addr, *ty),
+                    Op::Ld {
+                        space, addr, ty, ..
+                    } => (true, *space, addr, *ty),
+                    Op::St {
+                        space, addr, ty, ..
+                    } => (false, *space, addr, *ty),
                     _ => continue,
                 };
                 let base = match addr.base {
@@ -645,7 +693,10 @@ mod tests {
         assert_eq!(st.substacks.len(), 2);
         st.rehome_to_shared(&mut k, 0, 32);
         assert!(k.validate().is_ok());
-        assert!(k.var(LOCAL_STACK_VAR).is_some(), "u64 sub-stack still lives locally");
+        assert!(
+            k.var(LOCAL_STACK_VAR).is_some(),
+            "u64 sub-stack still lives locally"
+        );
         let cfg = Cfg::build(&k);
         let rep = st.report(&k, &cfg, 32);
         assert!(rep.counts.total_shared() > 0);
@@ -686,7 +737,11 @@ mod tests {
         let y = b.fresh(Type::U32);
         b.push_guarded(
             Some(crat_ptx::Guard::when(p)),
-            Op::Mov { ty: Type::U32, dst: y, src: Operand::Imm(7) },
+            Op::Mov {
+                ty: Type::U32,
+                dst: y,
+                src: Operand::Imm(7),
+            },
         );
         let out = b.param_ptr("out");
         let tid = b.special_tid_x(Type::U32);
@@ -698,9 +753,19 @@ mod tests {
         st.spill_vregs(&mut k, &[y]);
         assert!(k.validate().is_ok());
         let guarded_store = k.insts().any(|(_, _, i)| {
-            i.guard.is_some() && matches!(i.op, Op::St { space: Space::Local, .. })
+            i.guard.is_some()
+                && matches!(
+                    i.op,
+                    Op::St {
+                        space: Space::Local,
+                        ..
+                    }
+                )
         });
-        assert!(guarded_store, "spill store after a guarded def must carry the guard");
+        assert!(
+            guarded_store,
+            "spill store after a guarded def must carry the guard"
+        );
     }
 
     #[test]
@@ -744,7 +809,10 @@ mod split_tests {
 
     fn substack_count(split: SpillSplit) -> usize {
         let (mut k, victims) = mixed_kernel();
-        let mut st = SpillState { split, ..SpillState::default() };
+        let mut st = SpillState {
+            split,
+            ..SpillState::default()
+        };
         st.spill_vregs(&mut k, &victims);
         assert!(k.validate().is_ok(), "{split:?}");
         st.substacks.len()
@@ -785,21 +853,27 @@ mod split_tests {
             (b.finish(), vec![v1, v2, v3])
         };
         let (mut k1, victims1) = build();
-        let mut st = SpillState { split: SpillSplit::ByType, ..SpillState::default() };
+        let mut st = SpillState {
+            split: SpillSplit::ByType,
+            ..SpillState::default()
+        };
         st.spill_vregs(&mut k1, &victims1);
         assert_eq!(st.substacks.len(), 1);
 
         let (mut k2, victims2) = build();
-        let mut st = SpillState { split: SpillSplit::PerVariable, ..SpillState::default() };
+        let mut st = SpillState {
+            split: SpillSplit::PerVariable,
+            ..SpillState::default()
+        };
         st.spill_vregs(&mut k2, &victims2);
         assert_eq!(st.substacks.len(), 3);
         assert!(st.substacks.iter().all(|s| s.slots == 1));
         // Exactly one base-address mov regardless of the split.
         let base_movs = k2
             .insts()
-            .filter(|(_, _, i)| {
-                matches!(&i.op, Op::MovVarAddr { var, .. } if var == LOCAL_STACK_VAR)
-            })
+            .filter(
+                |(_, _, i)| matches!(&i.op, Op::MovVarAddr { var, .. } if var == LOCAL_STACK_VAR),
+            )
             .count();
         assert_eq!(base_movs, 1);
     }
@@ -807,7 +881,10 @@ mod split_tests {
     #[test]
     fn mixed_width_offsets_are_aligned() {
         let (mut k, victims) = mixed_kernel();
-        let mut st = SpillState { split: SpillSplit::ByType, ..SpillState::default() };
+        let mut st = SpillState {
+            split: SpillSplit::ByType,
+            ..SpillState::default()
+        };
         st.spill_vregs(&mut k, &victims);
         for s in &st.substacks {
             for &o in &s.slot_offsets {

@@ -31,19 +31,24 @@ fn kernel_from(seed: &[(u8, u8)]) -> crat_ptx::Kernel {
             _ => {
                 // Consume two same-typed values into one.
                 let (x, ty) = live[sel as usize % live.len()];
-                let candidates: Vec<VReg> =
-                    live.iter().filter(|(_, t)| *t == ty).map(|(v, _)| *v).collect();
+                let candidates: Vec<VReg> = live
+                    .iter()
+                    .filter(|(_, t)| *t == ty)
+                    .map(|(v, _)| *v)
+                    .collect();
                 let y = candidates[(sel as usize / 2) % candidates.len()];
-                if ty != Type::U64 || true {
-                    let v = b.add(ty, x, y);
-                    live.push((v, ty));
-                }
+                let v = b.add(ty, x, y);
+                live.push((v, ty));
             }
         }
     }
     // Keep everything alive to the end: sum by type.
     for ty in [Type::U32, Type::U64, Type::F32] {
-        let vals: Vec<VReg> = live.iter().filter(|(_, t)| *t == ty).map(|(v, _)| *v).collect();
+        let vals: Vec<VReg> = live
+            .iter()
+            .filter(|(_, t)| *t == ty)
+            .map(|(v, _)| *v)
+            .collect();
         if vals.len() >= 2 {
             let mut acc = vals[0];
             for &v in &vals[1..] {

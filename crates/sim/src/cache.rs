@@ -55,7 +55,15 @@ impl Cache {
         Cache {
             cfg,
             sets: vec![
-                vec![Line { tag: 0, last_used: 0, dirty: false, valid: false }; cfg.ways as usize];
+                vec![
+                    Line {
+                        tag: 0,
+                        last_used: 0,
+                        dirty: false,
+                        valid: false
+                    };
+                    cfg.ways as usize
+                ];
                 sets
             ],
             mshrs: HashMap::new(),
@@ -160,9 +168,15 @@ impl Cache {
             .min_by_key(|l| if l.valid { l.last_used + 1 } else { 0 })
             .expect("cache has at least one way");
         if victim.valid && victim.dirty {
-            self.writebacks.push(victim.tag * self.cfg.line_bytes as u64);
+            self.writebacks
+                .push(victim.tag * self.cfg.line_bytes as u64);
         }
-        *victim = Line { tag: line, last_used: now, dirty, valid: true };
+        *victim = Line {
+            tag: line,
+            last_used: now,
+            dirty,
+            valid: true,
+        };
     }
 
     /// Dirty-line addresses evicted since the last call (for
@@ -183,7 +197,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets x 2 ways x 64B lines, 2 MSHRs.
-        Cache::new(CacheConfig { bytes: 256, ways: 2, line_bytes: 64, mshrs: 2 })
+        Cache::new(CacheConfig {
+            bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+            mshrs: 2,
+        })
     }
 
     #[test]
@@ -192,9 +211,15 @@ mod tests {
         assert_eq!(c.access(0x100, 0), CacheDecision::MissNew);
         c.complete_miss(0x100, 10);
         // Before the fill: pending.
-        assert_eq!(c.access(0x100, 5), CacheDecision::MissPending { ready_at: 10 });
+        assert_eq!(
+            c.access(0x100, 5),
+            CacheDecision::MissPending { ready_at: 10 }
+        );
         // Same line, different word: still pending.
-        assert_eq!(c.access(0x120, 5), CacheDecision::MissPending { ready_at: 10 });
+        assert_eq!(
+            c.access(0x120, 5),
+            CacheDecision::MissPending { ready_at: 10 }
+        );
         // After the fill: hit.
         assert_eq!(c.access(0x100, 10), CacheDecision::Hit);
     }

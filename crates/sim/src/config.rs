@@ -28,7 +28,7 @@ pub enum SchedulerKind {
 pub const TWO_LEVEL_GROUP: u64 = 4;
 
 /// Geometry of one cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub bytes: u32,
@@ -50,7 +50,7 @@ impl CacheConfig {
 }
 
 /// Instruction and memory latencies, in core cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LatencyConfig {
     /// Simple ALU operations (int/float add, mul, mad, logic, moves).
     pub alu: u32,
@@ -113,6 +113,50 @@ pub struct GpuConfig {
     pub max_cycles: u64,
 }
 
+/// Structural hashing for the simulation memo cache: the DRAM
+/// bandwidth float hashes by bit pattern, so two `==` configurations
+/// always hash identically.
+impl std::hash::Hash for GpuConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let GpuConfig {
+            name,
+            num_sms,
+            clock_mhz,
+            warp_size,
+            max_threads_per_sm,
+            max_blocks_per_sm,
+            registers_per_sm,
+            max_regs_per_thread,
+            shmem_per_sm,
+            num_schedulers,
+            scheduler,
+            l1,
+            l2,
+            lat,
+            l1_bypass_global,
+            dram_bytes_per_cycle,
+            max_cycles,
+        } = self;
+        name.hash(state);
+        num_sms.hash(state);
+        clock_mhz.hash(state);
+        warp_size.hash(state);
+        max_threads_per_sm.hash(state);
+        max_blocks_per_sm.hash(state);
+        registers_per_sm.hash(state);
+        max_regs_per_thread.hash(state);
+        shmem_per_sm.hash(state);
+        num_schedulers.hash(state);
+        scheduler.hash(state);
+        l1.hash(state);
+        l2.hash(state);
+        lat.hash(state);
+        l1_bypass_global.hash(state);
+        dram_bytes_per_cycle.to_bits().hash(state);
+        max_cycles.hash(state);
+    }
+}
+
 impl GpuConfig {
     /// The Fermi-like configuration of the paper's Table 2.
     pub fn fermi() -> GpuConfig {
@@ -128,9 +172,19 @@ impl GpuConfig {
             shmem_per_sm: 48 * 1024,
             num_schedulers: 2,
             scheduler: SchedulerKind::Gto,
-            l1: CacheConfig { bytes: 32 * 1024, ways: 4, line_bytes: 128, mshrs: 32 },
+            l1: CacheConfig {
+                bytes: 32 * 1024,
+                ways: 4,
+                line_bytes: 128,
+                mshrs: 32,
+            },
             // 768 KB unified L2 divided across 15 SMs.
-            l2: CacheConfig { bytes: 768 * 1024 / 15, ways: 8, line_bytes: 128, mshrs: 64 },
+            l2: CacheConfig {
+                bytes: 768 * 1024 / 15,
+                ways: 8,
+                line_bytes: 128,
+                mshrs: 64,
+            },
             lat: LatencyConfig {
                 alu: 18,
                 sfu: 36,
@@ -173,7 +227,7 @@ impl GpuConfig {
     /// size (the simulator executes whole warps).
     pub fn warps_per_block(&self, block_size: u32) -> u32 {
         assert!(
-            block_size > 0 && block_size % self.warp_size == 0,
+            block_size > 0 && block_size.is_multiple_of(self.warp_size),
             "block size {block_size} must be a positive multiple of {}",
             self.warp_size
         );
@@ -193,10 +247,28 @@ pub struct LaunchConfig {
     pub params: HashMap<String, u64>,
 }
 
+/// Structural hashing for the simulation memo cache: parameters are
+/// folded in sorted-name order, independent of `HashMap` iteration
+/// order, so two `==` launches always hash identically.
+impl std::hash::Hash for LaunchConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.grid_blocks.hash(state);
+        self.block_size.hash(state);
+        let mut params: Vec<(&str, u64)> =
+            self.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        params.sort_unstable();
+        params.hash(state);
+    }
+}
+
 impl LaunchConfig {
     /// A launch with no parameters bound.
     pub fn new(grid_blocks: u32, block_size: u32) -> LaunchConfig {
-        LaunchConfig { grid_blocks, block_size, params: HashMap::new() }
+        LaunchConfig {
+            grid_blocks,
+            block_size,
+            params: HashMap::new(),
+        }
     }
 
     /// Bind a parameter value (builder style).
@@ -246,7 +318,12 @@ mod tests {
 
     #[test]
     fn cache_sets() {
-        let c = CacheConfig { bytes: 32 * 1024, ways: 4, line_bytes: 128, mshrs: 32 };
+        let c = CacheConfig {
+            bytes: 32 * 1024,
+            ways: 4,
+            line_bytes: 128,
+            mshrs: 32,
+        };
         assert_eq!(c.sets(), 64);
     }
 

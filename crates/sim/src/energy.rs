@@ -80,7 +80,10 @@ pub fn estimate_energy(
     let seconds = stats.cycles as f64 / (cfg.clock_mhz as f64 * 1e6);
     let static_j = coeff.leakage_w_per_sm * cfg.num_sms as f64 * seconds;
 
-    EnergyReport { dynamic_j, static_j }
+    EnergyReport {
+        dynamic_j,
+        static_j,
+    }
 }
 
 #[cfg(test)]
@@ -88,7 +91,12 @@ mod tests {
     use super::*;
 
     fn stats(cycles: u64, insts: u64, dram: u64) -> SimStats {
-        SimStats { cycles, warp_insts: insts, dram_transactions: dram, ..Default::default() }
+        SimStats {
+            cycles,
+            warp_insts: insts,
+            dram_transactions: dram,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -125,7 +133,10 @@ mod tests {
 
     #[test]
     fn total_is_sum() {
-        let r = EnergyReport { dynamic_j: 1.0, static_j: 2.0 };
+        let r = EnergyReport {
+            dynamic_j: 1.0,
+            static_j: 2.0,
+        };
         assert_eq!(r.total_j(), 3.0);
     }
 }

@@ -91,7 +91,11 @@ mod tests {
         assert!(e.to_string().contains("out"));
         let e = SimError::CycleLimit { cycles: 9 };
         assert!(e.to_string().contains('9'));
-        let e = SimError::OutOfBounds { space: Space::Shared, addr: 128, size: 64 };
+        let e = SimError::OutOfBounds {
+            space: Space::Shared,
+            addr: 128,
+            size: 64,
+        };
         assert!(e.to_string().contains("128"));
     }
 }

@@ -56,7 +56,9 @@ mod occupancy;
 mod stats;
 
 pub use cache::{Cache, CacheDecision};
-pub use config::{CacheConfig, GpuConfig, LatencyConfig, LaunchConfig, SchedulerKind, TWO_LEVEL_GROUP};
+pub use config::{
+    CacheConfig, GpuConfig, LatencyConfig, LaunchConfig, SchedulerKind, TWO_LEVEL_GROUP,
+};
 pub use energy::{estimate_energy, EnergyCoefficients, EnergyReport};
 pub use error::SimError;
 pub use machine::{simulate, simulate_capture};

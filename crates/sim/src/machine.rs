@@ -10,16 +10,16 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use crat_ptx::{
-    AddrBase, BlockId, Cfg, Instruction, Kernel, Op, Operand, Space, SpecialReg, Terminator,
-    Type, VReg,
+    AddrBase, BlockId, Cfg, Instruction, Kernel, Op, Operand, Space, SpecialReg, Terminator, Type,
+    VReg,
 };
 
 use crate::config::{GpuConfig, LaunchConfig, SchedulerKind};
 use crate::error::SimError;
-use crat_ptx::eval as interp;
 use crate::memory::MemorySystem;
 use crate::occupancy::occupancy;
 use crate::stats::SimStats;
+use crat_ptx::eval as interp;
 
 /// Base of the synthetic address region local memory is mapped into
 /// for cache timing (functional local data lives in per-block arrays).
@@ -67,7 +67,7 @@ pub fn simulate_capture(
     if launch.grid_blocks == 0 {
         return Err(SimError::BadLaunch("grid has zero blocks".to_string()));
     }
-    if launch.block_size == 0 || launch.block_size % cfg.warp_size != 0 {
+    if launch.block_size == 0 || !launch.block_size.is_multiple_of(cfg.warp_size) {
         return Err(SimError::BadLaunch(format!(
             "block size {} is not a positive multiple of {}",
             launch.block_size, cfg.warp_size
@@ -79,7 +79,12 @@ pub fn simulate_capture(
         }
     }
 
-    let occ = occupancy(cfg, regs_per_thread, kernel.shared_bytes(), launch.block_size);
+    let occ = occupancy(
+        cfg,
+        regs_per_thread,
+        kernel.shared_bytes(),
+        launch.block_size,
+    );
     let mut resident = occ.blocks.min(tlp_cap.unwrap_or(u32::MAX));
     if resident == 0 {
         return Err(SimError::BadLaunch(format!(
@@ -236,8 +241,7 @@ impl<'a> Machine<'a> {
         // The i-th block launched on this SM models global block
         // `i * num_sms` (blocks are distributed round-robin), keeping
         // address patterns representative.
-        let ctaid =
-            (self.next_block_index * self.cfg.num_sms).min(self.launch.grid_blocks - 1);
+        let ctaid = (self.next_block_index * self.cfg.num_sms).min(self.launch.grid_blocks - 1);
         self.next_block_index += 1;
 
         let slot = self
@@ -371,7 +375,11 @@ impl<'a> Machine<'a> {
                 cands.sort_by_key(|&i| {
                     let age = self.warps[i].as_ref().map_or(u64::MAX, |w| w.age);
                     let group = age / crate::config::TWO_LEVEL_GROUP;
-                    (group, if Some(i) == self.gto_current[s] { 0 } else { 1 }, age)
+                    (
+                        group,
+                        if Some(i) == self.gto_current[s] { 0 } else { 1 },
+                        age,
+                    )
                 });
             }
         }
@@ -399,7 +407,10 @@ impl<'a> Machine<'a> {
     /// Attempt to issue the next instruction of warp slot `i`.
     fn try_issue(&mut self, i: usize) -> Result<IssueOutcome, SimError> {
         // Pop SIMT frames whose reconvergence point was reached.
-        self.warps[i].as_mut().expect("candidate exists").reconverge();
+        self.warps[i]
+            .as_mut()
+            .expect("candidate exists")
+            .reconverge();
         let w = self.warps[i].as_ref().expect("candidate exists");
         let frame = *w.frame();
         let block = &self.kernel.blocks()[frame.pc_block as usize];
@@ -445,14 +456,21 @@ impl<'a> Machine<'a> {
         let w = self.warps[i].as_mut().expect("warp exists");
         let frame = *w.frame();
         self.stats.thread_insts += u64::from(frame.mask.count_ones());
-        let term = self.kernel.blocks()[frame.pc_block as usize].terminator.clone();
+        let term = self.kernel.blocks()[frame.pc_block as usize]
+            .terminator
+            .clone();
         match term {
             Terminator::Bra(t) => {
                 let f = w.frame_mut();
                 f.pc_block = t.0;
                 f.pc_idx = 0;
             }
-            Terminator::CondBra { pred, negated, taken, not_taken } => {
+            Terminator::CondBra {
+                pred,
+                negated,
+                taken,
+                not_taken,
+            } => {
                 // Lane votes among the frame's active lanes.
                 let mut taken_mask = 0u32;
                 for lane in 0..32 {
@@ -621,15 +639,32 @@ impl<'a> Machine<'a> {
     }
 
     /// Execute and issue the instruction at (`bi`, `idx`) for warp `i`.
-    fn issue_instruction(&mut self, i: usize, bi: u32, idx: usize) -> Result<IssueOutcome, SimError> {
+    fn issue_instruction(
+        &mut self,
+        i: usize,
+        bi: u32,
+        idx: usize,
+    ) -> Result<IssueOutcome, SimError> {
         let inst = self.kernel.blocks()[bi as usize].insts[idx].clone();
 
         // Memory instructions can fail to reserve resources; handle
         // them first so a stall has no side effects.
-        if let Op::Ld { space, ty, dst, addr } = &inst.op {
+        if let Op::Ld {
+            space,
+            ty,
+            dst,
+            addr,
+        } = &inst.op
+        {
             return self.exec_ld(i, &inst, *space, *ty, *dst, addr);
         }
-        if let Op::St { space, ty, addr, src } = &inst.op {
+        if let Op::St {
+            space,
+            ty,
+            addr,
+            src,
+        } = &inst.op
+        {
             return self.exec_st(i, &inst, *space, *ty, addr, src);
         }
 
@@ -663,8 +698,8 @@ impl<'a> Machine<'a> {
                 return Ok(IssueOutcome::Issued);
             }
             Op::Mov { ty, dst, src } => {
-                for lane in 0..32 {
-                    if mask[lane] {
+                for (lane, &active) in mask.iter().enumerate() {
+                    if active {
                         let v = match src {
                             Operand::Reg(r) => w.regs[r.index()][lane],
                             Operand::Imm(v) => *v as u64,
@@ -694,8 +729,8 @@ impl<'a> Machine<'a> {
                     .get(var)
                     .or_else(|| self.local_layout.get(var))
                     .expect("validated variable");
-                for lane in 0..32 {
-                    if mask[lane] {
+                for (lane, &active) in mask.iter().enumerate() {
+                    if active {
                         w.regs[dst.index()][lane] = base;
                     }
                 }
@@ -706,8 +741,8 @@ impl<'a> Machine<'a> {
                     self.stats.sfu_insts += 1;
                     latency = self.cfg.lat.sfu;
                 }
-                for lane in 0..32 {
-                    if mask[lane] {
+                for (lane, &active) in mask.iter().enumerate() {
+                    if active {
                         let a = typed_operand(w, src, *ty, lane);
                         w.regs[dst.index()][lane] = interp::unary_op(*op, *ty, a);
                     }
@@ -719,8 +754,8 @@ impl<'a> Machine<'a> {
                     self.stats.sfu_insts += 1;
                     latency = self.cfg.lat.sfu;
                 }
-                for lane in 0..32 {
-                    if mask[lane] {
+                for (lane, &active) in mask.iter().enumerate() {
+                    if active {
                         let x = typed_operand(w, a, *ty, lane);
                         let y = typed_operand(w, b, *ty, lane);
                         w.regs[dst.index()][lane] = interp::binary_op(*op, *ty, x, y);
@@ -729,8 +764,8 @@ impl<'a> Machine<'a> {
                 set_pending(w, *dst);
             }
             Op::Mad { ty, dst, a, b, c } | Op::Fma { ty, dst, a, b, c } => {
-                for lane in 0..32 {
-                    if mask[lane] {
+                for (lane, &active) in mask.iter().enumerate() {
+                    if active {
                         let x = typed_operand(w, a, *ty, lane);
                         let y = typed_operand(w, b, *ty, lane);
                         let z = typed_operand(w, c, *ty, lane);
@@ -739,9 +774,14 @@ impl<'a> Machine<'a> {
                 }
                 set_pending(w, *dst);
             }
-            Op::Cvt { dst_ty, src_ty, dst, src } => {
-                for lane in 0..32 {
-                    if mask[lane] {
+            Op::Cvt {
+                dst_ty,
+                src_ty,
+                dst,
+                src,
+            } => {
+                for (lane, &active) in mask.iter().enumerate() {
+                    if active {
                         let v = typed_operand(w, src, *src_ty, lane);
                         w.regs[dst.index()][lane] = interp::cvt_op(*dst_ty, *src_ty, v);
                     }
@@ -749,8 +789,8 @@ impl<'a> Machine<'a> {
                 set_pending(w, *dst);
             }
             Op::Setp { cmp, ty, dst, a, b } => {
-                for lane in 0..32 {
-                    if mask[lane] {
+                for (lane, &active) in mask.iter().enumerate() {
+                    if active {
                         let x = typed_operand(w, a, *ty, lane);
                         let y = typed_operand(w, b, *ty, lane);
                         w.regs[dst.index()][lane] = u64::from(interp::cmp_op(*cmp, *ty, x, y));
@@ -758,9 +798,15 @@ impl<'a> Machine<'a> {
                 }
                 set_pending(w, *dst);
             }
-            Op::Selp { ty, dst, a, b, pred } => {
-                for lane in 0..32 {
-                    if mask[lane] {
+            Op::Selp {
+                ty,
+                dst,
+                a,
+                b,
+                pred,
+            } => {
+                for (lane, &active) in mask.iter().enumerate() {
+                    if active {
                         let x = typed_operand(w, a, *ty, lane);
                         let y = typed_operand(w, b, *ty, lane);
                         let p = w.regs[pred.index()][lane] != 0;
@@ -772,17 +818,15 @@ impl<'a> Machine<'a> {
             Op::Ld { .. } | Op::St { .. } => unreachable!("handled above"),
         }
 
-        let dst = inst.def().expect("non-memory ops with defs handled above; bar returns early");
+        let dst = inst
+            .def()
+            .expect("non-memory ops with defs handled above; bar returns early");
         let (gen_, age_slot) = {
             let w = self.warps[i].as_ref().expect("warp exists");
             (w.generation, i)
         };
-        self.writebacks.push(Reverse((
-            self.now + latency as u64,
-            age_slot,
-            gen_,
-            dst.0,
-        )));
+        self.writebacks
+            .push(Reverse((self.now + latency as u64, age_slot, gen_, dst.0)));
         let w = self.warps[i].as_mut().expect("warp exists");
         w.frame_mut().pc_idx += 1;
         Ok(IssueOutcome::Issued)
@@ -905,7 +949,8 @@ impl<'a> Machine<'a> {
             w.frame_mut().pc_idx += 1;
             w.generation
         };
-        self.writebacks.push(Reverse((ready_at, i, generation, dst.0)));
+        self.writebacks
+            .push(Reverse((ready_at, i, generation, dst.0)));
         Ok(IssueOutcome::Issued)
     }
 
@@ -1158,11 +1203,22 @@ mod tests {
         let answer = b.mov(Type::U32, crat_ptx::Operand::Imm(42));
         // Every thread writes its value to shared[tid%32 *4]... warp 0 writes s[0]=42.
         let base = b.fresh(Type::U64);
-        b.push_guarded(None, Op::MovVarAddr { dst: base, var: "s".to_string() });
+        b.push_guarded(
+            None,
+            Op::MovVarAddr {
+                dst: base,
+                var: "s".to_string(),
+            },
+        );
         let lane4 = b.mul(Type::U32, tid, crat_ptx::Operand::Imm(0));
         let lane4w = b.cvt(Type::U64, Type::U32, lane4);
         let slot = b.add(Type::U64, base, lane4w);
-        b.st(Space::Shared, Type::U32, crat_ptx::Address::reg(slot), answer);
+        b.st(
+            Space::Shared,
+            Type::U32,
+            crat_ptx::Address::reg(slot),
+            answer,
+        );
         b.bar_sync();
         let v = b.ld(Space::Shared, Type::U32, crat_ptx::Address::reg(slot));
         let a = b.wide_address(out, tid, 4);
@@ -1184,16 +1240,33 @@ mod tests {
         let out = b.param_ptr("out");
         let tid = b.special_tid_x(Type::U32);
         let acc = b.add(Type::U32, tid, crat_ptx::Operand::Imm(0));
-        let p = b.setp(crat_ptx::CmpOp::Lt, Type::U32, tid, crat_ptx::Operand::Imm(16));
+        let p = b.setp(
+            crat_ptx::CmpOp::Lt,
+            Type::U32,
+            tid,
+            crat_ptx::Operand::Imm(16),
+        );
         let then_b = b.new_block();
         let else_b = b.new_block();
         let join = b.new_block();
         b.cond_branch(p, then_b, else_b);
         b.switch_to(then_b);
-        b.binary_to(crat_ptx::BinOp::Add, Type::U32, acc, acc, crat_ptx::Operand::Imm(100));
+        b.binary_to(
+            crat_ptx::BinOp::Add,
+            Type::U32,
+            acc,
+            acc,
+            crat_ptx::Operand::Imm(100),
+        );
         b.branch(join);
         b.switch_to(else_b);
-        b.binary_to(crat_ptx::BinOp::Add, Type::U32, acc, acc, crat_ptx::Operand::Imm(200));
+        b.binary_to(
+            crat_ptx::BinOp::Add,
+            Type::U32,
+            acc,
+            acc,
+            crat_ptx::Operand::Imm(200),
+        );
         b.branch(join);
         b.switch_to(join);
         let a = b.wide_address(out, tid, 4);
@@ -1216,7 +1289,12 @@ mod tests {
     fn unstructured_divergence_is_detected() {
         let mut b = KernelBuilder::new("div");
         let tid = b.special_tid_x(Type::U32);
-        let p = b.setp(crat_ptx::CmpOp::Lt, Type::U32, tid, crat_ptx::Operand::Imm(16));
+        let p = b.setp(
+            crat_ptx::CmpOp::Lt,
+            Type::U32,
+            tid,
+            crat_ptx::Operand::Imm(16),
+        );
         let t1 = b.new_block();
         let t2 = b.new_block();
         b.cond_branch(p, t1, t2);
@@ -1239,22 +1317,44 @@ mod tests {
         let out = b.param_ptr("out");
         let tid = b.special_tid_x(Type::U32);
         let acc = b.add(Type::U32, tid, crat_ptx::Operand::Imm(0));
-        let outer_p = b.setp(crat_ptx::CmpOp::Lt, Type::U32, tid, crat_ptx::Operand::Imm(24));
+        let outer_p = b.setp(
+            crat_ptx::CmpOp::Lt,
+            Type::U32,
+            tid,
+            crat_ptx::Operand::Imm(24),
+        );
         let outer_then = b.new_block();
         let outer_join = b.new_block();
         b.cond_branch(outer_p, outer_then, outer_join);
         b.switch_to(outer_then);
         // Inner: tid < 8 adds 1000, others add 10.
-        let inner_p = b.setp(crat_ptx::CmpOp::Lt, Type::U32, tid, crat_ptx::Operand::Imm(8));
+        let inner_p = b.setp(
+            crat_ptx::CmpOp::Lt,
+            Type::U32,
+            tid,
+            crat_ptx::Operand::Imm(8),
+        );
         let inner_then = b.new_block();
         let inner_else = b.new_block();
         let inner_join = b.new_block();
         b.cond_branch(inner_p, inner_then, inner_else);
         b.switch_to(inner_then);
-        b.binary_to(crat_ptx::BinOp::Add, Type::U32, acc, acc, crat_ptx::Operand::Imm(1000));
+        b.binary_to(
+            crat_ptx::BinOp::Add,
+            Type::U32,
+            acc,
+            acc,
+            crat_ptx::Operand::Imm(1000),
+        );
         b.branch(inner_join);
         b.switch_to(inner_else);
-        b.binary_to(crat_ptx::BinOp::Add, Type::U32, acc, acc, crat_ptx::Operand::Imm(10));
+        b.binary_to(
+            crat_ptx::BinOp::Add,
+            Type::U32,
+            acc,
+            acc,
+            crat_ptx::Operand::Imm(10),
+        );
         b.branch(inner_join);
         b.switch_to(inner_join);
         b.branch(outer_join);
@@ -1290,12 +1390,23 @@ mod tests {
         let acc = b.add(Type::U32, tid, crat_ptx::Operand::Imm(0));
         let parity = b.and(Type::U32, tid, crat_ptx::Operand::Imm(1));
         let l = b.loop_range(0, crat_ptx::Operand::Imm(5), 1);
-        let p = b.setp(crat_ptx::CmpOp::Eq, Type::U32, parity, crat_ptx::Operand::Imm(1));
+        let p = b.setp(
+            crat_ptx::CmpOp::Eq,
+            Type::U32,
+            parity,
+            crat_ptx::Operand::Imm(1),
+        );
         let odd_b = b.new_block();
         let cont = b.new_block();
         b.cond_branch(p, odd_b, cont);
         b.switch_to(odd_b);
-        b.binary_to(crat_ptx::BinOp::Add, Type::U32, acc, acc, crat_ptx::Operand::Imm(7));
+        b.binary_to(
+            crat_ptx::BinOp::Add,
+            Type::U32,
+            acc,
+            acc,
+            crat_ptx::Operand::Imm(7),
+        );
         b.branch(cont);
         b.switch_to(cont);
         b.end_loop(l);
@@ -1321,7 +1432,13 @@ mod tests {
         let out = b.param_ptr("out");
         let tid = b.special_tid_x(Type::U32);
         let base = b.fresh(Type::U64);
-        b.push_guarded(None, Op::MovVarAddr { dst: base, var: "scratch".to_string() });
+        b.push_guarded(
+            None,
+            Op::MovVarAddr {
+                dst: base,
+                var: "scratch".to_string(),
+            },
+        );
         b.st(Space::Local, Type::U32, crat_ptx::Address::reg(base), tid);
         let v = b.ld(Space::Local, Type::U32, crat_ptx::Address::reg(base));
         let a = b.wide_address(out, v, 4);
@@ -1375,7 +1492,11 @@ mod turnover_tests {
         // Load whose value is stored immediately; plus one load whose
         // result is never used (its write-back may outlive the warp).
         let v = b.ld(Space::Global, Type::U32, crat_ptx::Address::reg(a));
-        let _unused = b.ld(Space::Global, Type::U32, crat_ptx::Address::reg_offset(a, 256));
+        let _unused = b.ld(
+            Space::Global,
+            Type::U32,
+            crat_ptx::Address::reg_offset(a, 256),
+        );
         let sum = b.add(Type::U32, v, ctaid);
         let oa = b.wide_address(out, tid, 4);
         b.st(Space::Global, Type::U32, crat_ptx::Address::reg(oa), sum);
@@ -1458,7 +1579,11 @@ mod scheduler_tests {
             .with_param("input", 0x100_0000)
             .with_param("out", 0x200_0000);
         let mut results = Vec::new();
-        for sched in [SchedulerKind::Gto, SchedulerKind::Lrr, SchedulerKind::TwoLevel] {
+        for sched in [
+            SchedulerKind::Gto,
+            SchedulerKind::Lrr,
+            SchedulerKind::TwoLevel,
+        ] {
             let mut cfg = GpuConfig::fermi();
             cfg.scheduler = sched;
             let (stats, mem) =

@@ -70,15 +70,12 @@ impl MemorySystem {
                 stats.l2_hits += 1;
                 Some(now + self.lat.l1_hit as u64 + self.lat.l2 as u64)
             }
-            CacheDecision::MissPending { ready_at } => {
-                Some(ready_at.max(now) + self.lat.l2 as u64)
-            }
+            CacheDecision::MissPending { ready_at } => Some(ready_at.max(now) + self.lat.l2 as u64),
             CacheDecision::ReservationFail => None,
             CacheDecision::MissNew => {
                 stats.dram_transactions += 1;
                 let start = self.dram_slot(now);
-                let done =
-                    start + (self.lat.l1_hit + self.lat.l2 + self.lat.dram) as u64;
+                let done = start + (self.lat.l1_hit + self.lat.l2 + self.lat.dram) as u64;
                 self.l2.complete_miss(addr, done);
                 Some(done)
             }
@@ -294,6 +291,9 @@ mod tests {
         }
         let serviced_by_l2 = s.l2_hits > 0;
         let dram_delta = s.dram_transactions - dram_before;
-        assert!(serviced_by_l2 || dram_delta == 64, "L2 should catch re-references");
+        assert!(
+            serviced_by_l2 || dram_delta == 64,
+            "L2 should catch re-references"
+        );
     }
 }

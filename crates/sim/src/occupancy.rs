@@ -67,11 +67,10 @@ pub fn occupancy(
     let by_registers = cfg.registers_per_sm / regs_per_block.max(1);
 
     let shmem_rounded = shmem_per_block.div_ceil(128) * 128;
-    let by_shmem = if shmem_rounded == 0 {
-        u32::MAX
-    } else {
-        cfg.shmem_per_sm / shmem_rounded
-    };
+    let by_shmem = cfg
+        .shmem_per_sm
+        .checked_div(shmem_rounded)
+        .unwrap_or(u32::MAX);
 
     let candidates = [
         (by_threads, LimitingResource::Threads),
@@ -155,7 +154,9 @@ mod tests {
     #[test]
     fn staircase_shape() {
         let cfg = fermi();
-        let blocks: Vec<u32> = (16..=63).map(|r| occupancy(&cfg, r, 0, 256).blocks).collect();
+        let blocks: Vec<u32> = (16..=63)
+            .map(|r| occupancy(&cfg, r, 0, 256).blocks)
+            .collect();
         // At 256 threads/block the thread limit caps the low-register
         // end at 6 blocks (1536/256); at 63 registers the register
         // file allows only 2.

@@ -2,7 +2,7 @@
 
 /// Counters collected over one simulated kernel launch (one SM's share
 /// of the grid).
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Total simulated cycles until the last block finished.
     pub cycles: u64,
@@ -121,8 +121,14 @@ mod tests {
 
     #[test]
     fn speedup() {
-        let fast = SimStats { cycles: 50, ..Default::default() };
-        let slow = SimStats { cycles: 100, ..Default::default() };
+        let fast = SimStats {
+            cycles: 50,
+            ..Default::default()
+        };
+        let slow = SimStats {
+            cycles: 100,
+            ..Default::default()
+        };
         assert_eq!(fast.speedup_over(&slow), 2.0);
         assert_eq!(slow.speedup_over(&fast), 0.5);
     }

@@ -74,8 +74,10 @@ fn shm_spill_rehoming_preserves_semantics() {
     let reference = outputs(&k, 63);
     let full = allocate(&k, &AllocOptions::new(63)).unwrap();
     let budget = full.slots_used - 6;
-    let opts = AllocOptions::new(budget)
-        .with_shm_spill(ShmSpillConfig { spare_bytes: 48 * 1024, block_size: 64 });
+    let opts = AllocOptions::new(budget).with_shm_spill(ShmSpillConfig {
+        spare_bytes: 48 * 1024,
+        block_size: 64,
+    });
     let alloc = allocate(&k, &opts).unwrap();
     assert!(
         alloc.spills.counts.total_shared() > 0,
@@ -132,9 +134,16 @@ fn alternative_spill_splits_preserve_semantics() {
     let reference = outputs(&k, 63);
     let full = allocate(&k, &AllocOptions::new(63)).unwrap();
     let budget = full.slots_used - 6;
-    for split in [SpillSplit::ByType, SpillSplit::ByWidth, SpillSplit::PerVariable] {
+    for split in [
+        SpillSplit::ByType,
+        SpillSplit::ByWidth,
+        SpillSplit::PerVariable,
+    ] {
         let opts = AllocOptions::new(budget + 6 * u32::from(split == SpillSplit::PerVariable))
-            .with_shm_spill(ShmSpillConfig { spare_bytes: 24 * 1024, block_size: 64 })
+            .with_shm_spill(ShmSpillConfig {
+                spare_bytes: 24 * 1024,
+                block_size: 64,
+            })
             .with_spill_split(split);
         let alloc = allocate(&k, &opts).unwrap_or_else(|e| panic!("{split:?}: {e}"));
         let got = outputs(&alloc.kernel, alloc.slots_used);

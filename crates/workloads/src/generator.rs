@@ -35,7 +35,13 @@ pub fn build_kernel(spec: &AppSpec) -> Kernel {
     let shm = if spec.shmem_bytes > 0 {
         b.shared_var("app_shm", spec.shmem_bytes);
         let base = b.fresh(Type::U64);
-        b.push_guarded(None, Op::MovVarAddr { dst: base, var: "app_shm".to_string() });
+        b.push_guarded(
+            None,
+            Op::MovVarAddr {
+                dst: base,
+                var: "app_shm".to_string(),
+            },
+        );
         let mask = (spec.shmem_bytes.next_power_of_two() / 2).max(4) - 1;
         let toff = b.mul(Type::U32, tid, Operand::Imm(4));
         let tmask = b.and(Type::U32, toff, Operand::Imm(mask as i64 & !3));
@@ -57,7 +63,11 @@ pub fn build_kernel(spec: &AppSpec) -> Kernel {
     let tid_off = b.mul(Type::U32, tid, Operand::Imm(elem_bytes as i64));
 
     // Seed value for accumulators.
-    let seed = if elem == Type::U32 { gid } else { b.cvt(elem, Type::U32, gid) };
+    let seed = if elem == Type::U32 {
+        gid
+    } else {
+        b.cvt(elem, Type::U32, gid)
+    };
     let iconst = |j: u32| -> Operand {
         if elem.is_float() {
             Operand::FImm(1.0 + j as f64 * 0.125)
@@ -66,9 +76,12 @@ pub fn build_kernel(spec: &AppSpec) -> Kernel {
         }
     };
 
-    let hot: Vec<VReg> = (0..spec.hot_vars).map(|j| b.add(elem, seed, iconst(j))).collect();
-    let cold: Vec<VReg> =
-        (0..spec.cold_vars).map(|j| b.add(elem, seed, iconst(100 + j))).collect();
+    let hot: Vec<VReg> = (0..spec.hot_vars)
+        .map(|j| b.add(elem, seed, iconst(j)))
+        .collect();
+    let cold: Vec<VReg> = (0..spec.cold_vars)
+        .map(|j| b.add(elem, seed, iconst(100 + j)))
+        .collect();
 
     // Main loop over the per-block window: `loads_per_iter` loads per
     // iteration, each streaming its own region (as a multi-array
@@ -81,8 +94,11 @@ pub fn build_kernel(spec: &AppSpec) -> Kernel {
     let loaded: Vec<VReg> = (0..nloads)
         .map(|li| {
             let shifted = b.add(Type::U32, lin, Operand::Imm((li * region) as i64));
-            let off =
-                b.and(Type::U32, shifted, Operand::Imm((spec.window_bytes - 1) as i64 & !3));
+            let off = b.and(
+                Type::U32,
+                shifted,
+                Operand::Imm((spec.window_bytes - 1) as i64 & !3),
+            );
             let offw = b.cvt(Type::U64, Type::U32, off);
             let addr = b.add(Type::U64, block_base, offw);
             b.ld(Space::Global, elem, Address::reg(addr))

@@ -22,17 +22,41 @@ pub fn inputs(spec: &AppSpec) -> Vec<InputVariant> {
         // The paper uses CFD and BLK for the input study with 3-4
         // inputs each.
         "CFD" => vec![
-            InputVariant { name: "fvcorr.097K", grid_blocks: 120 },
-            InputVariant { name: "fvcorr.193K", grid_blocks: 240 },
-            InputVariant { name: "missile.232K", grid_blocks: 300 },
+            InputVariant {
+                name: "fvcorr.097K",
+                grid_blocks: 120,
+            },
+            InputVariant {
+                name: "fvcorr.193K",
+                grid_blocks: 240,
+            },
+            InputVariant {
+                name: "missile.232K",
+                grid_blocks: 300,
+            },
         ],
         "BLK" => vec![
-            InputVariant { name: "opt-1M", grid_blocks: 120 },
-            InputVariant { name: "opt-2M", grid_blocks: 240 },
-            InputVariant { name: "opt-4M", grid_blocks: 480 },
-            InputVariant { name: "opt-8M", grid_blocks: 960 },
+            InputVariant {
+                name: "opt-1M",
+                grid_blocks: 120,
+            },
+            InputVariant {
+                name: "opt-2M",
+                grid_blocks: 240,
+            },
+            InputVariant {
+                name: "opt-4M",
+                grid_blocks: 480,
+            },
+            InputVariant {
+                name: "opt-8M",
+                grid_blocks: 960,
+            },
         ],
-        _ => vec![InputVariant { name: "default", grid_blocks: spec.grid_blocks }],
+        _ => vec![InputVariant {
+            name: "default",
+            grid_blocks: spec.grid_blocks,
+        }],
     }
 }
 

@@ -40,73 +40,469 @@ macro_rules! app {
 /// order, then the insensitive ones.
 pub static APPS: &[AppSpec] = &[
     // ----- Resource sensitive (Table 3, top) -----
-    app!("BlackScholes", "BLK", "BlackScholesGPU", "SDK", RS,
-        block=128, grid=120, hot=13, cold=4, trips=96, window=4096, stride=128,
-        loads=2, cpl=2, sfu=4, shm=0, barrier=false, divergent=false, ty=Type::F32),
-    app!("cfd", "CFD", "cuda_compute_flux", "Rodinia", RS,
-        block=192, grid=120, hot=12, cold=6, trips=96, window=4096, stride=256,
-        loads=6, cpl=0, sfu=1, shm=0, barrier=false, divergent=false, ty=Type::F32),
-    app!("dxtc", "DTC", "compress", "SDK", RS,
-        block=192, grid=160, hot=10, cold=6, trips=64, window=4096, stride=128,
-        loads=2, cpl=3, sfu=0, shm=2048, barrier=true, divergent=false, ty=Type::U32),
-    app!("EstimatePi", "ESP", "initRNG", "SDK", RS,
-        block=128, grid=120, hot=12, cold=4, trips=96, window=2048, stride=64,
-        loads=1, cpl=6, sfu=2, shm=0, barrier=false, divergent=false, ty=Type::F32),
-    app!("FDTD3d", "FDTD", "FiniteDifferences", "SDK", RS,
-        block=512, grid=60, hot=11, cold=10, trips=64, window=8192, stride=256,
-        loads=6, cpl=0, sfu=0, shm=0, barrier=false, divergent=false, ty=Type::F32),
-    app!("hotspot", "HST", "calculate_temp", "Rodinia", RS,
-        block=256, grid=120, hot=11, cold=6, trips=64, window=8192, stride=256,
-        loads=4, cpl=2, sfu=0, shm=3072, barrier=true, divergent=false, ty=Type::F32),
-    app!("kmeans", "KMN", "invert_mapping", "Rodinia", RS,
-        block=256, grid=120, hot=6, cold=0, trips=96, window=16384, stride=512,
-        loads=4, cpl=0, sfu=0, shm=0, barrier=false, divergent=false, ty=Type::F32),
-    app!("lbm", "LBM", "StreamCollide", "Parboil", RS,
-        block=128, grid=120, hot=5, cold=0, trips=64, window=8192, stride=256,
-        loads=8, cpl=0, sfu=0, shm=0, barrier=false, divergent=false, ty=Type::F32),
-    app!("spmv", "SPMV", "spmv_jds", "Parboil", RS,
-        block=128, grid=120, hot=8, cold=0, trips=64, window=16384, stride=512,
-        loads=4, cpl=0, sfu=0, shm=0, barrier=false, divergent=false, ty=Type::F32),
-    app!("stencil", "STE", "block2D", "Parboil", RS,
-        block=256, grid=120, hot=12, cold=6, trips=64, window=8192, stride=256,
-        loads=6, cpl=0, sfu=0, shm=0, barrier=false, divergent=false, ty=Type::F32),
-    app!("streamcluster", "STM", "compute_cost", "Rodinia", RS,
-        block=192, grid=120, hot=10, cold=0, trips=64, window=16384, stride=512,
-        loads=4, cpl=1, sfu=1, shm=0, barrier=false, divergent=false, ty=Type::F32),
+    app!(
+        "BlackScholes",
+        "BLK",
+        "BlackScholesGPU",
+        "SDK",
+        RS,
+        block = 128,
+        grid = 120,
+        hot = 13,
+        cold = 4,
+        trips = 96,
+        window = 4096,
+        stride = 128,
+        loads = 2,
+        cpl = 2,
+        sfu = 4,
+        shm = 0,
+        barrier = false,
+        divergent = false,
+        ty = Type::F32
+    ),
+    app!(
+        "cfd",
+        "CFD",
+        "cuda_compute_flux",
+        "Rodinia",
+        RS,
+        block = 192,
+        grid = 120,
+        hot = 12,
+        cold = 6,
+        trips = 96,
+        window = 4096,
+        stride = 256,
+        loads = 6,
+        cpl = 0,
+        sfu = 1,
+        shm = 0,
+        barrier = false,
+        divergent = false,
+        ty = Type::F32
+    ),
+    app!(
+        "dxtc",
+        "DTC",
+        "compress",
+        "SDK",
+        RS,
+        block = 192,
+        grid = 160,
+        hot = 10,
+        cold = 6,
+        trips = 64,
+        window = 4096,
+        stride = 128,
+        loads = 2,
+        cpl = 3,
+        sfu = 0,
+        shm = 2048,
+        barrier = true,
+        divergent = false,
+        ty = Type::U32
+    ),
+    app!(
+        "EstimatePi",
+        "ESP",
+        "initRNG",
+        "SDK",
+        RS,
+        block = 128,
+        grid = 120,
+        hot = 12,
+        cold = 4,
+        trips = 96,
+        window = 2048,
+        stride = 64,
+        loads = 1,
+        cpl = 6,
+        sfu = 2,
+        shm = 0,
+        barrier = false,
+        divergent = false,
+        ty = Type::F32
+    ),
+    app!(
+        "FDTD3d",
+        "FDTD",
+        "FiniteDifferences",
+        "SDK",
+        RS,
+        block = 512,
+        grid = 60,
+        hot = 11,
+        cold = 10,
+        trips = 64,
+        window = 8192,
+        stride = 256,
+        loads = 6,
+        cpl = 0,
+        sfu = 0,
+        shm = 0,
+        barrier = false,
+        divergent = false,
+        ty = Type::F32
+    ),
+    app!(
+        "hotspot",
+        "HST",
+        "calculate_temp",
+        "Rodinia",
+        RS,
+        block = 256,
+        grid = 120,
+        hot = 11,
+        cold = 6,
+        trips = 64,
+        window = 8192,
+        stride = 256,
+        loads = 4,
+        cpl = 2,
+        sfu = 0,
+        shm = 3072,
+        barrier = true,
+        divergent = false,
+        ty = Type::F32
+    ),
+    app!(
+        "kmeans",
+        "KMN",
+        "invert_mapping",
+        "Rodinia",
+        RS,
+        block = 256,
+        grid = 120,
+        hot = 6,
+        cold = 0,
+        trips = 96,
+        window = 16384,
+        stride = 512,
+        loads = 4,
+        cpl = 0,
+        sfu = 0,
+        shm = 0,
+        barrier = false,
+        divergent = false,
+        ty = Type::F32
+    ),
+    app!(
+        "lbm",
+        "LBM",
+        "StreamCollide",
+        "Parboil",
+        RS,
+        block = 128,
+        grid = 120,
+        hot = 5,
+        cold = 0,
+        trips = 64,
+        window = 8192,
+        stride = 256,
+        loads = 8,
+        cpl = 0,
+        sfu = 0,
+        shm = 0,
+        barrier = false,
+        divergent = false,
+        ty = Type::F32
+    ),
+    app!(
+        "spmv",
+        "SPMV",
+        "spmv_jds",
+        "Parboil",
+        RS,
+        block = 128,
+        grid = 120,
+        hot = 8,
+        cold = 0,
+        trips = 64,
+        window = 16384,
+        stride = 512,
+        loads = 4,
+        cpl = 0,
+        sfu = 0,
+        shm = 0,
+        barrier = false,
+        divergent = false,
+        ty = Type::F32
+    ),
+    app!(
+        "stencil",
+        "STE",
+        "block2D",
+        "Parboil",
+        RS,
+        block = 256,
+        grid = 120,
+        hot = 12,
+        cold = 6,
+        trips = 64,
+        window = 8192,
+        stride = 256,
+        loads = 6,
+        cpl = 0,
+        sfu = 0,
+        shm = 0,
+        barrier = false,
+        divergent = false,
+        ty = Type::F32
+    ),
+    app!(
+        "streamcluster",
+        "STM",
+        "compute_cost",
+        "Rodinia",
+        RS,
+        block = 192,
+        grid = 120,
+        hot = 10,
+        cold = 0,
+        trips = 64,
+        window = 16384,
+        stride = 512,
+        loads = 4,
+        cpl = 1,
+        sfu = 1,
+        shm = 0,
+        barrier = false,
+        divergent = false,
+        ty = Type::F32
+    ),
     // ----- Resource insensitive (Table 3, bottom) -----
-    app!("backprop", "BAK", "layerforward", "Rodinia", RI,
-        block=128, grid=120, hot=8, cold=0, trips=32, window=1024, stride=64,
-        loads=1, cpl=3, sfu=0, shm=0, barrier=false, divergent=false, ty=Type::F32),
-    app!("bfs", "BFS", "kernel", "Rodinia", RI,
-        block=128, grid=180, hot=6, cold=0, trips=32, window=2048, stride=128,
-        loads=2, cpl=1, sfu=0, shm=0, barrier=false, divergent=true, ty=Type::U32),
-    app!("b+tree", "B+T", "findK", "Rodinia", RI,
-        block=128, grid=120, hot=8, cold=0, trips=32, window=2048, stride=128,
-        loads=2, cpl=1, sfu=0, shm=0, barrier=false, divergent=false, ty=Type::U32),
-    app!("gaussian", "GAU", "Fan1", "Rodinia", RI,
-        block=64, grid=120, hot=6, cold=0, trips=32, window=1024, stride=64,
-        loads=1, cpl=3, sfu=0, shm=0, barrier=false, divergent=false, ty=Type::F32),
-    app!("lud", "LUD", "diagonal", "Rodinia", RI,
-        block=64, grid=120, hot=10, cold=0, trips=32, window=1024, stride=64,
-        loads=1, cpl=3, sfu=0, shm=1024, barrier=true, divergent=false, ty=Type::F32),
-    app!("mummergpu", "MUM", "mummergpuKernel", "Rodinia", RI,
-        block=128, grid=120, hot=8, cold=0, trips=40, window=2048, stride=128,
-        loads=2, cpl=1, sfu=0, shm=0, barrier=false, divergent=true, ty=Type::U32),
-    app!("nw", "NEED", "cuda_shared_1", "Rodinia", RI,
-        block=32, grid=240, hot=8, cold=0, trips=32, window=1024, stride=64,
-        loads=1, cpl=3, sfu=0, shm=2048, barrier=true, divergent=false, ty=Type::S32),
-    app!("particlefilter", "PTF", "kernel", "Rodinia", RI,
-        block=128, grid=120, hot=10, cold=0, trips=32, window=1024, stride=64,
-        loads=1, cpl=3, sfu=1, shm=0, barrier=false, divergent=false, ty=Type::F32),
-    app!("pathfinder", "PATH", "dynproc", "Rodinia", RI,
-        block=256, grid=120, hot=8, cold=0, trips=32, window=1024, stride=64,
-        loads=1, cpl=3, sfu=0, shm=1024, barrier=true, divergent=false, ty=Type::S32),
-    app!("sgemm", "SGM", "mysgemmNT", "Parboil", RI,
-        block=128, grid=120, hot=8, cold=0, trips=48, window=2048, stride=128,
-        loads=2, cpl=2, sfu=0, shm=2048, barrier=true, divergent=false, ty=Type::F32),
-    app!("srad", "SRAD", "srad_cuda", "Rodinia", RI,
-        block=256, grid=120, hot=10, cold=0, trips=32, window=2048, stride=128,
-        loads=2, cpl=1, sfu=1, shm=0, barrier=false, divergent=false, ty=Type::F32),
+    app!(
+        "backprop",
+        "BAK",
+        "layerforward",
+        "Rodinia",
+        RI,
+        block = 128,
+        grid = 120,
+        hot = 8,
+        cold = 0,
+        trips = 32,
+        window = 1024,
+        stride = 64,
+        loads = 1,
+        cpl = 3,
+        sfu = 0,
+        shm = 0,
+        barrier = false,
+        divergent = false,
+        ty = Type::F32
+    ),
+    app!(
+        "bfs",
+        "BFS",
+        "kernel",
+        "Rodinia",
+        RI,
+        block = 128,
+        grid = 180,
+        hot = 6,
+        cold = 0,
+        trips = 32,
+        window = 2048,
+        stride = 128,
+        loads = 2,
+        cpl = 1,
+        sfu = 0,
+        shm = 0,
+        barrier = false,
+        divergent = true,
+        ty = Type::U32
+    ),
+    app!(
+        "b+tree",
+        "B+T",
+        "findK",
+        "Rodinia",
+        RI,
+        block = 128,
+        grid = 120,
+        hot = 8,
+        cold = 0,
+        trips = 32,
+        window = 2048,
+        stride = 128,
+        loads = 2,
+        cpl = 1,
+        sfu = 0,
+        shm = 0,
+        barrier = false,
+        divergent = false,
+        ty = Type::U32
+    ),
+    app!(
+        "gaussian",
+        "GAU",
+        "Fan1",
+        "Rodinia",
+        RI,
+        block = 64,
+        grid = 120,
+        hot = 6,
+        cold = 0,
+        trips = 32,
+        window = 1024,
+        stride = 64,
+        loads = 1,
+        cpl = 3,
+        sfu = 0,
+        shm = 0,
+        barrier = false,
+        divergent = false,
+        ty = Type::F32
+    ),
+    app!(
+        "lud",
+        "LUD",
+        "diagonal",
+        "Rodinia",
+        RI,
+        block = 64,
+        grid = 120,
+        hot = 10,
+        cold = 0,
+        trips = 32,
+        window = 1024,
+        stride = 64,
+        loads = 1,
+        cpl = 3,
+        sfu = 0,
+        shm = 1024,
+        barrier = true,
+        divergent = false,
+        ty = Type::F32
+    ),
+    app!(
+        "mummergpu",
+        "MUM",
+        "mummergpuKernel",
+        "Rodinia",
+        RI,
+        block = 128,
+        grid = 120,
+        hot = 8,
+        cold = 0,
+        trips = 40,
+        window = 2048,
+        stride = 128,
+        loads = 2,
+        cpl = 1,
+        sfu = 0,
+        shm = 0,
+        barrier = false,
+        divergent = true,
+        ty = Type::U32
+    ),
+    app!(
+        "nw",
+        "NEED",
+        "cuda_shared_1",
+        "Rodinia",
+        RI,
+        block = 32,
+        grid = 240,
+        hot = 8,
+        cold = 0,
+        trips = 32,
+        window = 1024,
+        stride = 64,
+        loads = 1,
+        cpl = 3,
+        sfu = 0,
+        shm = 2048,
+        barrier = true,
+        divergent = false,
+        ty = Type::S32
+    ),
+    app!(
+        "particlefilter",
+        "PTF",
+        "kernel",
+        "Rodinia",
+        RI,
+        block = 128,
+        grid = 120,
+        hot = 10,
+        cold = 0,
+        trips = 32,
+        window = 1024,
+        stride = 64,
+        loads = 1,
+        cpl = 3,
+        sfu = 1,
+        shm = 0,
+        barrier = false,
+        divergent = false,
+        ty = Type::F32
+    ),
+    app!(
+        "pathfinder",
+        "PATH",
+        "dynproc",
+        "Rodinia",
+        RI,
+        block = 256,
+        grid = 120,
+        hot = 8,
+        cold = 0,
+        trips = 32,
+        window = 1024,
+        stride = 64,
+        loads = 1,
+        cpl = 3,
+        sfu = 0,
+        shm = 1024,
+        barrier = true,
+        divergent = false,
+        ty = Type::S32
+    ),
+    app!(
+        "sgemm",
+        "SGM",
+        "mysgemmNT",
+        "Parboil",
+        RI,
+        block = 128,
+        grid = 120,
+        hot = 8,
+        cold = 0,
+        trips = 48,
+        window = 2048,
+        stride = 128,
+        loads = 2,
+        cpl = 2,
+        sfu = 0,
+        shm = 2048,
+        barrier = true,
+        divergent = false,
+        ty = Type::F32
+    ),
+    app!(
+        "srad",
+        "SRAD",
+        "srad_cuda",
+        "Rodinia",
+        RI,
+        block = 256,
+        grid = 120,
+        hot = 10,
+        cold = 0,
+        trips = 32,
+        window = 2048,
+        stride = 128,
+        loads = 2,
+        cpl = 1,
+        sfu = 1,
+        shm = 0,
+        barrier = false,
+        divergent = false,
+        ty = Type::F32
+    ),
 ];
 
 /// All applications.
@@ -165,14 +561,18 @@ mod tests {
 
     #[test]
     fn paper_table3_membership() {
-        for abbr in ["BLK", "CFD", "DTC", "ESP", "FDTD", "HST", "KMN", "LBM", "SPMV", "STE", "STM"]
-        {
+        for abbr in [
+            "BLK", "CFD", "DTC", "ESP", "FDTD", "HST", "KMN", "LBM", "SPMV", "STE", "STM",
+        ] {
             assert!(spec(abbr).is_sensitive(), "{abbr} is sensitive in Table 3");
         }
-        for abbr in
-            ["BAK", "BFS", "B+T", "GAU", "LUD", "MUM", "NEED", "PTF", "PATH", "SGM", "SRAD"]
-        {
-            assert!(!spec(abbr).is_sensitive(), "{abbr} is insensitive in Table 3");
+        for abbr in [
+            "BAK", "BFS", "B+T", "GAU", "LUD", "MUM", "NEED", "PTF", "PATH", "SGM", "SRAD",
+        ] {
+            assert!(
+                !spec(abbr).is_sensitive(),
+                "{abbr} is insensitive in Table 3"
+            );
         }
     }
 

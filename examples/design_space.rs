@@ -18,13 +18,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let usage = analyze(&kernel, &gpu, &launch);
 
     println!("== {} design space ==", app.abbr);
-    println!("register range [{}, {}], TLP range [1, {}]\n",
-        usage.min_reg.min(usage.max_reg), usage.max_reg, usage.max_tlp);
+    println!(
+        "register range [{}, {}], TLP range [1, {}]\n",
+        usage.min_reg.min(usage.max_reg),
+        usage.max_reg,
+        usage.max_tlp
+    );
 
     println!("the occupancy staircase (rightmost register budget per TLP):");
     for p in staircase(&usage, &gpu) {
         let occ = occupancy(&gpu, p.reg, usage.shm_size, usage.block_size);
-        println!("  TLP {} <- up to {:2} regs/thread (limited by {:?})", p.tlp, p.reg, occ.limiter);
+        println!(
+            "  TLP {} <- up to {:2} regs/thread (limited by {:?})",
+            p.tlp, p.reg, occ.limiter
+        );
     }
 
     // Simulate every stair point.
@@ -54,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &kernel,
         &gpu,
         &launch,
-        &CratOptions { opt_tlp: OptTlpSource::Profiled, ..CratOptions::new() },
+        &CratOptions {
+            opt_tlp: OptTlpSource::Profiled,
+            ..CratOptions::new()
+        },
     )?;
     let kept = prune(&usage, &gpu, sol.opt_tlp);
     println!(

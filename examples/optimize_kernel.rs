@@ -19,9 +19,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The pipeline, step by step.
     let solution = optimize(&kernel, &gpu, &launch, &CratOptions::new())?;
-    println!("\nresource usage: MaxReg={} MinReg={} BlockSize={} MaxTLP={} ShmSize={}B",
-        solution.usage.max_reg, solution.usage.min_reg, solution.usage.block_size,
-        solution.usage.max_tlp, solution.usage.shm_size);
+    println!(
+        "\nresource usage: MaxReg={} MinReg={} BlockSize={} MaxTLP={} ShmSize={}B",
+        solution.usage.max_reg,
+        solution.usage.min_reg,
+        solution.usage.block_size,
+        solution.usage.max_tlp,
+        solution.usage.shm_size
+    );
     println!("OptTLP (profiled): {}", solution.opt_tlp);
     println!("\ncandidates after pruning:");
     for (i, c) in solution.candidates.iter().enumerate() {

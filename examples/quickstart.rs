@@ -30,13 +30,20 @@ BB0:
 }
 "#;
     let kernel = ptx::parse(source)?;
-    println!("parsed `{}`: {} instructions, {} virtual registers\n", kernel.name(),
-        kernel.num_insts(), kernel.num_regs());
+    println!(
+        "parsed `{}`: {} instructions, {} virtual registers\n",
+        kernel.name(),
+        kernel.num_insts(),
+        kernel.num_regs()
+    );
 
     // How many registers does it actually need?
     let cfg = Cfg::build(&kernel);
     let liveness = Liveness::compute(&kernel, &cfg);
-    println!("MaxReg (simultaneously live register slots): {}\n", liveness.max_live_slots(&kernel));
+    println!(
+        "MaxReg (simultaneously live register slots): {}\n",
+        liveness.max_live_slots(&kernel)
+    );
 
     // Allocate generously: the kernel compacts with zero spills.
     let roomy = allocate(&kernel, &AllocOptions::new(16))?;

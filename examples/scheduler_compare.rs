@@ -20,7 +20,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         gto_cfg.scheduler = SchedulerKind::Gto;
         let mut lrr_cfg = GpuConfig::fermi();
         lrr_cfg.scheduler = SchedulerKind::Lrr;
-        let Ok(gto) = simulate(&kernel, &gto_cfg, &launch, 21, Some(tlp)) else { break };
+        let Ok(gto) = simulate(&kernel, &gto_cfg, &launch, 21, Some(tlp)) else {
+            break;
+        };
         let lrr = simulate(&kernel, &lrr_cfg, &launch, 21, Some(tlp))?;
         println!(
             "{tlp:3}   {:10} ({:5.1}%)   {:10} ({:5.1}%)   {:.2}x",

@@ -20,9 +20,22 @@ fn crat_ordering_holds_on_register_hungry_app() {
     let max = run("CFD", 45, Technique::MaxTlp);
     let opt = run("CFD", 45, Technique::OptTlp);
     let crat = run("CFD", 45, Technique::Crat);
-    assert!(opt.stats.cycles <= max.stats.cycles, "OptTLP {} vs MaxTLP {}", opt.stats.cycles, max.stats.cycles);
-    assert!(crat.stats.cycles < opt.stats.cycles, "CRAT {} vs OptTLP {}", crat.stats.cycles, opt.stats.cycles);
-    assert!(crat.reg > opt.reg, "CRAT must allocate more registers per thread");
+    assert!(
+        opt.stats.cycles <= max.stats.cycles,
+        "OptTLP {} vs MaxTLP {}",
+        opt.stats.cycles,
+        max.stats.cycles
+    );
+    assert!(
+        crat.stats.cycles < opt.stats.cycles,
+        "CRAT {} vs OptTLP {}",
+        crat.stats.cycles,
+        opt.stats.cycles
+    );
+    assert!(
+        crat.reg > opt.reg,
+        "CRAT must allocate more registers per thread"
+    );
 }
 
 /// For an app whose default allocation is already optimal (the paper's
@@ -41,9 +54,21 @@ fn insensitive_app_shows_no_remarkable_change() {
     let max = run("BAK", 45, Technique::MaxTlp);
     let opt = run("BAK", 45, Technique::OptTlp);
     let crat = run("BAK", 45, Technique::Crat);
-    let lo = max.stats.cycles.min(opt.stats.cycles).min(crat.stats.cycles) as f64;
-    let hi = max.stats.cycles.max(opt.stats.cycles).max(crat.stats.cycles) as f64;
-    assert!(hi / lo < 1.10, "spread {:.3} too large for an insensitive app", hi / lo);
+    let lo = max
+        .stats
+        .cycles
+        .min(opt.stats.cycles)
+        .min(crat.stats.cycles) as f64;
+    let hi = max
+        .stats
+        .cycles
+        .max(opt.stats.cycles)
+        .max(crat.stats.cycles) as f64;
+    assert!(
+        hi / lo < 1.10,
+        "spread {:.3} too large for an insensitive app",
+        hi / lo
+    );
 }
 
 /// The whole evaluation is deterministic.
@@ -88,7 +113,10 @@ fn static_estimation_is_usable() {
     let profile = run("FDTD", 30, Technique::Crat);
     let statik = run("FDTD", 30, Technique::CratStatic);
     let ratio = statik.stats.cycles as f64 / profile.stats.cycles as f64;
-    assert!(ratio < 1.6, "static within 60% of profiled: ratio {ratio:.3}");
+    assert!(
+        ratio < 1.6,
+        "static within 60% of profiled: ratio {ratio:.3}"
+    );
 }
 
 /// Energy follows performance (paper §7.2: CRAT saves energy).

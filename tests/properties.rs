@@ -28,13 +28,15 @@ fn recipe_strategy() -> impl Strategy<Value = KernelRecipe> {
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_map(|(accumulators, trips, ops, use_shared, use_sfu)| KernelRecipe {
-            accumulators,
-            trips,
-            ops,
-            use_shared,
-            use_sfu,
-        })
+        .prop_map(
+            |(accumulators, trips, ops, use_shared, use_sfu)| KernelRecipe {
+                accumulators,
+                trips,
+                ops,
+                use_shared,
+                use_sfu,
+            },
+        )
 }
 
 /// Build a kernel from a recipe: accumulators live across a counted
@@ -93,7 +95,10 @@ fn build(recipe: &KernelRecipe) -> Kernel {
         let base = b.fresh(Type::U64);
         b.push_guarded(
             None,
-            crat_suite::ptx::Op::MovVarAddr { dst: base, var: "stage".to_string() },
+            crat_suite::ptx::Op::MovVarAddr {
+                dst: base,
+                var: "stage".to_string(),
+            },
         );
         let slot = b.add(Type::U64, base, tw);
         b.st(Space::Shared, Type::U32, Address::reg(slot), accs[0]);

@@ -40,7 +40,11 @@ fn default_allocation_preserves_semantics_for_all_apps() {
         let tight = allocate(&kernel, &AllocOptions::new(budget))
             .unwrap_or_else(|e| panic!("{}: {e}", app.abbr));
         let got = outputs(&tight.kernel, &launch, tight.slots_used, None);
-        assert_eq!(got, expect, "{}: default allocation changed results", app.abbr);
+        assert_eq!(
+            got, expect,
+            "{}: default allocation changed results",
+            app.abbr
+        );
     }
 }
 
@@ -56,7 +60,10 @@ fn crat_chosen_allocation_preserves_semantics_for_sensitive_apps() {
             &kernel,
             &GpuConfig::fermi(),
             &launch,
-            &CratOptions { opt_tlp: OptTlpSource::Given(2), ..CratOptions::new() },
+            &CratOptions {
+                opt_tlp: OptTlpSource::Given(2),
+                ..CratOptions::new()
+            },
         )
         .unwrap_or_else(|e| panic!("{}: {e}", app.abbr));
         let w = sol.winner();
@@ -92,9 +99,7 @@ fn scheduler_does_not_change_results() {
     let gto = outputs(&kernel, &launch, 21, None);
     let mut lrr_cfg = GpuConfig::fermi();
     lrr_cfg.scheduler = crat_suite::sim::SchedulerKind::Lrr;
-    let (_, mem) =
-        simulate_capture(&kernel, &lrr_cfg, &launch, 21, None).expect("LRR simulation");
-    let lrr: HashMap<u64, u64> =
-        mem.into_iter().filter(|&(a, _)| a >= OUTPUT_BASE).collect();
+    let (_, mem) = simulate_capture(&kernel, &lrr_cfg, &launch, 21, None).expect("LRR simulation");
+    let lrr: HashMap<u64, u64> = mem.into_iter().filter(|&(a, _)| a >= OUTPUT_BASE).collect();
     assert_eq!(gto, lrr);
 }

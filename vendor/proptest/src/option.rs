@@ -1,0 +1,40 @@
+//! Strategies over `Option`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`of`].
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // `None` about a quarter of the time, like upstream's default
+        // weighting, so both arms get regular coverage.
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.0.generate(rng))
+        }
+    }
+}
+
+/// `Option<T>` values from an inner strategy for `T`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yields_both_variants() {
+        let mut rng = TestRng::from_name("option_of");
+        let s = of(crate::strategy::any::<u8>());
+        let vals: Vec<Option<u8>> = (0..64).map(|_| s.generate(&mut rng)).collect();
+        assert!(vals.iter().any(Option::is_none));
+        assert!(vals.iter().any(Option::is_some));
+    }
+}

@@ -1,0 +1,39 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`select`].
+pub struct Select<T>(Vec<T>);
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0[rng.below(self.0.len() as u64) as usize].clone()
+    }
+}
+
+/// Pick uniformly from `options`.
+///
+/// # Panics
+///
+/// Panics if `options` is empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select(options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_only_yields_given_options() {
+        let s = select(vec!["a", "b", "c"]);
+        let mut rng = TestRng::from_name("sample-tests");
+        for _ in 0..100 {
+            assert!(["a", "b", "c"].contains(&s.generate(&mut rng)));
+        }
+    }
+}
