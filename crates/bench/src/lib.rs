@@ -176,14 +176,20 @@ pub fn print_engine_stats(csv: bool) {
         println!("sims_executed,{}", stats.sims_executed);
         println!("cache_hits,{}", stats.cache_hits);
         println!("sim_seconds,{:.3}", stats.sim_time().as_secs_f64());
+        println!("kernels_decoded,{}", stats.decodes);
+        println!("sim_cycles,{}", stats.sim_cycles);
+        println!("sim_insts,{}", stats.sim_insts);
+        println!("sim_insts_per_sec,{:.0}", stats.sim_insts_per_sec());
     } else {
         println!(
-            "# engine: {} threads, {} sims, {} cache hits ({:.0}%), {:.2}s simulating",
+            "# engine: {} threads, {} sims, {} cache hits ({:.0}%), {} decodes, {:.2}s simulating ({:.2}M instr/s)",
             e.threads(),
             stats.sims_executed,
             stats.cache_hits,
             stats.hit_rate() * 100.0,
-            stats.sim_time().as_secs_f64()
+            stats.decodes,
+            stats.sim_time().as_secs_f64(),
+            stats.sim_insts_per_sec() / 1e6
         );
     }
 }

@@ -280,11 +280,13 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
     fn engine_line(engine: &EvalEngine) -> String {
         let s = engine.stats();
         format!(
-            "engine: {} threads, {} sims, {} cache hits, {:.2}s simulating",
+            "engine: {} threads, {} sims, {} cache hits, {} decodes, {:.2}s simulating ({:.2}M instr/s)",
             engine.threads(),
             s.sims_executed,
             s.cache_hits,
-            s.sim_time().as_secs_f64()
+            s.decodes,
+            s.sim_time().as_secs_f64(),
+            s.sim_insts_per_sec() / 1e6
         )
     }
 

@@ -12,8 +12,14 @@
 //!   [`std::thread::available_parallelism`], overridable via
 //!   [`EvalEngine::new`], the `CRAT_THREADS` environment variable, or
 //!   the experiment binaries' `--threads` flag);
+//! * **decodes once**: kernels are lowered to [`DecodedKernel`]s in a
+//!   second cache keyed by the kernel-only structural hash, so a TLP
+//!   or register sweep over one binary pays validation and lowering a
+//!   single time and every simulation runs on the pre-decoded IR;
 //! * **counts** what it did ([`EngineStats`]): simulations executed,
-//!   cache hits, and wall time spent inside the simulator.
+//!   cache hits, kernels decoded, simulated cycles and warp
+//!   instructions, and wall time spent inside the simulator (from
+//!   which it derives sim-side throughput).
 //!
 //! Determinism: the simulator itself is deterministic, the cache key
 //! is injective over everything the simulator reads, and batch results
@@ -29,7 +35,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use crat_ptx::Kernel;
-use crat_sim::{GpuConfig, LaunchConfig, SimError, SimStats};
+use crat_sim::{DecodedKernel, GpuConfig, LaunchConfig, SimError, SimStats};
 
 /// 64-bit FNV-1a with a caller-chosen offset basis. The standard
 /// library's default hasher is randomly seeded per process; the memo
@@ -82,6 +88,17 @@ fn sim_key(
     SimKey(digest(FNV_BASIS_LO), digest(FNV_BASIS_HI))
 }
 
+/// The decoded-kernel cache key: the kernel-only prefix of [`sim_key`],
+/// so every operating point of one binary shares a single decode.
+fn kernel_key(kernel: &Kernel) -> SimKey {
+    let digest = |basis: u64| {
+        let mut h = Fnv1a(basis);
+        kernel.hash(&mut h);
+        h.finish()
+    };
+    SimKey(digest(FNV_BASIS_LO), digest(FNV_BASIS_HI))
+}
+
 /// One simulation request, by reference: the engine never clones a
 /// kernel to queue it.
 #[derive(Debug, Clone, Copy)]
@@ -109,6 +126,12 @@ pub struct EngineStats {
     /// Nanoseconds of wall time spent inside the simulator, summed
     /// over workers (exceeds elapsed time when running in parallel).
     pub sim_nanos: u64,
+    /// Kernels lowered to decoded form (decoded-cache misses).
+    pub decodes: u64,
+    /// Cycles simulated, summed over executed simulations.
+    pub sim_cycles: u64,
+    /// Warp instructions executed, summed over executed simulations.
+    pub sim_insts: u64,
 }
 
 impl EngineStats {
@@ -131,6 +154,26 @@ impl EngineStats {
     pub fn sim_time(&self) -> Duration {
         Duration::from_nanos(self.sim_nanos)
     }
+
+    /// Simulator throughput in warp instructions per second of sim
+    /// time; 0 when nothing has been simulated.
+    pub fn sim_insts_per_sec(&self) -> f64 {
+        if self.sim_nanos == 0 {
+            0.0
+        } else {
+            self.sim_insts as f64 * 1e9 / self.sim_nanos as f64
+        }
+    }
+
+    /// Simulator throughput in cycles per second of sim time; 0 when
+    /// nothing has been simulated.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        if self.sim_nanos == 0 {
+            0.0
+        } else {
+            self.sim_cycles as f64 * 1e9 / self.sim_nanos as f64
+        }
+    }
 }
 
 /// Cache slot: filled exactly once by whichever request arrives first;
@@ -143,9 +186,13 @@ type Slot = Arc<OnceLock<Result<SimStats, SimError>>>;
 pub struct EvalEngine {
     threads: usize,
     cache: Mutex<HashMap<SimKey, Slot>>,
+    decoded: Mutex<HashMap<SimKey, Arc<DecodedKernel>>>,
     sims_executed: AtomicU64,
     cache_hits: AtomicU64,
     sim_nanos: AtomicU64,
+    decodes: AtomicU64,
+    sim_cycles: AtomicU64,
+    sim_insts: AtomicU64,
 }
 
 impl EvalEngine {
@@ -160,9 +207,13 @@ impl EvalEngine {
         EvalEngine {
             threads,
             cache: Mutex::new(HashMap::new()),
+            decoded: Mutex::new(HashMap::new()),
             sims_executed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             sim_nanos: AtomicU64::new(0),
+            decodes: AtomicU64::new(0),
+            sim_cycles: AtomicU64::new(0),
+            sim_insts: AtomicU64::new(0),
         }
     }
 
@@ -182,6 +233,9 @@ impl EvalEngine {
             sims_executed: self.sims_executed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             sim_nanos: self.sim_nanos.load(Ordering::Relaxed),
+            decodes: self.decodes.load(Ordering::Relaxed),
+            sim_cycles: self.sim_cycles.load(Ordering::Relaxed),
+            sim_insts: self.sim_insts.load(Ordering::Relaxed),
         }
     }
 
@@ -190,12 +244,54 @@ impl EvalEngine {
         self.cache.lock().expect("engine cache poisoned").len()
     }
 
-    /// Drop all cached results and zero the counters.
+    /// Number of distinct kernels in the decoded-kernel cache.
+    pub fn decoded_len(&self) -> usize {
+        self.decoded.lock().expect("decoded cache poisoned").len()
+    }
+
+    /// Drop all cached results and decoded kernels, and zero the
+    /// counters.
     pub fn reset(&self) {
         self.cache.lock().expect("engine cache poisoned").clear();
+        self.decoded.lock().expect("decoded cache poisoned").clear();
         self.sims_executed.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
         self.sim_nanos.store(0, Ordering::Relaxed);
+        self.decodes.store(0, Ordering::Relaxed);
+        self.sim_cycles.store(0, Ordering::Relaxed);
+        self.sim_insts.store(0, Ordering::Relaxed);
+    }
+
+    /// Lower `kernel` through the decoded-kernel cache: the first call
+    /// for a given structural hash validates and decodes; later calls
+    /// (any operating point of the same binary) share the result.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidKernel`] from validation; errors are not
+    /// cached (they are cheap to recompute and rare).
+    pub fn decode_cached(&self, kernel: &Kernel) -> Result<Arc<DecodedKernel>, SimError> {
+        let key = kernel_key(kernel);
+        if let Some(dk) = self
+            .decoded
+            .lock()
+            .expect("decoded cache poisoned")
+            .get(&key)
+        {
+            return Ok(dk.clone());
+        }
+        // Decode outside the lock; a concurrent decode of the same
+        // kernel is harmless (first insert wins, duplicates are
+        // dropped and not counted).
+        let dk = Arc::new(crat_sim::decode(kernel)?);
+        let mut cache = self.decoded.lock().expect("decoded cache poisoned");
+        match cache.entry(key) {
+            Entry::Occupied(e) => Ok(e.get().clone()),
+            Entry::Vacant(v) => {
+                self.decodes.fetch_add(1, Ordering::Relaxed);
+                Ok(v.insert(dk).clone())
+            }
+        }
     }
 
     /// Simulate through the memo cache. Drop-in for
@@ -225,10 +321,16 @@ impl EvalEngine {
         };
         if owner {
             let started = Instant::now();
-            let result = crat_sim::simulate(kernel, gpu, launch, regs_per_thread, tlp_cap);
+            let result = self.decode_cached(kernel).and_then(|dk| {
+                crat_sim::simulate_decoded(&dk, gpu, launch, regs_per_thread, tlp_cap)
+            });
             let nanos = started.elapsed().as_nanos() as u64;
             self.sims_executed.fetch_add(1, Ordering::Relaxed);
             self.sim_nanos.fetch_add(nanos, Ordering::Relaxed);
+            if let Ok(s) = &result {
+                self.sim_cycles.fetch_add(s.cycles, Ordering::Relaxed);
+                self.sim_insts.fetch_add(s.warp_insts, Ordering::Relaxed);
+            }
             slot.set(result.clone())
                 .expect("slot filled once, by its owner");
             result
@@ -444,6 +546,37 @@ mod tests {
         let parallel = engine.par_map(&items, |&x| x * x + 1);
         let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
         assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn decoded_cache_is_shared_across_operating_points() {
+        let (k, gpu, launch) = setup();
+        let engine = EvalEngine::serial();
+        for tlp in 1..=3 {
+            engine.simulate(&k, &gpu, &launch, 16, Some(tlp)).unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.sims_executed, 3);
+        assert_eq!(stats.decodes, 1, "a TLP sweep decodes the binary once");
+        assert_eq!(engine.decoded_len(), 1);
+        assert!(stats.sim_cycles > 0);
+        assert!(stats.sim_insts > 0);
+        assert!(stats.sim_insts_per_sec() > 0.0);
+        assert!(stats.sim_cycles_per_sec() > 0.0);
+        engine.reset();
+        assert_eq!(engine.decoded_len(), 0);
+    }
+
+    #[test]
+    fn throughput_counters_sum_executed_sims_only() {
+        let (k, gpu, launch) = setup();
+        let engine = EvalEngine::serial();
+        let s = engine.simulate(&k, &gpu, &launch, 16, Some(2)).unwrap();
+        // A cache hit adds nothing.
+        engine.simulate(&k, &gpu, &launch, 16, Some(2)).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.sim_cycles, s.cycles);
+        assert_eq!(stats.sim_insts, s.warp_insts);
     }
 
     #[test]

@@ -91,6 +91,14 @@ impl Kernel {
         self.params.iter().find(|p| p.name == name)
     }
 
+    /// The dense index of a parameter, stable across the kernel's
+    /// lifetime (parameters are append-only), usable into tables built
+    /// over [`Kernel::params`]. Decoded IRs resolve `ld.param` names to
+    /// these indices once instead of hashing strings per access.
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+
     /// Add a parameter. Returns its index.
     pub fn add_param(&mut self, name: impl Into<String>, ty: Type) -> usize {
         self.params.push(Param {
@@ -108,6 +116,13 @@ impl Kernel {
     /// Look up a variable by name.
     pub fn var(&self, name: &str) -> Option<&VarDecl> {
         self.vars.iter().find(|v| v.name == name)
+    }
+
+    /// The dense index of a variable declaration, usable into tables
+    /// built over [`Kernel::vars`]. Stable until the variable is
+    /// removed with [`Kernel::remove_var`].
+    pub fn var_index(&self, name: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v.name == name)
     }
 
     /// Declare a `.shared`/`.local` array variable.
@@ -534,6 +549,24 @@ mod tests {
         assert_eq!(k.local_bytes(), 64);
         assert_eq!(k.remove_var("b").unwrap().size, 128);
         assert_eq!(k.shared_bytes(), 256);
+    }
+
+    #[test]
+    fn dense_indices_follow_declaration_order() {
+        let mut k = Kernel::new("k");
+        k.add_param("a", Type::U64);
+        k.add_param("b", Type::U32);
+        k.add_var(VarDecl {
+            name: "s".into(),
+            space: Space::Shared,
+            align: 4,
+            size: 16,
+        });
+        assert_eq!(k.param_index("a"), Some(0));
+        assert_eq!(k.param_index("b"), Some(1));
+        assert_eq!(k.param_index("c"), None);
+        assert_eq!(k.var_index("s"), Some(0));
+        assert_eq!(k.var_index("t"), None);
     }
 
     #[test]

@@ -44,8 +44,10 @@
 
 mod cache;
 mod config;
+pub mod decode;
 mod energy;
 mod error;
+mod gmem;
 /// Value semantics (re-exported from [`crat_ptx::eval`]).
 pub mod interp {
     pub use crat_ptx::eval::*;
@@ -53,15 +55,17 @@ pub mod interp {
 mod machine;
 mod memory;
 mod occupancy;
+pub mod reference;
 mod stats;
 
 pub use cache::{Cache, CacheDecision};
 pub use config::{
     CacheConfig, GpuConfig, LatencyConfig, LaunchConfig, SchedulerKind, TWO_LEVEL_GROUP,
 };
+pub use decode::{decode, DecodedKernel};
 pub use energy::{estimate_energy, EnergyCoefficients, EnergyReport};
 pub use error::SimError;
-pub use machine::{simulate, simulate_capture};
+pub use machine::{simulate, simulate_capture, simulate_decoded, simulate_decoded_capture};
 pub use memory::MemorySystem;
 pub use occupancy::{max_regs_for_tlp, occupancy, LimitingResource, Occupancy};
 pub use stats::SimStats;

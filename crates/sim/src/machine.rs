@@ -1,5 +1,16 @@
 //! The SM execution model: resident blocks, warps, scoreboard,
-//! GTO/LRR issue, barriers, and the cycle loop.
+//! GTO/LRR issue, barriers, and the cycle loop — executing the decoded
+//! IR of [`crate::decode`].
+//!
+//! The cycle loop runs entirely on borrowed [`DecodedInst`] values:
+//! operands are dense register indices or pre-converted immediates,
+//! variable layouts and reconvergence points were resolved at decode
+//! time, scheduler and lane scratch live in per-[`Machine`] storage
+//! (or on the stack), and functional global memory is the paged
+//! [`GlobalMem`] — so issuing an instruction performs no heap
+//! allocation. The pre-decode interpreter survives unchanged in
+//! [`crate::reference`] and the differential tests hold the two paths
+//! bit-identical.
 //!
 //! One SM is simulated in detail with its share of the grid
 //! (`ceil(grid_blocks / num_sms)` blocks); the other SMs run identical
@@ -9,13 +20,14 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use crat_ptx::{
-    AddrBase, BlockId, Cfg, Instruction, Kernel, Op, Operand, Space, SpecialReg, Terminator, Type,
-    VReg,
-};
+use crat_ptx::{BlockId, Kernel, Space, SpecialReg, Type};
 
 use crate::config::{GpuConfig, LaunchConfig, SchedulerKind};
+use crate::decode::{
+    decode, DAddr, DAddrBase, DOp, DSrc, DTerm, DecodedInst, DecodedKernel, NO_REG, NO_RPC,
+};
 use crate::error::SimError;
+use crate::gmem::GlobalMem;
 use crate::memory::MemorySystem;
 use crate::occupancy::occupancy;
 use crate::stats::SimStats;
@@ -27,6 +39,10 @@ const LOCAL_TIMING_BASE: u64 = 1 << 40;
 
 /// Simulate `kernel` under `launch` on `cfg`, optionally capping the
 /// resident blocks per SM at `tlp_cap` (thread throttling).
+///
+/// Decodes the kernel first; callers simulating one kernel many times
+/// (TLP sweeps, design-space search) should [`decode`] once and use
+/// [`simulate_decoded`] instead.
 ///
 /// `regs_per_thread` is the per-thread register count used for
 /// occupancy (the allocator's `slots_used`; pass the config's
@@ -63,7 +79,40 @@ pub fn simulate_capture(
     regs_per_thread: u32,
     tlp_cap: Option<u32>,
 ) -> Result<(SimStats, HashMap<u64, u64>), SimError> {
-    kernel.validate().map_err(SimError::InvalidKernel)?;
+    let dk = decode(kernel)?;
+    simulate_decoded_capture(&dk, cfg, launch, regs_per_thread, tlp_cap)
+}
+
+/// [`simulate`] over an already-decoded kernel, skipping validation
+/// and lowering. This is the hot entry point for evaluation engines
+/// that cache [`DecodedKernel`]s across launches.
+///
+/// # Errors
+///
+/// Same as [`simulate`], except invalid kernels are rejected by
+/// [`decode`] up front.
+pub fn simulate_decoded(
+    dk: &DecodedKernel,
+    cfg: &GpuConfig,
+    launch: &LaunchConfig,
+    regs_per_thread: u32,
+    tlp_cap: Option<u32>,
+) -> Result<SimStats, SimError> {
+    simulate_decoded_capture(dk, cfg, launch, regs_per_thread, tlp_cap).map(|(s, _)| s)
+}
+
+/// [`simulate_capture`] over an already-decoded kernel.
+///
+/// # Errors
+///
+/// Same as [`simulate_decoded`].
+pub fn simulate_decoded_capture(
+    dk: &DecodedKernel,
+    cfg: &GpuConfig,
+    launch: &LaunchConfig,
+    regs_per_thread: u32,
+    tlp_cap: Option<u32>,
+) -> Result<(SimStats, HashMap<u64, u64>), SimError> {
     if launch.grid_blocks == 0 {
         return Err(SimError::BadLaunch("grid has zero blocks".to_string()));
     }
@@ -73,16 +122,16 @@ pub fn simulate_capture(
             launch.block_size, cfg.warp_size
         )));
     }
-    for p in kernel.params() {
-        if !launch.params.contains_key(&p.name) {
-            return Err(SimError::MissingParam(p.name.clone()));
+    for name in dk.param_names() {
+        if !launch.params.contains_key(name) {
+            return Err(SimError::MissingParam(name.clone()));
         }
     }
 
     let occ = occupancy(
         cfg,
         regs_per_thread,
-        kernel.shared_bytes(),
+        dk.shared_decl_bytes(),
         launch.block_size,
     );
     let mut resident = occ.blocks.min(tlp_cap.unwrap_or(u32::MAX));
@@ -95,16 +144,17 @@ pub fn simulate_capture(
     let blocks_this_sm = launch.grid_blocks.div_ceil(cfg.num_sms);
     resident = resident.min(blocks_this_sm);
 
-    let mut m = Machine::new(kernel, cfg, launch, blocks_this_sm)?;
+    let mut m = Machine::new(dk, cfg, launch, blocks_this_sm);
     m.stats.resident_blocks = resident;
     for _ in 0..resident {
         m.launch_block()?;
     }
     m.run()?;
-    Ok((m.stats, m.global))
+    Ok((m.stats, m.global.into_map()))
 }
 
-/// Per-block runtime state.
+/// Per-block runtime state. Retired contexts are pooled and reused so
+/// block turnover reallocates nothing.
 struct BlockCtx {
     shared: Vec<u8>,
     local: Vec<u8>,
@@ -125,7 +175,9 @@ struct SimtFrame {
     mask: u32,
 }
 
-/// Per-warp runtime state.
+/// Per-warp runtime state. A slot's allocations (register file,
+/// scoreboard, SIMT stack) are reused in place when a new block's warp
+/// takes the slot over.
 struct Warp {
     block_slot: usize,
     warp_in_block: u32,
@@ -169,22 +221,38 @@ enum IssueOutcome {
     MemStall,
 }
 
+/// Iterate the set lanes of an active mask, ascending.
+struct Lanes(u32);
+
+impl Iterator for Lanes {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let lane = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(lane)
+    }
+}
+
 struct Machine<'a> {
-    kernel: &'a Kernel,
-    flow: Cfg,
+    dk: &'a DecodedKernel,
     cfg: &'a GpuConfig,
     launch: &'a LaunchConfig,
     mem: MemorySystem,
-    global: HashMap<u64, u64>,
+    global: GlobalMem,
+    /// Parameter values in dense-index order.
+    param_vals: Vec<u64>,
     blocks: Vec<Option<BlockCtx>>,
     warps: Vec<Option<Warp>>,
     warps_per_block: u32,
     next_block_index: u32,
     blocks_total: u32,
     blocks_done: u32,
-    shared_layout: HashMap<String, u64>,
     shared_bytes: u32,
-    local_layout: HashMap<String, u64>,
     local_bytes: u32,
     /// (ready cycle, warp slot, generation, register).
     writebacks: BinaryHeap<Reverse<(u64, usize, u64, u32)>>,
@@ -193,47 +261,54 @@ struct Machine<'a> {
     generation_counter: u64,
     gto_current: Vec<Option<usize>>,
     lrr_next: Vec<usize>,
+    /// Scheduler candidate scratch (priority key, warp slot), reused
+    /// every cycle.
+    cand_scratch: Vec<((u64, u64, u64), usize)>,
+    /// Retired block contexts awaiting reuse.
+    block_pool: Vec<BlockCtx>,
     stats: SimStats,
 }
 
 impl<'a> Machine<'a> {
     fn new(
-        kernel: &'a Kernel,
+        dk: &'a DecodedKernel,
         cfg: &'a GpuConfig,
         launch: &'a LaunchConfig,
         blocks_total: u32,
-    ) -> Result<Machine<'a>, SimError> {
-        let (shared_layout, shared_bytes) = layout(kernel, Space::Shared);
-        let (local_layout, local_bytes) = layout(kernel, Space::Local);
-        Ok(Machine {
-            kernel,
-            flow: Cfg::build(kernel),
+    ) -> Machine<'a> {
+        Machine {
+            dk,
             cfg,
             launch,
             mem: MemorySystem::new(cfg),
-            global: HashMap::new(),
+            global: GlobalMem::new(),
+            param_vals: dk
+                .param_names()
+                .iter()
+                .map(|n| launch.params[n.as_str()])
+                .collect(),
             blocks: Vec::new(),
             warps: Vec::new(),
             warps_per_block: cfg.warps_per_block(launch.block_size),
             next_block_index: 0,
             blocks_total,
             blocks_done: 0,
-            shared_layout,
-            shared_bytes,
-            local_layout,
-            local_bytes,
+            shared_bytes: dk.shared_frame_bytes(),
+            local_bytes: dk.local_frame_bytes(),
             writebacks: BinaryHeap::new(),
             now: 0,
             age_counter: 0,
             generation_counter: 0,
             gto_current: vec![None; cfg.num_schedulers as usize],
             lrr_next: vec![0; cfg.num_schedulers as usize],
+            cand_scratch: Vec::new(),
+            block_pool: Vec::new(),
             stats: SimStats::default(),
-        })
+        }
     }
 
     /// Launch the next pending block into a fresh slot (or reuse a
-    /// finished block's slot).
+    /// finished block's slot and pooled allocations).
     fn launch_block(&mut self) -> Result<(), SimError> {
         if self.next_block_index >= self.blocks_total {
             return Ok(());
@@ -252,34 +327,32 @@ impl<'a> Machine<'a> {
                 self.blocks.push(None);
                 self.blocks.len() - 1
             });
-        self.blocks[slot] = Some(BlockCtx {
-            shared: vec![0; self.shared_bytes as usize],
-            local: vec![0; (self.local_bytes * self.launch.block_size) as usize],
-            live_warps: self.warps_per_block,
-            barrier_arrived: 0,
-        });
+        let ctx = match self.block_pool.pop() {
+            Some(mut b) => {
+                b.shared.fill(0);
+                b.local.fill(0);
+                b.live_warps = self.warps_per_block;
+                b.barrier_arrived = 0;
+                b
+            }
+            None => BlockCtx {
+                shared: vec![0; self.shared_bytes as usize],
+                local: vec![0; (self.local_bytes * self.launch.block_size) as usize],
+                live_warps: self.warps_per_block,
+                barrier_arrived: 0,
+            },
+        };
+        self.blocks[slot] = Some(ctx);
 
-        let nregs = self.kernel.num_regs();
+        let nregs = self.dk.num_regs();
         for w in 0..self.warps_per_block {
             self.generation_counter += 1;
             self.age_counter += 1;
-            let warp = Warp {
-                block_slot: slot,
-                warp_in_block: w,
-                ctaid,
-                stack: vec![SimtFrame {
-                    pc_block: 0,
-                    pc_idx: 0,
-                    rpc_block: u32::MAX,
-                    mask: u32::MAX,
-                }],
-                regs: vec![[0u64; 32]; nregs],
-                pending: vec![false; nregs],
-                pending_count: 0,
-                at_barrier: false,
-                done: false,
-                age: self.age_counter,
-                generation: self.generation_counter,
+            let base = SimtFrame {
+                pc_block: 0,
+                pc_idx: 0,
+                rpc_block: u32::MAX,
+                mask: u32::MAX,
             };
             // Warp slots are block-slot-aligned so that scheduler
             // assignment stays stable as blocks turn over.
@@ -287,7 +360,39 @@ impl<'a> Machine<'a> {
             if wslot >= self.warps.len() {
                 self.warps.resize_with(wslot + 1, || None);
             }
-            self.warps[wslot] = Some(warp);
+            match self.warps[wslot].as_mut() {
+                Some(old) => {
+                    // Reuse the retired warp's allocations in place;
+                    // stale write-backs are fenced by the generation.
+                    old.block_slot = slot;
+                    old.warp_in_block = w;
+                    old.ctaid = ctaid;
+                    old.stack.clear();
+                    old.stack.push(base);
+                    old.regs.fill([0u64; 32]);
+                    old.pending.fill(false);
+                    old.pending_count = 0;
+                    old.at_barrier = false;
+                    old.done = false;
+                    old.age = self.age_counter;
+                    old.generation = self.generation_counter;
+                }
+                None => {
+                    self.warps[wslot] = Some(Warp {
+                        block_slot: slot,
+                        warp_in_block: w,
+                        ctaid,
+                        stack: vec![base],
+                        regs: vec![[0u64; 32]; nregs],
+                        pending: vec![false; nregs],
+                        pending_count: 0,
+                        at_barrier: false,
+                        done: false,
+                        age: self.age_counter,
+                        generation: self.generation_counter,
+                    });
+                }
+            }
         }
         Ok(())
     }
@@ -344,63 +449,78 @@ impl<'a> Machine<'a> {
     /// Let scheduler `s` issue at most one instruction. Returns whether
     /// something was issued.
     fn schedule_one(&mut self, s: usize) -> Result<bool, SimError> {
-        // Candidate warp slots owned by this scheduler.
-        let mut cands: Vec<usize> = (0..self.warps.len())
-            .filter(|&i| i % self.cfg.num_schedulers as usize == s)
-            .filter(|&i| {
-                self.warps[i]
-                    .as_ref()
-                    .is_some_and(|w| !w.done && !w.at_barrier)
-            })
-            .collect();
+        // Candidate warp slots owned by this scheduler, tagged with
+        // their priority key, in reused scratch storage. A manual
+        // insertion sort keeps the hot loop allocation-free (the
+        // standard stable sort may allocate a merge buffer) while
+        // preserving the ascending-slot order of equal keys.
+        let mut cands = std::mem::take(&mut self.cand_scratch);
+        cands.clear();
+        let nsched = self.cfg.num_schedulers as usize;
+        let nwarps = self.warps.len();
+        for i in (s..nwarps).step_by(nsched.max(1)) {
+            let Some(w) = self.warps[i].as_ref() else {
+                continue;
+            };
+            if w.done || w.at_barrier {
+                continue;
+            }
+            let key = match self.cfg.scheduler {
+                // Greedy: current warp first; then oldest-first.
+                SchedulerKind::Gto => (u64::from(Some(i) != self.gto_current[s]), w.age, 0),
+                SchedulerKind::Lrr => {
+                    let start = self.lrr_next[s] % nwarps.max(1);
+                    (((i + nwarps - start) % nwarps) as u64, 0, 0)
+                }
+                // Lowest-numbered fetch group first, GTO within it.
+                SchedulerKind::TwoLevel => (
+                    w.age / crate::config::TWO_LEVEL_GROUP,
+                    u64::from(Some(i) != self.gto_current[s]),
+                    w.age,
+                ),
+            };
+            cands.push((key, i));
+        }
         if cands.is_empty() {
             self.stats.idle_scheduler_cycles += 1;
+            self.cand_scratch = cands;
             return Ok(false);
         }
-
-        match self.cfg.scheduler {
-            SchedulerKind::Gto => {
-                // Greedy: current warp first; then oldest-first.
-                cands.sort_by_key(|&i| {
-                    let age = self.warps[i].as_ref().map_or(u64::MAX, |w| w.age);
-                    (if Some(i) == self.gto_current[s] { 0 } else { 1 }, age)
-                });
-            }
-            SchedulerKind::Lrr => {
-                let start = self.lrr_next[s] % self.warps.len().max(1);
-                cands.sort_by_key(|&i| (i + self.warps.len() - start) % self.warps.len());
-            }
-            SchedulerKind::TwoLevel => {
-                // Lowest-numbered fetch group first, GTO within it.
-                cands.sort_by_key(|&i| {
-                    let age = self.warps[i].as_ref().map_or(u64::MAX, |w| w.age);
-                    let group = age / crate::config::TWO_LEVEL_GROUP;
-                    (
-                        group,
-                        if Some(i) == self.gto_current[s] { 0 } else { 1 },
-                        age,
-                    )
-                });
+        for n in 1..cands.len() {
+            let mut j = n;
+            while j > 0 && cands[j - 1].0 > cands[j].0 {
+                cands.swap(j - 1, j);
+                j -= 1;
             }
         }
 
-        for &i in &cands {
-            match self.try_issue(i)? {
-                IssueOutcome::Issued => {
+        let mut k = 0;
+        while k < cands.len() {
+            let i = cands[k].1;
+            k += 1;
+            match self.try_issue(i) {
+                Ok(IssueOutcome::Issued) => {
                     self.gto_current[s] = Some(i);
                     self.lrr_next[s] = i + 1;
+                    self.cand_scratch = cands;
                     return Ok(true);
                 }
-                IssueOutcome::Blocked => continue,
+                Ok(IssueOutcome::Blocked) => {}
                 // A memory-path reservation failure blocks this
                 // scheduler's load/store unit for the cycle.
-                IssueOutcome::MemStall => {
+                Ok(IssueOutcome::MemStall) => {
                     self.gto_current[s] = Some(i);
+                    self.cand_scratch = cands;
                     return Ok(false);
+                }
+                Err(e) => {
+                    self.cand_scratch = cands;
+                    return Err(e);
                 }
             }
         }
         self.stats.scoreboard_stall_cycles += 1;
+        self.cand_scratch = cands;
         Ok(false)
     }
 
@@ -413,113 +533,105 @@ impl<'a> Machine<'a> {
             .reconverge();
         let w = self.warps[i].as_ref().expect("candidate exists");
         let frame = *w.frame();
-        let block = &self.kernel.blocks()[frame.pc_block as usize];
+        // Detach the instruction borrow from `self`: the decoded
+        // kernel outlives the machine, so `inst` does not pin `self`.
+        let dk = self.dk;
+        let dblock = &dk.blocks()[frame.pc_block as usize];
 
-        if frame.pc_idx < block.insts.len() {
-            let inst = &block.insts[frame.pc_idx];
+        if frame.pc_idx < dblock.insts.len() {
+            let inst = &dblock.insts[frame.pc_idx];
             if self.scoreboard_blocks(w, inst) {
                 return Ok(IssueOutcome::Blocked);
             }
-            self.issue_instruction(i, frame.pc_block, frame.pc_idx)
+            self.issue_instruction(i, inst)
         } else {
-            // Terminator.
-            if let Some(p) = block.terminator.used_reg() {
-                if w.pending[p.index()] {
+            let term = dblock.term;
+            if let Some(p) = term.used_reg() {
+                if w.pending[p as usize] {
                     return Ok(IssueOutcome::Blocked);
                 }
             }
-            self.issue_terminator(i)?;
+            self.issue_terminator(i, term)?;
             Ok(IssueOutcome::Issued)
         }
     }
 
-    fn scoreboard_blocks(&self, w: &Warp, inst: &Instruction) -> bool {
+    fn scoreboard_blocks(&self, w: &Warp, inst: &DecodedInst) -> bool {
         if w.pending_count == 0 {
             return false;
         }
-        let mut uses = Vec::with_capacity(4);
-        inst.collect_uses(&mut uses);
-        if uses.iter().any(|u| w.pending[u.index()]) {
+        if inst.uses().iter().any(|&u| w.pending[u as usize]) {
             return true;
         }
-        if let Some(d) = inst.def() {
-            if w.pending[d.index()] {
-                return true; // WAW
-            }
-        }
-        false
+        // WAW.
+        inst.def != NO_REG && w.pending[inst.def as usize]
     }
 
-    fn issue_terminator(&mut self, i: usize) -> Result<(), SimError> {
+    fn issue_terminator(&mut self, i: usize, term: DTerm) -> Result<(), SimError> {
         self.stats.warp_insts += 1;
 
         let w = self.warps[i].as_mut().expect("warp exists");
         let frame = *w.frame();
         self.stats.thread_insts += u64::from(frame.mask.count_ones());
-        let term = self.kernel.blocks()[frame.pc_block as usize]
-            .terminator
-            .clone();
         match term {
-            Terminator::Bra(t) => {
+            DTerm::Bra(t) => {
                 let f = w.frame_mut();
-                f.pc_block = t.0;
+                f.pc_block = t;
                 f.pc_idx = 0;
             }
-            Terminator::CondBra {
+            DTerm::CondBra {
                 pred,
                 negated,
                 taken,
                 not_taken,
+                rpc,
             } => {
                 // Lane votes among the frame's active lanes.
                 let mut taken_mask = 0u32;
-                for lane in 0..32 {
-                    if frame.mask & (1 << lane) != 0 {
-                        let p = w.regs[pred.index()][lane] != 0;
-                        if p != negated {
-                            taken_mask |= 1 << lane;
-                        }
+                for lane in Lanes(frame.mask) {
+                    let p = w.regs[pred as usize][lane] != 0;
+                    if p != negated {
+                        taken_mask |= 1 << lane;
                     }
                 }
                 if taken_mask == frame.mask || taken_mask == 0 {
                     // Uniform within the active lanes.
                     let t = if taken_mask != 0 { taken } else { not_taken };
                     let f = w.frame_mut();
-                    f.pc_block = t.0;
+                    f.pc_block = t;
                     f.pc_idx = 0;
                 } else {
-                    // Divergence: reconverge at the immediate
-                    // post-dominator; execute taken lanes first.
-                    let here = BlockId(frame.pc_block);
-                    let Some(rpc) = self.flow.immediate_post_dominator(here) else {
+                    // Divergence: reconverge at the precomputed
+                    // immediate post-dominator; taken lanes run first.
+                    if rpc == NO_RPC {
                         return Err(SimError::UnstructuredDivergence {
-                            block: here,
+                            block: BlockId(frame.pc_block),
                             ctaid: w.ctaid,
                             warp: w.warp_in_block,
                         });
-                    };
+                    }
                     self.stats.divergent_branches += 1;
                     let not_taken_mask = frame.mask & !taken_mask;
                     {
                         let f = w.frame_mut();
-                        f.pc_block = rpc.0;
+                        f.pc_block = rpc;
                         f.pc_idx = 0;
                     }
                     w.stack.push(SimtFrame {
-                        pc_block: not_taken.0,
+                        pc_block: not_taken,
                         pc_idx: 0,
-                        rpc_block: rpc.0,
+                        rpc_block: rpc,
                         mask: not_taken_mask,
                     });
                     w.stack.push(SimtFrame {
-                        pc_block: taken.0,
+                        pc_block: taken,
                         pc_idx: 0,
-                        rpc_block: rpc.0,
+                        rpc_block: rpc,
                         mask: taken_mask,
                     });
                 }
             }
-            Terminator::Exit => {
+            DTerm::Exit => {
                 if w.stack.len() > 1 {
                     return Err(SimError::UnstructuredDivergence {
                         block: BlockId(frame.pc_block),
@@ -536,7 +648,8 @@ impl<'a> Machine<'a> {
                     self.release_barrier(slot);
                 }
                 if self.blocks[slot].as_ref().expect("block exists").live_warps == 0 {
-                    self.blocks[slot] = None;
+                    let retired = self.blocks[slot].take().expect("block exists");
+                    self.block_pool.push(retired);
                     self.blocks_done += 1;
                     self.stats.blocks += 1;
                     self.launch_block()?;
@@ -557,32 +670,6 @@ impl<'a> Machine<'a> {
         }
     }
 
-    /// Value of an operand in `lane`.
-    fn operand(&self, w: &Warp, op: &Operand, lane: usize) -> u64 {
-        match op {
-            Operand::Reg(r) => w.regs[r.index()][lane],
-            Operand::Imm(v) => *v as u64,
-            Operand::FImm(v) => {
-                // The consuming instruction's type decides f32 vs f64;
-                // store as f64 bits and let typed reads reinterpret.
-                v.to_bits()
-            }
-            Operand::Special(sr) => self.special(w, *sr, lane),
-        }
-    }
-
-    /// Typed operand read: float immediates are converted to the width
-    /// the instruction expects.
-    fn operand_typed(&self, w: &Warp, op: &Operand, ty: Type, lane: usize) -> u64 {
-        match op {
-            Operand::FImm(v) => match ty {
-                Type::F32 => (*v as f32).to_bits() as u64,
-                _ => v.to_bits(),
-            },
-            _ => interp::truncate(ty, self.operand(w, op, lane)),
-        }
-    }
-
     fn special(&self, w: &Warp, sr: SpecialReg, lane: usize) -> u64 {
         match sr {
             SpecialReg::TidX => (w.warp_in_block * self.cfg.warp_size) as u64 + lane as u64,
@@ -594,36 +681,29 @@ impl<'a> Machine<'a> {
         }
     }
 
-    /// Lanes enabled by the SIMT frame and the instruction's guard.
-    fn active_mask(&self, w: &Warp, inst: &Instruction) -> [bool; 32] {
-        let fmask = w.frame().mask;
-        let mut m = [false; 32];
-        for (lane, slot) in m.iter_mut().enumerate() {
-            let mut on = fmask & (1 << lane) != 0;
-            if on {
-                if let Some(g) = &inst.guard {
-                    let p = w.regs[g.pred.index()][lane] != 0;
-                    on = p != g.negated;
-                }
-            }
-            *slot = on;
+    /// A store's source value in `lane` (special registers allowed).
+    fn store_src(&self, w: &Warp, src: DSrc, ty: Type, lane: usize) -> u64 {
+        match src {
+            DSrc::Reg(r) => interp::truncate(ty, w.regs[r as usize][lane]),
+            DSrc::Val(v) => v,
+            DSrc::Special(sr) => interp::truncate(ty, self.special(w, sr, lane)),
         }
-        m
     }
 
-    /// The byte address accessed by `lane`, in the functional space of
-    /// the instruction (param names resolve in [`Machine::exec_ld`]).
-    fn resolve_addr(&self, w: &Warp, addr: &crat_ptx::Address, lane: usize) -> u64 {
-        let base = match &addr.base {
-            AddrBase::Reg(r) => w.regs[r.index()][lane],
-            AddrBase::Var(name) => *self
-                .shared_layout
-                .get(name)
-                .or_else(|| self.local_layout.get(name))
-                .expect("validated variable"),
-            AddrBase::Param(_) => 0,
-        };
-        base.wrapping_add(addr.offset as u64)
+    /// Lanes enabled by the SIMT frame and the instruction's guard.
+    fn active_mask(&self, w: &Warp, inst: &DecodedInst) -> u32 {
+        let fmask = w.frame().mask;
+        if inst.guard == NO_REG {
+            return fmask;
+        }
+        let mut m = 0u32;
+        for lane in Lanes(fmask) {
+            let p = w.regs[inst.guard as usize][lane] != 0;
+            if p != inst.guard_negated {
+                m |= 1 << lane;
+            }
+        }
+        m
     }
 
     /// Map a per-thread local-memory offset to the interleaved global
@@ -638,47 +718,44 @@ impl<'a> Machine<'a> {
                 * 4
     }
 
-    /// Execute and issue the instruction at (`bi`, `idx`) for warp `i`.
+    /// Execute and issue `inst` for warp `i`.
     fn issue_instruction(
         &mut self,
         i: usize,
-        bi: u32,
-        idx: usize,
+        inst: &DecodedInst,
     ) -> Result<IssueOutcome, SimError> {
-        let inst = self.kernel.blocks()[bi as usize].insts[idx].clone();
-
         // Memory instructions can fail to reserve resources; handle
         // them first so a stall has no side effects.
-        if let Op::Ld {
+        if let DOp::Ld {
             space,
             ty,
             dst,
             addr,
-        } = &inst.op
+        } = inst.op
         {
-            return self.exec_ld(i, &inst, *space, *ty, *dst, addr);
+            return self.exec_ld(i, inst, space, ty, dst, addr);
         }
-        if let Op::St {
+        if let DOp::St {
             space,
             ty,
             addr,
             src,
-        } = &inst.op
+        } = inst.op
         {
-            return self.exec_st(i, &inst, *space, *ty, addr, src);
+            return self.exec_st(i, inst, space, ty, addr, src);
         }
 
         self.stats.warp_insts += 1;
         let mask = {
             let w = self.warps[i].as_ref().expect("warp exists");
-            self.active_mask(w, &inst)
+            self.active_mask(w, inst)
         };
         let w = self.warps[i].as_mut().expect("warp exists");
-        self.stats.thread_insts += mask.iter().filter(|&&b| b).count() as u64;
+        self.stats.thread_insts += u64::from(mask.count_ones());
 
         let mut latency = self.cfg.lat.alu;
-        match &inst.op {
-            Op::BarSync => {
+        match inst.op {
+            DOp::Bar => {
                 if w.stack.len() > 1 {
                     return Err(SimError::UnstructuredDivergence {
                         block: BlockId(w.frame().pc_block),
@@ -697,136 +774,111 @@ impl<'a> Machine<'a> {
                 }
                 return Ok(IssueOutcome::Issued);
             }
-            Op::Mov { ty, dst, src } => {
-                for (lane, &active) in mask.iter().enumerate() {
-                    if active {
-                        let v = match src {
-                            Operand::Reg(r) => w.regs[r.index()][lane],
-                            Operand::Imm(v) => *v as u64,
-                            Operand::FImm(v) => match ty {
-                                Type::F32 => (*v as f32).to_bits() as u64,
-                                _ => v.to_bits(),
-                            },
-                            Operand::Special(sr) => match sr {
+            DOp::Mov { ty, dst, src } => {
+                let warp_size = self.cfg.warp_size;
+                let block_size = self.launch.block_size;
+                let grid_blocks = self.launch.grid_blocks;
+                for lane in Lanes(mask) {
+                    let v = match src {
+                        DSrc::Reg(r) => interp::truncate(ty, w.regs[r as usize][lane]),
+                        // Converted and truncated at decode time.
+                        DSrc::Val(v) => v,
+                        DSrc::Special(sr) => interp::truncate(
+                            ty,
+                            match sr {
                                 SpecialReg::TidX => {
-                                    (w.warp_in_block * self.cfg.warp_size) as u64 + lane as u64
+                                    (w.warp_in_block * warp_size) as u64 + lane as u64
                                 }
-                                SpecialReg::NtidX => self.launch.block_size as u64,
+                                SpecialReg::NtidX => block_size as u64,
                                 SpecialReg::CtaidX => w.ctaid as u64,
-                                SpecialReg::NctaidX => self.launch.grid_blocks as u64,
+                                SpecialReg::NctaidX => grid_blocks as u64,
                                 SpecialReg::LaneId => lane as u64,
                                 SpecialReg::WarpId => w.warp_in_block as u64,
                             },
-                        };
-                        w.regs[dst.index()][lane] = interp::truncate(*ty, v);
-                    }
+                        ),
+                    };
+                    w.regs[dst as usize][lane] = v;
                 }
-                set_pending(w, *dst);
+                set_pending(w, dst);
             }
-            Op::MovVarAddr { dst, var } => {
-                let base = *self
-                    .shared_layout
-                    .get(var)
-                    .or_else(|| self.local_layout.get(var))
-                    .expect("validated variable");
-                for (lane, &active) in mask.iter().enumerate() {
-                    if active {
-                        w.regs[dst.index()][lane] = base;
-                    }
-                }
-                set_pending(w, *dst);
-            }
-            Op::Unary { op, ty, dst, src } => {
-                if inst.is_sfu() {
+            DOp::Unary { op, ty, dst, src } => {
+                if inst.sfu {
                     self.stats.sfu_insts += 1;
                     latency = self.cfg.lat.sfu;
                 }
-                for (lane, &active) in mask.iter().enumerate() {
-                    if active {
-                        let a = typed_operand(w, src, *ty, lane);
-                        w.regs[dst.index()][lane] = interp::unary_op(*op, *ty, a);
-                    }
+                for lane in Lanes(mask) {
+                    let a = typed_src(w, src, ty, lane);
+                    w.regs[dst as usize][lane] = interp::unary_op(op, ty, a);
                 }
-                set_pending(w, *dst);
+                set_pending(w, dst);
             }
-            Op::Binary { op, ty, dst, a, b } => {
-                if inst.is_sfu() {
+            DOp::Binary { op, ty, dst, a, b } => {
+                if inst.sfu {
                     self.stats.sfu_insts += 1;
                     latency = self.cfg.lat.sfu;
                 }
-                for (lane, &active) in mask.iter().enumerate() {
-                    if active {
-                        let x = typed_operand(w, a, *ty, lane);
-                        let y = typed_operand(w, b, *ty, lane);
-                        w.regs[dst.index()][lane] = interp::binary_op(*op, *ty, x, y);
-                    }
+                for lane in Lanes(mask) {
+                    let x = typed_src(w, a, ty, lane);
+                    let y = typed_src(w, b, ty, lane);
+                    w.regs[dst as usize][lane] = interp::binary_op(op, ty, x, y);
                 }
-                set_pending(w, *dst);
+                set_pending(w, dst);
             }
-            Op::Mad { ty, dst, a, b, c } | Op::Fma { ty, dst, a, b, c } => {
-                for (lane, &active) in mask.iter().enumerate() {
-                    if active {
-                        let x = typed_operand(w, a, *ty, lane);
-                        let y = typed_operand(w, b, *ty, lane);
-                        let z = typed_operand(w, c, *ty, lane);
-                        w.regs[dst.index()][lane] = interp::mad_op(*ty, x, y, z);
-                    }
+            DOp::Mad { ty, dst, a, b, c } => {
+                for lane in Lanes(mask) {
+                    let x = typed_src(w, a, ty, lane);
+                    let y = typed_src(w, b, ty, lane);
+                    let z = typed_src(w, c, ty, lane);
+                    w.regs[dst as usize][lane] = interp::mad_op(ty, x, y, z);
                 }
-                set_pending(w, *dst);
+                set_pending(w, dst);
             }
-            Op::Cvt {
+            DOp::Cvt {
                 dst_ty,
                 src_ty,
                 dst,
                 src,
             } => {
-                for (lane, &active) in mask.iter().enumerate() {
-                    if active {
-                        let v = typed_operand(w, src, *src_ty, lane);
-                        w.regs[dst.index()][lane] = interp::cvt_op(*dst_ty, *src_ty, v);
-                    }
+                for lane in Lanes(mask) {
+                    let v = typed_src(w, src, src_ty, lane);
+                    w.regs[dst as usize][lane] = interp::cvt_op(dst_ty, src_ty, v);
                 }
-                set_pending(w, *dst);
+                set_pending(w, dst);
             }
-            Op::Setp { cmp, ty, dst, a, b } => {
-                for (lane, &active) in mask.iter().enumerate() {
-                    if active {
-                        let x = typed_operand(w, a, *ty, lane);
-                        let y = typed_operand(w, b, *ty, lane);
-                        w.regs[dst.index()][lane] = u64::from(interp::cmp_op(*cmp, *ty, x, y));
-                    }
+            DOp::Setp { cmp, ty, dst, a, b } => {
+                for lane in Lanes(mask) {
+                    let x = typed_src(w, a, ty, lane);
+                    let y = typed_src(w, b, ty, lane);
+                    w.regs[dst as usize][lane] = u64::from(interp::cmp_op(cmp, ty, x, y));
                 }
-                set_pending(w, *dst);
+                set_pending(w, dst);
             }
-            Op::Selp {
+            DOp::Selp {
                 ty,
                 dst,
                 a,
                 b,
                 pred,
             } => {
-                for (lane, &active) in mask.iter().enumerate() {
-                    if active {
-                        let x = typed_operand(w, a, *ty, lane);
-                        let y = typed_operand(w, b, *ty, lane);
-                        let p = w.regs[pred.index()][lane] != 0;
-                        w.regs[dst.index()][lane] = if p { x } else { y };
-                    }
+                for lane in Lanes(mask) {
+                    let x = typed_src(w, a, ty, lane);
+                    let y = typed_src(w, b, ty, lane);
+                    let p = w.regs[pred as usize][lane] != 0;
+                    w.regs[dst as usize][lane] = if p { x } else { y };
                 }
-                set_pending(w, *dst);
+                set_pending(w, dst);
             }
-            Op::Ld { .. } | Op::St { .. } => unreachable!("handled above"),
+            DOp::Ld { .. } | DOp::St { .. } => unreachable!("handled above"),
         }
 
-        let dst = inst
-            .def()
-            .expect("non-memory ops with defs handled above; bar returns early");
+        debug_assert!(inst.def != NO_REG, "remaining ops define a register");
+        let dst = inst.def;
         let (gen_, age_slot) = {
             let w = self.warps[i].as_ref().expect("warp exists");
             (w.generation, i)
         };
         self.writebacks
-            .push(Reverse((self.now + latency as u64, age_slot, gen_, dst.0)));
+            .push(Reverse((self.now + latency as u64, age_slot, gen_, dst)));
         let w = self.warps[i].as_mut().expect("warp exists");
         w.frame_mut().pc_idx += 1;
         Ok(IssueOutcome::Issued)
@@ -835,21 +887,21 @@ impl<'a> Machine<'a> {
     fn exec_ld(
         &mut self,
         i: usize,
-        inst: &Instruction,
+        inst: &DecodedInst,
         space: Space,
         ty: Type,
-        dst: VReg,
-        addr: &crat_ptx::Address,
+        dst: u32,
+        addr: DAddr,
     ) -> Result<IssueOutcome, SimError> {
         let w = self.warps[i].as_ref().expect("warp exists");
         let mask = self.active_mask(w, inst);
-        let active: Vec<usize> = (0..32).filter(|&l| mask[l]).collect();
+        let nactive = u64::from(mask.count_ones());
         let size = ty.size_bytes() as u64;
 
         // Resolve addresses first (no side effects yet).
         let mut lane_addrs = [0u64; 32];
-        for &lane in &active {
-            lane_addrs[lane] = self.resolve_addr(w, addr, lane);
+        for lane in Lanes(mask) {
+            lane_addrs[lane] = resolve_addr(w, addr, lane);
         }
 
         // Timing (may stall).
@@ -860,27 +912,28 @@ impl<'a> Machine<'a> {
                 self.now + self.cfg.lat.shared as u64
             }
             Space::Global | Space::Local => {
-                let tids: Vec<(usize, u64)> = active
-                    .iter()
-                    .map(|&l| {
-                        let tid = w.warp_in_block * self.cfg.warp_size + l as u32;
-                        let ta = if space == Space::Local {
-                            self.local_timing_addr(w.ctaid, tid, lane_addrs[l])
-                        } else {
-                            lane_addrs[l]
-                        };
-                        (l, ta)
-                    })
-                    .collect();
-                let lines = self.mem.coalesce(tids.iter().map(|&(_, a)| a));
+                let line_bytes = self.mem.line_bytes();
+                let mut lines = [0u64; 32];
+                let mut n = 0;
+                for lane in Lanes(mask) {
+                    let tid = w.warp_in_block * self.cfg.warp_size + lane as u32;
+                    let ta = if space == Space::Local {
+                        self.local_timing_addr(w.ctaid, tid, lane_addrs[lane])
+                    } else {
+                        lane_addrs[lane]
+                    };
+                    lines[n] = ta / line_bytes * line_bytes;
+                    n += 1;
+                }
+                let lines = coalesce_in_place(&mut lines, n);
                 if lines.is_empty() {
                     self.now + self.cfg.lat.alu as u64
                 } else {
                     let bypass = space == Space::Global && self.cfg.l1_bypass_global;
                     let outcome = if bypass {
-                        self.mem.load_warp_bypass(&lines, self.now, &mut self.stats)
+                        self.mem.load_warp_bypass(lines, self.now, &mut self.stats)
                     } else {
-                        self.mem.load_warp(&lines, self.now, &mut self.stats)
+                        self.mem.load_warp(lines, self.now, &mut self.stats)
                     };
                     match outcome {
                         Some(r) => r,
@@ -893,7 +946,7 @@ impl<'a> Machine<'a> {
             Space::Global => self.stats.global_insts += 1,
             Space::Local => {
                 self.stats.local_insts += 1;
-                self.stats.local_bytes += active.len() as u64 * size;
+                self.stats.local_bytes += nactive * size;
             }
             _ => {}
         }
@@ -902,20 +955,16 @@ impl<'a> Machine<'a> {
         let block_slot = w.block_slot;
         let warp_in_block = w.warp_in_block;
         let mut values = [0u64; 32];
-        for &lane in &active {
+        for lane in Lanes(mask) {
             let a = lane_addrs[lane];
             values[lane] = match space {
                 Space::Param => {
-                    let name = match &addr.base {
-                        AddrBase::Param(n) => n,
-                        _ => unreachable!("validated param address"),
+                    let DAddrBase::Param(pi) = addr.base else {
+                        unreachable!("validated param address")
                     };
-                    self.launch.params[name]
+                    self.param_vals[pi as usize]
                 }
-                Space::Global => *self
-                    .global
-                    .get(&a)
-                    .unwrap_or(&interp::default_memory_value(a)),
+                Space::Global => self.global.load(a),
                 Space::Shared => {
                     let b = self.blocks[block_slot].as_ref().expect("block exists");
                     read_bytes(&b.shared, a, size).ok_or(SimError::OutOfBounds {
@@ -939,40 +988,40 @@ impl<'a> Machine<'a> {
         }
 
         self.stats.warp_insts += 1;
-        self.stats.thread_insts += active.len() as u64;
+        self.stats.thread_insts += nactive;
         let generation = {
             let w = self.warps[i].as_mut().expect("warp exists");
-            for &lane in &active {
-                w.regs[dst.index()][lane] = values[lane];
+            for lane in Lanes(mask) {
+                w.regs[dst as usize][lane] = values[lane];
             }
             set_pending(w, dst);
             w.frame_mut().pc_idx += 1;
             w.generation
         };
         self.writebacks
-            .push(Reverse((ready_at, i, generation, dst.0)));
+            .push(Reverse((ready_at, i, generation, dst)));
         Ok(IssueOutcome::Issued)
     }
 
     fn exec_st(
         &mut self,
         i: usize,
-        inst: &Instruction,
+        inst: &DecodedInst,
         space: Space,
         ty: Type,
-        addr: &crat_ptx::Address,
-        src: &Operand,
+        addr: DAddr,
+        src: DSrc,
     ) -> Result<IssueOutcome, SimError> {
         let w = self.warps[i].as_ref().expect("warp exists");
         let mask = self.active_mask(w, inst);
-        let active: Vec<usize> = (0..32).filter(|&l| mask[l]).collect();
+        let nactive = u64::from(mask.count_ones());
         let size = ty.size_bytes() as u64;
 
         let mut lane_addrs = [0u64; 32];
         let mut lane_vals = [0u64; 32];
-        for &lane in &active {
-            lane_addrs[lane] = self.resolve_addr(w, addr, lane);
-            lane_vals[lane] = self.operand_typed(w, src, ty, lane);
+        for lane in Lanes(mask) {
+            lane_addrs[lane] = resolve_addr(w, addr, lane);
+            lane_vals[lane] = self.store_src(w, src, ty, lane);
         }
 
         match space {
@@ -983,36 +1032,38 @@ impl<'a> Machine<'a> {
             Space::Global => self.stats.global_insts += 1,
             Space::Local => {
                 self.stats.local_insts += 1;
-                self.stats.local_bytes += active.len() as u64 * size;
+                self.stats.local_bytes += nactive * size;
             }
         }
 
         // Timing: stores never block the warp.
         if matches!(space, Space::Global | Space::Local) {
-            let tids: Vec<u64> = active
-                .iter()
-                .map(|&l| {
-                    let tid = w.warp_in_block * self.cfg.warp_size + l as u32;
-                    if space == Space::Local {
-                        self.local_timing_addr(w.ctaid, tid, lane_addrs[l])
-                    } else {
-                        lane_addrs[l]
-                    }
-                })
-                .collect();
-            let lines = self.mem.coalesce(tids.into_iter());
-            self.mem.store_warp(&lines, self.now, &mut self.stats);
+            let line_bytes = self.mem.line_bytes();
+            let mut lines = [0u64; 32];
+            let mut n = 0;
+            for lane in Lanes(mask) {
+                let tid = w.warp_in_block * self.cfg.warp_size + lane as u32;
+                let ta = if space == Space::Local {
+                    self.local_timing_addr(w.ctaid, tid, lane_addrs[lane])
+                } else {
+                    lane_addrs[lane]
+                };
+                lines[n] = ta / line_bytes * line_bytes;
+                n += 1;
+            }
+            let lines = coalesce_in_place(&mut lines, n);
+            self.mem.store_warp(lines, self.now, &mut self.stats);
         }
 
         // Functional.
         let block_slot = w.block_slot;
         let warp_in_block = w.warp_in_block;
-        for &lane in &active {
+        for lane in Lanes(mask) {
             let a = lane_addrs[lane];
             let v = lane_vals[lane];
             match space {
                 Space::Global => {
-                    self.global.insert(a, v);
+                    self.global.store(a, v);
                 }
                 Space::Shared => {
                     let b = self.blocks[block_slot].as_mut().expect("block exists");
@@ -1038,47 +1089,58 @@ impl<'a> Machine<'a> {
         }
 
         self.stats.warp_insts += 1;
-        self.stats.thread_insts += active.len() as u64;
+        self.stats.thread_insts += nactive;
         let w = self.warps[i].as_mut().expect("warp exists");
         w.frame_mut().pc_idx += 1;
         Ok(IssueOutcome::Issued)
     }
 }
 
-/// Typed operand read used inside the big execute match, where `self`
+/// Typed source read used inside the execute match, where the machine
 /// is partially borrowed through `w` (special registers appear only in
-/// `mov`, which reads them inline).
-fn typed_operand(w: &Warp, op: &Operand, ty: Type, lane: usize) -> u64 {
-    match op {
-        Operand::Reg(r) => interp::truncate(ty, w.regs[r.index()][lane]),
-        Operand::Imm(v) => interp::truncate(ty, *v as u64),
-        Operand::FImm(v) => match ty {
-            Type::F32 => (*v as f32).to_bits() as u64,
-            _ => v.to_bits(),
-        },
-        Operand::Special(_) => unreachable!("special registers appear only in mov"),
+/// `mov` and store sources, which read them with machine context).
+#[inline]
+fn typed_src(w: &Warp, s: DSrc, ty: Type, lane: usize) -> u64 {
+    match s {
+        DSrc::Reg(r) => interp::truncate(ty, w.regs[r as usize][lane]),
+        // Converted to this type at decode time.
+        DSrc::Val(v) => v,
+        DSrc::Special(_) => unreachable!("special registers appear only in mov"),
     }
 }
 
-fn set_pending(w: &mut Warp, dst: VReg) {
-    if !w.pending[dst.index()] {
-        w.pending[dst.index()] = true;
+/// The byte address accessed by `lane` (param bases resolve to their
+/// dense index in `exec_ld`, the address itself is unused).
+#[inline]
+fn resolve_addr(w: &Warp, addr: DAddr, lane: usize) -> u64 {
+    let base = match addr.base {
+        DAddrBase::Reg(r) => w.regs[r as usize][lane],
+        DAddrBase::Frame(off) => off,
+        DAddrBase::Param(_) => 0,
+    };
+    base.wrapping_add(addr.offset as u64)
+}
+
+/// Sort and dedup the first `n` line addresses in place, returning the
+/// unique prefix — the stack-array equivalent of
+/// [`MemorySystem::coalesce`].
+fn coalesce_in_place(lines: &mut [u64; 32], n: usize) -> &[u64] {
+    lines[..n].sort_unstable();
+    let mut m = 0;
+    for k in 0..n {
+        if m == 0 || lines[k] != lines[m - 1] {
+            lines[m] = lines[k];
+            m += 1;
+        }
+    }
+    &lines[..m]
+}
+
+fn set_pending(w: &mut Warp, dst: u32) {
+    if !w.pending[dst as usize] {
+        w.pending[dst as usize] = true;
         w.pending_count += 1;
     }
-}
-
-/// Lay out the kernel's variables of `space`, returning name → byte
-/// offset and the total size.
-fn layout(kernel: &Kernel, space: Space) -> (HashMap<String, u64>, u32) {
-    let mut offsets = HashMap::new();
-    let mut off = 0u32;
-    for v in kernel.vars().iter().filter(|v| v.space == space) {
-        let align = v.align.max(1);
-        off = off.div_ceil(align) * align;
-        offsets.insert(v.name.clone(), off as u64);
-        off += v.size;
-    }
-    (offsets, off)
 }
 
 fn read_bytes(buf: &[u8], addr: u64, size: u64) -> Option<u64> {
@@ -1103,11 +1165,10 @@ fn write_bytes(buf: &mut [u8], addr: u64, size: u64, v: u64) -> Option<()> {
     }
     Some(())
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crat_ptx::KernelBuilder;
+    use crat_ptx::{KernelBuilder, Op};
 
     fn fermi() -> GpuConfig {
         GpuConfig::fermi()

@@ -183,6 +183,12 @@ impl MemorySystem {
         }
     }
 
+    /// The cache-line size in bytes, for callers coalescing into their
+    /// own (stack-allocated) storage.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
     /// Coalesce per-lane byte addresses into unique line addresses.
     pub fn coalesce(&self, lane_addrs: impl Iterator<Item = u64>) -> Vec<u64> {
         let mut lines: Vec<u64> = lane_addrs

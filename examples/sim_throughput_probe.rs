@@ -1,0 +1,42 @@
+//! Quick simulator-throughput probe: runs a representative kernel mix
+//! and prints aggregate cycles/sec and warp-instr/sec. Used to record
+//! the `BENCH_sim_throughput.json` baselines.
+
+use std::time::Instant;
+
+use crat_sim::{simulate, GpuConfig};
+use crat_workloads::{build_kernel, launch_sized, suite};
+
+fn main() {
+    let gpu = GpuConfig::fermi();
+    let mix = ["CFD", "KMN", "BAK", "STE", "FDTD", "SRAD"];
+    let kernels: Vec<_> = mix
+        .iter()
+        .map(|a| {
+            let app = suite::spec(a);
+            (build_kernel(app), launch_sized(app, 30))
+        })
+        .collect();
+
+    // Warm up once.
+    for (k, l) in &kernels {
+        simulate(k, &gpu, l, 21, None).unwrap();
+    }
+
+    let reps = 5;
+    let start = Instant::now();
+    let (mut cycles, mut insts) = (0u64, 0u64);
+    for _ in 0..reps {
+        for (k, l) in &kernels {
+            let s = simulate(k, &gpu, l, 21, None).unwrap();
+            cycles += s.cycles;
+            insts += s.warp_insts;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "elapsed {secs:.3}s  cycles/sec {:.3e}  instr/sec {:.3e}",
+        cycles as f64 / secs,
+        insts as f64 / secs
+    );
+}

@@ -12,4 +12,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q"
 cargo test -q
 
+echo "== cargo bench --no-run"
+cargo bench --workspace --no-run
+
+echo "== sim throughput smoke test"
+cargo bench -p crat-bench --bench sim_throughput
+
 echo "All checks passed."

@@ -1,0 +1,43 @@
+//! Suite-wide differential test: every workload in the paper's suite
+//! must simulate bit-identically — same [`SimStats`], same captured
+//! global memory — on the pre-decoded cycle loop and on the reference
+//! interpreter (the pre-decode implementation preserved verbatim in
+//! `crat_sim::reference`).
+
+use crat_suite::sim::{reference, simulate_capture, GpuConfig, SchedulerKind};
+use crat_suite::workloads::{build_kernel, launch_sized, suite};
+
+#[test]
+fn every_app_matches_the_reference_interpreter() {
+    let gpu = GpuConfig::fermi();
+    for app in suite::all() {
+        let kernel = build_kernel(app);
+        let launch = launch_sized(app, 6);
+        for tlp in [None, Some(2)] {
+            let new = simulate_capture(&kernel, &gpu, &launch, 21, tlp);
+            let old = reference::simulate_capture(&kernel, &gpu, &launch, 21, tlp);
+            assert_eq!(new, old, "app {} diverges at tlp {tlp:?}", app.abbr);
+        }
+    }
+}
+
+#[test]
+fn scheduler_variants_match_the_reference_interpreter() {
+    // A smaller slice of the suite across all scheduler policies.
+    for sched in [
+        SchedulerKind::Gto,
+        SchedulerKind::Lrr,
+        SchedulerKind::TwoLevel,
+    ] {
+        let mut gpu = GpuConfig::fermi();
+        gpu.scheduler = sched;
+        for abbr in ["CFD", "KMN", "FDTD", "BAK"] {
+            let app = suite::spec(abbr);
+            let kernel = build_kernel(app);
+            let launch = launch_sized(app, 4);
+            let new = simulate_capture(&kernel, &gpu, &launch, 18, None);
+            let old = reference::simulate_capture(&kernel, &gpu, &launch, 18, None);
+            assert_eq!(new, old, "app {abbr} diverges under {sched:?}");
+        }
+    }
+}
