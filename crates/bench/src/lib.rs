@@ -11,7 +11,7 @@
 pub mod table;
 
 use crat_core::{evaluate_with, CratError, EvalEngine, Evaluation, Technique};
-use crat_sim::GpuConfig;
+use crat_sim::{GpuConfig, StallCause};
 use crat_workloads::{build_kernel, launch_sized, suite, AppSpec};
 
 /// One application's results across techniques.
@@ -135,6 +135,23 @@ pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     }
 }
 
+/// A cycle-attribution breakdown table for one technique: one row per
+/// app, one column per stall cause, each cell the fraction of
+/// scheduler slots attributed to that cause (see
+/// [`crat_sim::CycleAttribution`]).
+pub fn attribution_table(runs: &[AppRun], technique: Technique) -> table::Table {
+    let mut headers = vec!["app"];
+    headers.extend(StallCause::ALL.iter().map(|c| c.name()));
+    let mut t = table::Table::new(&headers);
+    for r in runs {
+        let a = &r.of(technique).stats.attribution;
+        let mut cells = vec![r.app.abbr.to_string()];
+        cells.extend(StallCause::ALL.iter().map(|&c| table::pct(a.fraction(c))));
+        t.row(cells);
+    }
+    t
+}
+
 /// Whether `--csv` was passed on the command line.
 pub fn csv_flag() -> bool {
     std::env::args().any(|a| a == "--csv")
@@ -209,6 +226,18 @@ mod tests {
     fn suites_have_eleven_each() {
         assert_eq!(sensitive_apps().len(), 11);
         assert_eq!(insensitive_apps().len(), 11);
+    }
+
+    #[test]
+    fn attribution_table_has_one_column_per_cause() {
+        let app = suite::spec("BAK");
+        let gpu = GpuConfig::fermi();
+        let run = run_app(app, &gpu, 30, &[Technique::MaxTlp]).unwrap();
+        let t = attribution_table(std::slice::from_ref(&run), Technique::MaxTlp);
+        assert_eq!(t.len(), 1);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("app,issued,scoreboard,"));
+        assert!(csv.contains("BAK,"));
     }
 
     #[test]

@@ -88,6 +88,9 @@ pub struct CommonOpts {
     /// Evaluation-engine worker threads (`None`: `CRAT_THREADS` or
     /// available parallelism).
     pub threads: Option<usize>,
+    /// Write a metrics JSON document (per-point stats + attribution +
+    /// engine counters) to this path.
+    pub metrics_json: Option<String>,
 }
 
 impl Default for CommonOpts {
@@ -100,6 +103,7 @@ impl Default for CommonOpts {
             opt_tlp: OptTlpSource::Profiled,
             no_shm: false,
             threads: None,
+            metrics_json: None,
         }
     }
 }
@@ -151,7 +155,10 @@ USAGE:
 
 All simulating subcommands accept `--threads N` to bound the
 evaluation engine's worker pool (default: the CRAT_THREADS
-environment variable, or the machine's available parallelism).
+environment variable, or the machine's available parallelism) and
+`--metrics-json <path>` to export every evaluated (reg, TLP) point —
+full stats plus the scheduler-cycle attribution and the engine's
+deterministic counters — as a JSON document.
 Parameter values accept decimal or 0x-hex. Unbound pointer parameters
 are auto-bound to distinct synthetic addresses.";
 
@@ -204,6 +211,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 })?;
                 opts.threads = Some(n);
             }
+            "--metrics-json" => opts.metrics_json = Some(value_of(a, &mut it)?),
             "--param" => {
                 let kv = value_of(a, &mut it)?;
                 let (k, v) = kv.split_once('=').ok_or_else(|| {
@@ -276,6 +284,40 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         }
     }
 
+    /// Human-readable stall breakdown: where every scheduler-slot
+    /// cycle went, by exclusive cause.
+    fn breakdown_table(stats: &crat_sim::SimStats, indent: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{indent}cycle breakdown (scheduler slots):");
+        for cause in crat_sim::StallCause::ALL {
+            let slots = stats.attribution.cause(cause);
+            if slots == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{indent}  {:11} {:>12}  {:5.1}%",
+                cause.name(),
+                slots,
+                stats.attribution.fraction(cause) * 100.0
+            );
+        }
+        out
+    }
+
+    /// Write the `--metrics-json` document when the flag was given.
+    fn emit_metrics(
+        opts: &CommonOpts,
+        points: &[crat_core::MetricsPoint],
+        engine: &EvalEngine,
+    ) -> Result<(), CliError> {
+        if let Some(path) = &opts.metrics_json {
+            let doc = crat_core::metrics_document(points, &engine.stats());
+            std::fs::write(path, doc.pretty())?;
+        }
+        Ok(())
+    }
+
     /// One-line engine report appended to simulating subcommands.
     fn engine_line(engine: &EvalEngine) -> String {
         let s = engine.stats();
@@ -323,6 +365,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             use crat_core::{evaluate_with, Technique};
             let baseline = evaluate_with(engine, &kernel, &opts.gpu, &launch, Technique::OptTlp)
                 .map_err(|e| CliError::Tool(format!("OptTLP failed: {e}")))?;
+            let mut points = Vec::new();
             for t in [Technique::MaxTlp, Technique::OptTlp, Technique::Crat] {
                 let e = evaluate_with(engine, &kernel, &opts.gpu, &launch, t)
                     .map_err(|err| CliError::Tool(format!("{t} failed: {err}")))?;
@@ -336,8 +379,16 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                     e.stats.l1_hit_rate() * 100.0,
                     e.stats.speedup_over(&baseline.stats),
                 );
+                out.push_str(&breakdown_table(&e.stats, "    "));
+                points.push(crat_core::MetricsPoint {
+                    label: t.label().to_string(),
+                    reg: e.reg,
+                    tlp: e.tlp,
+                    stats: e.stats,
+                });
             }
             let _ = writeln!(out, "  {}", engine_line(engine));
+            emit_metrics(&opts, &points, engine)?;
             Ok(out)
         }
         Command::Analyze { file, opts } => {
@@ -473,6 +524,14 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let _ = writeln!(out, "  reservation fails   {}", stats.l1_reservation_fails);
             let _ = writeln!(out, "  DRAM transactions   {}", stats.dram_transactions);
             let _ = writeln!(out, "  local-mem insts     {}", stats.local_insts);
+            out.push_str(&breakdown_table(&stats, "  "));
+            let points = [crat_core::MetricsPoint {
+                label: kernel.name().to_string(),
+                reg: regs,
+                tlp: tlp.unwrap_or(0),
+                stats,
+            }];
+            emit_metrics(&opts, &points, engine)?;
             Ok(out)
         }
     }
@@ -559,11 +618,24 @@ mod tests {
 
     #[test]
     fn parses_numeric_opt_tlp_and_simulate() {
-        let cmd = parse_args(&s(&["simulate", "k.ptx", "--regs", "32", "--tlp", "4"])).unwrap();
+        let cmd = parse_args(&s(&[
+            "simulate",
+            "k.ptx",
+            "--regs",
+            "32",
+            "--tlp",
+            "4",
+            "--metrics-json",
+            "m.json",
+        ]))
+        .unwrap();
         match cmd {
-            Command::Simulate { regs, tlp, .. } => {
+            Command::Simulate {
+                regs, tlp, opts, ..
+            } => {
                 assert_eq!(regs, Some(32));
                 assert_eq!(tlp, Some(4));
+                assert_eq!(opts.metrics_json.as_deref(), Some("m.json"));
             }
             other => panic!("{other:?}"),
         }
@@ -641,14 +713,27 @@ BB0:
         .unwrap();
         assert!(out.contains("passes:"));
 
+        let metrics_path = dir.join("metrics.json");
         let out = run(Command::Simulate {
             file: file.clone(),
             regs: Some(16),
             tlp: None,
-            opts: CommonOpts::default(),
+            opts: CommonOpts {
+                metrics_json: Some(metrics_path.to_str().unwrap().to_string()),
+                ..CommonOpts::default()
+            },
         })
         .unwrap();
         assert!(out.contains("cycles"));
+        assert!(out.contains("cycle breakdown"));
+        assert!(out.contains("issued"));
+        // The exported document parses and round-trips the stats.
+        let doc = crat_core::Json::parse(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        let points = doc.get("points").and_then(crat_core::Json::as_arr).unwrap();
+        assert_eq!(points.len(), 1);
+        let stats = crat_core::stats_from_json(points[0].get("stats").unwrap()).unwrap();
+        stats.attribution.check(stats.cycles).unwrap();
+        assert!(doc.get("engine").is_some());
 
         let out_path = dir.join("out.ptx");
         let out = run(Command::Optimize {

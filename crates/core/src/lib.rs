@@ -37,6 +37,7 @@
 
 mod design_space;
 pub mod engine;
+pub mod metrics;
 mod pipeline;
 mod profile_tlp;
 mod resource;
@@ -50,6 +51,9 @@ use std::fmt;
 
 pub use design_space::{prune, staircase, DesignPoint, ALLOC_FLOOR};
 pub use engine::{EngineStats, EvalEngine, SimJob};
+pub use metrics::{
+    engine_to_json, metrics_document, stats_from_json, stats_to_json, Json, MetricsPoint,
+};
 pub use pipeline::{
     optimize, optimize_oracle, optimize_oracle_with, optimize_with, Candidate, CratOptions,
     CratSolution, OptTlpSource,

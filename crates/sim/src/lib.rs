@@ -65,7 +65,10 @@ pub use config::{
 pub use decode::{decode, DecodedKernel};
 pub use energy::{estimate_energy, EnergyCoefficients, EnergyReport};
 pub use error::SimError;
-pub use machine::{simulate, simulate_capture, simulate_decoded, simulate_decoded_capture};
+pub use machine::{
+    simulate, simulate_capture, simulate_decoded, simulate_decoded_capture,
+    simulate_decoded_traced, SchedDecision, SchedTrace,
+};
 pub use memory::MemorySystem;
 pub use occupancy::{max_regs_for_tlp, occupancy, LimitingResource, Occupancy};
-pub use stats::SimStats;
+pub use stats::{CycleAttribution, SimStats, StallCause, NUM_CAUSES};

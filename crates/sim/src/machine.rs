@@ -30,12 +30,86 @@ use crate::error::SimError;
 use crate::gmem::GlobalMem;
 use crate::memory::MemorySystem;
 use crate::occupancy::occupancy;
-use crate::stats::SimStats;
+use crate::stats::{SimStats, StallCause};
 use crat_ptx::eval as interp;
 
 /// Base of the synthetic address region local memory is mapped into
 /// for cache timing (functional local data lives in per-block arrays).
 const LOCAL_TIMING_BASE: u64 = 1 << 40;
+
+/// Sentinel warp slot for scheduler decisions that concern no warp.
+const NO_WARP: u32 = u32::MAX;
+
+/// One recorded scheduler decision (see [`simulate_decoded_traced`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedDecision {
+    /// Cycle at which the decision was made (the first cycle of a
+    /// fast-forwarded stall window).
+    pub cycle: u64,
+    /// Scheduler index.
+    pub scheduler: u32,
+    /// The exclusive cause attributed to the slot.
+    pub cause: StallCause,
+    /// Warp slot the decision concerned: the issuing warp, the
+    /// mem-stalled warp, or the highest-priority blocked candidate;
+    /// `u32::MAX` when no warp was involved.
+    pub warp_slot: u32,
+    /// Consecutive cycles the decision covers (> 1 when the cycle loop
+    /// fast-forwarded a whole-SM stall window).
+    pub cycles: u64,
+}
+
+/// A fixed-capacity ring buffer over the last N scheduler decisions,
+/// for debugging pathological schedules. Allocated once up front; the
+/// cycle loop writes into it without allocating.
+#[derive(Debug, Clone)]
+pub struct SchedTrace {
+    buf: Vec<SchedDecision>,
+    /// Index of the oldest entry once the buffer has wrapped.
+    head: usize,
+    total: u64,
+    cap: usize,
+}
+
+impl SchedTrace {
+    fn new(cap: usize) -> SchedTrace {
+        let cap = cap.max(1);
+        SchedTrace {
+            buf: Vec::with_capacity(cap),
+            head: 0,
+            total: 0,
+            cap,
+        }
+    }
+
+    fn push(&mut self, d: SchedDecision) {
+        self.total += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(d);
+        } else {
+            self.buf[self.head] = d;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// The ring's capacity (the N of "last N decisions").
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Decisions recorded over the whole run, including evicted ones.
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// The retained decisions, oldest first.
+    pub fn decisions(&self) -> Vec<SchedDecision> {
+        let mut v = Vec::with_capacity(self.buf.len());
+        v.extend_from_slice(&self.buf[self.head..]);
+        v.extend_from_slice(&self.buf[..self.head]);
+        v
+    }
+}
 
 /// Simulate `kernel` under `launch` on `cfg`, optionally capping the
 /// resident blocks per SM at `tlp_cap` (thread throttling).
@@ -113,6 +187,38 @@ pub fn simulate_decoded_capture(
     regs_per_thread: u32,
     tlp_cap: Option<u32>,
 ) -> Result<(SimStats, HashMap<u64, u64>), SimError> {
+    simulate_decoded_inner(dk, cfg, launch, regs_per_thread, tlp_cap, None).map(|(s, m, _)| (s, m))
+}
+
+/// [`simulate_decoded`] with a scheduler-decision trace: the last
+/// `trace_depth` decisions (one per scheduler per attributed window)
+/// are retained in a ring buffer for debugging.
+///
+/// # Errors
+///
+/// Same as [`simulate_decoded`].
+pub fn simulate_decoded_traced(
+    dk: &DecodedKernel,
+    cfg: &GpuConfig,
+    launch: &LaunchConfig,
+    regs_per_thread: u32,
+    tlp_cap: Option<u32>,
+    trace_depth: usize,
+) -> Result<(SimStats, SchedTrace), SimError> {
+    simulate_decoded_inner(dk, cfg, launch, regs_per_thread, tlp_cap, Some(trace_depth))
+        .map(|(s, _, t)| (s, t.expect("trace requested")))
+}
+
+type SimOutput = (SimStats, HashMap<u64, u64>, Option<SchedTrace>);
+
+fn simulate_decoded_inner(
+    dk: &DecodedKernel,
+    cfg: &GpuConfig,
+    launch: &LaunchConfig,
+    regs_per_thread: u32,
+    tlp_cap: Option<u32>,
+    trace_depth: Option<usize>,
+) -> Result<SimOutput, SimError> {
     if launch.grid_blocks == 0 {
         return Err(SimError::BadLaunch("grid has zero blocks".to_string()));
     }
@@ -145,12 +251,13 @@ pub fn simulate_decoded_capture(
     resident = resident.min(blocks_this_sm);
 
     let mut m = Machine::new(dk, cfg, launch, blocks_this_sm);
+    m.trace = trace_depth.map(SchedTrace::new);
     m.stats.resident_blocks = resident;
     for _ in 0..resident {
         m.launch_block()?;
     }
     m.run()?;
-    Ok((m.stats, m.global.into_map()))
+    Ok((m.stats, m.global.into_map(), m.trace))
 }
 
 /// Per-block runtime state. Retired contexts are pooled and reused so
@@ -266,6 +373,12 @@ struct Machine<'a> {
     cand_scratch: Vec<((u64, u64, u64), usize)>,
     /// Retired block contexts awaiting reuse.
     block_pool: Vec<BlockCtx>,
+    /// Per-scheduler `(cause, head warp)` for the current cycle-loop
+    /// iteration; committed into the attribution once the window length
+    /// is known. Reused every iteration — never reallocated.
+    slot_causes: Vec<(StallCause, u32)>,
+    /// Optional ring buffer of recent scheduler decisions.
+    trace: Option<SchedTrace>,
     stats: SimStats,
 }
 
@@ -303,7 +416,13 @@ impl<'a> Machine<'a> {
             lrr_next: vec![0; cfg.num_schedulers as usize],
             cand_scratch: Vec::new(),
             block_pool: Vec::new(),
-            stats: SimStats::default(),
+            slot_causes: vec![(StallCause::Empty, NO_WARP); cfg.num_schedulers as usize],
+            trace: None,
+            stats: {
+                let mut stats = SimStats::default();
+                stats.attribution.init_schedulers(cfg.num_schedulers);
+                stats
+            },
         }
     }
 
@@ -394,6 +513,9 @@ impl<'a> Machine<'a> {
                 }
             }
         }
+        self.stats
+            .attribution
+            .ensure_slots(self.warps.len(), self.blocks.len());
         Ok(())
     }
 
@@ -402,22 +524,32 @@ impl<'a> Machine<'a> {
             self.drain_writebacks();
             let mut issued_any = false;
             for s in 0..self.cfg.num_schedulers as usize {
-                if self.schedule_one(s)? {
+                let decision = self.schedule_one(s)?;
+                self.slot_causes[s] = decision;
+                if decision.0 == StallCause::Issued {
                     issued_any = true;
                 }
             }
             if self.blocks_done >= self.blocks_total {
+                // The final iteration only advances time when it is the
+                // sole iteration (cycles = now.max(1) below).
+                if self.now == 0 {
+                    self.commit_slots(1);
+                }
                 break;
             }
             if issued_any {
+                self.commit_slots(1);
                 self.now += 1;
             } else {
                 // Fast-forward to the next writeback event; if there is
-                // none, no instruction can ever become ready.
+                // none, no instruction can ever become ready. The
+                // machine state is frozen until that event, so each
+                // scheduler's cause holds for the whole window.
                 match self.writebacks.peek() {
                     Some(&Reverse((t, _, _, _))) => {
                         let skipped = t.max(self.now + 1) - self.now;
-                        self.stats.scoreboard_stall_cycles += skipped;
+                        self.commit_slots(skipped);
                         self.now += skipped;
                     }
                     None => return Err(SimError::Deadlock),
@@ -429,6 +561,28 @@ impl<'a> Machine<'a> {
         }
         self.stats.cycles = self.now.max(1);
         Ok(())
+    }
+
+    /// Fold each scheduler's `(cause, head warp)` for the current
+    /// iteration into the attribution, weighted by the `n` cycles the
+    /// iteration covers.
+    fn commit_slots(&mut self, n: u64) {
+        for s in 0..self.slot_causes.len() {
+            let (cause, head) = self.slot_causes[s];
+            self.stats.attribution.per_scheduler[s][cause as usize] += n;
+            if head != NO_WARP && cause != StallCause::Issued {
+                self.stats.attribution.warp_head_stalls[head as usize] += n;
+            }
+            if let Some(t) = &mut self.trace {
+                t.push(SchedDecision {
+                    cycle: self.now,
+                    scheduler: s as u32,
+                    cause,
+                    warp_slot: head,
+                    cycles: n,
+                });
+            }
+        }
     }
 
     fn drain_writebacks(&mut self) {
@@ -446,9 +600,11 @@ impl<'a> Machine<'a> {
         }
     }
 
-    /// Let scheduler `s` issue at most one instruction. Returns whether
-    /// something was issued.
-    fn schedule_one(&mut self, s: usize) -> Result<bool, SimError> {
+    /// Let scheduler `s` issue at most one instruction. Returns the
+    /// exclusive [`StallCause`] describing what the scheduler did this
+    /// cycle and the head warp slot it concerns ([`NO_WARP`] when no
+    /// single warp is responsible).
+    fn schedule_one(&mut self, s: usize) -> Result<(StallCause, u32), SimError> {
         // Candidate warp slots owned by this scheduler, tagged with
         // their priority key, in reused scratch storage. A manual
         // insertion sort keeps the hot loop allocation-free (the
@@ -458,11 +614,16 @@ impl<'a> Machine<'a> {
         cands.clear();
         let nsched = self.cfg.num_schedulers as usize;
         let nwarps = self.warps.len();
+        let mut saw_barrier = false;
         for i in (s..nwarps).step_by(nsched.max(1)) {
             let Some(w) = self.warps[i].as_ref() else {
                 continue;
             };
-            if w.done || w.at_barrier {
+            if w.done {
+                continue;
+            }
+            if w.at_barrier {
+                saw_barrier = true;
                 continue;
             }
             let key = match self.cfg.scheduler {
@@ -482,9 +643,15 @@ impl<'a> Machine<'a> {
             cands.push((key, i));
         }
         if cands.is_empty() {
-            self.stats.idle_scheduler_cycles += 1;
             self.cand_scratch = cands;
-            return Ok(false);
+            let cause = if saw_barrier {
+                StallCause::Barrier
+            } else if self.next_block_index >= self.blocks_total {
+                StallCause::Drained
+            } else {
+                StallCause::Empty
+            };
+            return Ok((cause, NO_WARP));
         }
         for n in 1..cands.len() {
             let mut j = n;
@@ -498,12 +665,17 @@ impl<'a> Machine<'a> {
         while k < cands.len() {
             let i = cands[k].1;
             k += 1;
+            // Read the block slot before issuing: an Exit terminator
+            // may retire the block and relaunch into this very slot.
+            let bslot = self.warps[i].as_ref().expect("candidate exists").block_slot;
             match self.try_issue(i) {
                 Ok(IssueOutcome::Issued) => {
                     self.gto_current[s] = Some(i);
                     self.lrr_next[s] = i + 1;
                     self.cand_scratch = cands;
-                    return Ok(true);
+                    self.stats.attribution.warp_issued[i] += 1;
+                    self.stats.attribution.block_issued[bslot] += 1;
+                    return Ok((StallCause::Issued, i as u32));
                 }
                 Ok(IssueOutcome::Blocked) => {}
                 // A memory-path reservation failure blocks this
@@ -511,7 +683,7 @@ impl<'a> Machine<'a> {
                 Ok(IssueOutcome::MemStall) => {
                     self.gto_current[s] = Some(i);
                     self.cand_scratch = cands;
-                    return Ok(false);
+                    return Ok((StallCause::MemStall, i as u32));
                 }
                 Err(e) => {
                     self.cand_scratch = cands;
@@ -519,9 +691,25 @@ impl<'a> Machine<'a> {
                 }
             }
         }
-        self.stats.scoreboard_stall_cycles += 1;
+        // Every candidate is scoreboard-blocked. When all of them are
+        // also mid-divergence, the exposed latency is a reconvergence
+        // serialization cost rather than plain scoreboard pressure.
+        let head = cands[0].1;
+        let all_diverged = cands.iter().all(|&(_, i)| {
+            self.warps[i]
+                .as_ref()
+                .expect("candidate exists")
+                .stack
+                .len()
+                > 1
+        });
         self.cand_scratch = cands;
-        Ok(false)
+        let cause = if all_diverged {
+            StallCause::Reconverge
+        } else {
+            StallCause::Scoreboard
+        };
+        Ok((cause, head as u32))
     }
 
     /// Attempt to issue the next instruction of warp slot `i`.
@@ -1539,6 +1727,46 @@ mod turnover_tests {
     use super::*;
     use crat_ptx::KernelBuilder;
 
+    /// A kernel mixing loads with a divergent branch, so attribution
+    /// sees issue, scoreboard, and reconvergence activity.
+    fn divergent_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("divmix");
+        let inp = b.param_ptr("input");
+        let out = b.param_ptr("out");
+        let tid = b.special_tid_x(Type::U32);
+        let a = b.wide_address(inp, tid, 4);
+        let v = b.ld(Space::Global, Type::U32, crat_ptx::Address::reg(a));
+        let acc = b.add(Type::U32, v, tid);
+        let p = b.setp(
+            crat_ptx::CmpOp::Lt,
+            Type::U32,
+            tid,
+            crat_ptx::Operand::Imm(16),
+        );
+        let then_b = b.new_block();
+        let else_b = b.new_block();
+        let join = b.new_block();
+        b.cond_branch(p, then_b, else_b);
+        b.switch_to(then_b);
+        let a2 = b.wide_address(inp, acc, 4);
+        let v2 = b.ld(Space::Global, Type::U32, crat_ptx::Address::reg(a2));
+        b.binary_to(crat_ptx::BinOp::Add, Type::U32, acc, acc, v2);
+        b.branch(join);
+        b.switch_to(else_b);
+        b.binary_to(
+            crat_ptx::BinOp::Add,
+            Type::U32,
+            acc,
+            acc,
+            crat_ptx::Operand::Imm(7),
+        );
+        b.branch(join);
+        b.switch_to(join);
+        let oa = b.wide_address(out, tid, 4);
+        b.st(Space::Global, Type::U32, crat_ptx::Address::reg(oa), acc);
+        b.finish()
+    }
+
     /// Block turnover with loads still in flight: a finished warp's
     /// pending write-backs must not leak into the warp that reuses its
     /// slot (the generation-tag mechanism).
@@ -1600,7 +1828,119 @@ mod turnover_tests {
         // 5 dependent loads, each hundreds of cycles: the run is
         // dominated by scoreboard stalls the fast-forward must skip.
         assert!(stats.cycles > 1000);
-        assert!(stats.scoreboard_stall_cycles > stats.cycles / 2);
+        stats.attribution.check(stats.cycles).unwrap();
+        assert!(stats.attribution.cause(StallCause::Scoreboard) > stats.cycles / 2);
+    }
+
+    /// The attribution invariant (per-scheduler cause counts sum to
+    /// cycles) holds, and issue aggregation reconciles with the global
+    /// instruction counter.
+    #[test]
+    fn attribution_invariant_and_issue_aggregation() {
+        let k = divergent_kernel();
+        let launch = LaunchConfig::new(12, 64)
+            .with_param("input", 0x100_0000)
+            .with_param("out", 0x200_0000);
+        let stats = simulate(&k, &GpuConfig::fermi(), &launch, 20, None).unwrap();
+        stats.attribution.check(stats.cycles).unwrap();
+        let issued: u64 = stats.attribution.warp_issued.iter().sum();
+        assert_eq!(issued, stats.warp_insts);
+        let block_issued: u64 = stats.attribution.block_issued.iter().sum();
+        assert_eq!(block_issued, stats.warp_insts);
+        // The final cycle-loop iteration issues the last Exit but does
+        // not advance time, so issued-slot cycles may undercount the
+        // instruction total by at most one iteration (one slot per
+        // scheduler).
+        let issued_slots = stats.attribution.cause(StallCause::Issued);
+        assert!(issued_slots <= stats.warp_insts);
+        assert!(
+            stats.warp_insts - issued_slots <= 2,
+            "fermi has 2 schedulers"
+        );
+    }
+
+    /// A kernel where one warp reaches the barrier late must report
+    /// barrier-wait scheduler cycles for the schedulers whose warps all
+    /// arrived early.
+    #[test]
+    fn barrier_wait_is_attributed() {
+        let mut b = KernelBuilder::new("bar");
+        let inp = b.param_ptr("input");
+        let out = b.param_ptr("out");
+        let tid = b.special_tid_x(Type::U32);
+        // Warp 0 (tid < 32) runs a dependent-load chain; the other
+        // warps branch straight to the barrier and wait there. The
+        // branch is uniform within every warp, so no divergence.
+        let p = b.setp(
+            crat_ptx::CmpOp::Lt,
+            Type::U32,
+            tid,
+            crat_ptx::Operand::Imm(32),
+        );
+        let slow = b.new_block();
+        let join = b.new_block();
+        let v0 = b.mov(Type::U32, crat_ptx::Operand::Imm(0));
+        b.cond_branch(p, slow, join);
+        b.switch_to(slow);
+        let mut addr = b.wide_address(inp, tid, 4);
+        let mut v = b.ld(Space::Global, Type::U32, crat_ptx::Address::reg(addr));
+        for _ in 0..3 {
+            let masked = b.and(Type::U32, v, crat_ptx::Operand::Imm(0xFF));
+            addr = b.wide_address(inp, masked, 4);
+            v = b.ld(Space::Global, Type::U32, crat_ptx::Address::reg(addr));
+        }
+        b.binary_to(
+            crat_ptx::BinOp::Add,
+            Type::U32,
+            v0,
+            v,
+            crat_ptx::Operand::Imm(0),
+        );
+        b.branch(join);
+        b.switch_to(join);
+        b.bar_sync();
+        let sum = b.add(Type::U32, v0, tid);
+        let oa = b.wide_address(out, tid, 4);
+        b.st(Space::Global, Type::U32, crat_ptx::Address::reg(oa), sum);
+        let k = b.finish();
+
+        let launch = LaunchConfig::new(15, 128)
+            .with_param("input", 0x100_0000)
+            .with_param("out", 0x200_0000);
+        let stats = simulate(&k, &GpuConfig::fermi(), &launch, 20, Some(1)).unwrap();
+        stats.attribution.check(stats.cycles).unwrap();
+        assert!(stats.barrier_insts > 0);
+        assert!(
+            stats.attribution.cause(StallCause::Barrier) > 0,
+            "schedulers whose warps all arrived early must be seen waiting: {:?}",
+            stats.attribution.per_scheduler
+        );
+    }
+
+    /// The scheduler-decision trace retains only the last N decisions,
+    /// oldest first, and agrees with the attribution totals.
+    #[test]
+    fn sched_trace_keeps_last_n_decisions() {
+        let k = divergent_kernel();
+        let launch = LaunchConfig::new(12, 64)
+            .with_param("input", 0x100_0000)
+            .with_param("out", 0x200_0000);
+        let cfg = GpuConfig::fermi();
+        let dk = crate::decode::decode(&k).unwrap();
+        let depth = 64;
+        let (stats, trace) = simulate_decoded_traced(&dk, &cfg, &launch, 20, None, depth).unwrap();
+        stats.attribution.check(stats.cycles).unwrap();
+        assert_eq!(trace.capacity(), depth);
+        let decisions = trace.decisions();
+        assert!(decisions.len() <= depth);
+        assert!(trace.total_recorded() >= decisions.len() as u64);
+        // Oldest-first ordering: cycles never decrease.
+        for pair in decisions.windows(2) {
+            assert!(pair[0].cycle <= pair[1].cycle, "{pair:?}");
+        }
+        // The trace is a pure observer: stats must match an untraced run.
+        let (plain, _) = simulate_decoded_capture(&dk, &cfg, &launch, 20, None).unwrap();
+        assert_eq!(stats, plain);
     }
 }
 

@@ -27,7 +27,7 @@ use crate::config::{GpuConfig, LaunchConfig, SchedulerKind};
 use crate::error::SimError;
 use crate::memory::MemorySystem;
 use crate::occupancy::occupancy;
-use crate::stats::SimStats;
+use crate::stats::{SimStats, StallCause};
 use crat_ptx::eval as interp;
 
 /// Base of the synthetic address region local memory is mapped into
@@ -202,8 +202,14 @@ struct Machine<'a> {
     generation_counter: u64,
     gto_current: Vec<Option<usize>>,
     lrr_next: Vec<usize>,
+    /// Per-scheduler `(cause, head warp)` for the current cycle-loop
+    /// iteration (mirrors the decoded machine's attribution exactly).
+    slot_causes: Vec<(StallCause, u32)>,
     stats: SimStats,
 }
+
+/// Sentinel warp slot for scheduler decisions that concern no warp.
+const NO_WARP: u32 = u32::MAX;
 
 impl<'a> Machine<'a> {
     fn new(
@@ -237,7 +243,12 @@ impl<'a> Machine<'a> {
             generation_counter: 0,
             gto_current: vec![None; cfg.num_schedulers as usize],
             lrr_next: vec![0; cfg.num_schedulers as usize],
-            stats: SimStats::default(),
+            slot_causes: vec![(StallCause::Empty, NO_WARP); cfg.num_schedulers as usize],
+            stats: {
+                let mut stats = SimStats::default();
+                stats.attribution.init_schedulers(cfg.num_schedulers);
+                stats
+            },
         })
     }
 
@@ -298,6 +309,9 @@ impl<'a> Machine<'a> {
             }
             self.warps[wslot] = Some(warp);
         }
+        self.stats
+            .attribution
+            .ensure_slots(self.warps.len(), self.blocks.len());
         Ok(())
     }
 
@@ -306,22 +320,32 @@ impl<'a> Machine<'a> {
             self.drain_writebacks();
             let mut issued_any = false;
             for s in 0..self.cfg.num_schedulers as usize {
-                if self.schedule_one(s)? {
+                let decision = self.schedule_one(s)?;
+                self.slot_causes[s] = decision;
+                if decision.0 == StallCause::Issued {
                     issued_any = true;
                 }
             }
             if self.blocks_done >= self.blocks_total {
+                // The final iteration only advances time when it is the
+                // sole iteration (cycles = now.max(1) below).
+                if self.now == 0 {
+                    self.commit_slots(1);
+                }
                 break;
             }
             if issued_any {
+                self.commit_slots(1);
                 self.now += 1;
             } else {
                 // Fast-forward to the next writeback event; if there is
-                // none, no instruction can ever become ready.
+                // none, no instruction can ever become ready. The
+                // machine state is frozen until that event, so each
+                // scheduler's cause holds for the whole window.
                 match self.writebacks.peek() {
                     Some(&Reverse((t, _, _, _))) => {
                         let skipped = t.max(self.now + 1) - self.now;
-                        self.stats.scoreboard_stall_cycles += skipped;
+                        self.commit_slots(skipped);
                         self.now += skipped;
                     }
                     None => return Err(SimError::Deadlock),
@@ -333,6 +357,19 @@ impl<'a> Machine<'a> {
         }
         self.stats.cycles = self.now.max(1);
         Ok(())
+    }
+
+    /// Fold each scheduler's `(cause, head warp)` for the current
+    /// iteration into the attribution, weighted by the `n` cycles the
+    /// iteration covers.
+    fn commit_slots(&mut self, n: u64) {
+        for s in 0..self.slot_causes.len() {
+            let (cause, head) = self.slot_causes[s];
+            self.stats.attribution.per_scheduler[s][cause as usize] += n;
+            if head != NO_WARP && cause != StallCause::Issued {
+                self.stats.attribution.warp_head_stalls[head as usize] += n;
+            }
+        }
     }
 
     fn drain_writebacks(&mut self) {
@@ -350,10 +387,19 @@ impl<'a> Machine<'a> {
         }
     }
 
-    /// Let scheduler `s` issue at most one instruction. Returns whether
-    /// something was issued.
-    fn schedule_one(&mut self, s: usize) -> Result<bool, SimError> {
+    /// Let scheduler `s` issue at most one instruction. Returns the
+    /// exclusive [`StallCause`] describing what the scheduler did this
+    /// cycle and the head warp slot it concerns ([`NO_WARP`] when no
+    /// single warp is responsible).
+    fn schedule_one(&mut self, s: usize) -> Result<(StallCause, u32), SimError> {
         // Candidate warp slots owned by this scheduler.
+        let saw_barrier = (0..self.warps.len())
+            .filter(|&i| i % self.cfg.num_schedulers as usize == s)
+            .any(|i| {
+                self.warps[i]
+                    .as_ref()
+                    .is_some_and(|w| !w.done && w.at_barrier)
+            });
         let mut cands: Vec<usize> = (0..self.warps.len())
             .filter(|&i| i % self.cfg.num_schedulers as usize == s)
             .filter(|&i| {
@@ -363,8 +409,14 @@ impl<'a> Machine<'a> {
             })
             .collect();
         if cands.is_empty() {
-            self.stats.idle_scheduler_cycles += 1;
-            return Ok(false);
+            let cause = if saw_barrier {
+                StallCause::Barrier
+            } else if self.next_block_index >= self.blocks_total {
+                StallCause::Drained
+            } else {
+                StallCause::Empty
+            };
+            return Ok((cause, NO_WARP));
         }
 
         match self.cfg.scheduler {
@@ -394,23 +446,44 @@ impl<'a> Machine<'a> {
         }
 
         for &i in &cands {
+            // Read the block slot before issuing: an Exit terminator
+            // may retire the block and relaunch into this very slot.
+            let bslot = self.warps[i].as_ref().expect("candidate exists").block_slot;
             match self.try_issue(i)? {
                 IssueOutcome::Issued => {
                     self.gto_current[s] = Some(i);
                     self.lrr_next[s] = i + 1;
-                    return Ok(true);
+                    self.stats.attribution.warp_issued[i] += 1;
+                    self.stats.attribution.block_issued[bslot] += 1;
+                    return Ok((StallCause::Issued, i as u32));
                 }
                 IssueOutcome::Blocked => continue,
                 // A memory-path reservation failure blocks this
                 // scheduler's load/store unit for the cycle.
                 IssueOutcome::MemStall => {
                     self.gto_current[s] = Some(i);
-                    return Ok(false);
+                    return Ok((StallCause::MemStall, i as u32));
                 }
             }
         }
-        self.stats.scoreboard_stall_cycles += 1;
-        Ok(false)
+        // Every candidate is scoreboard-blocked. When all of them are
+        // also mid-divergence, the exposed latency is a reconvergence
+        // serialization cost rather than plain scoreboard pressure.
+        let head = cands[0];
+        let all_diverged = cands.iter().all(|&i| {
+            self.warps[i]
+                .as_ref()
+                .expect("candidate exists")
+                .stack
+                .len()
+                > 1
+        });
+        let cause = if all_diverged {
+            StallCause::Reconverge
+        } else {
+            StallCause::Scoreboard
+        };
+        Ok((cause, head as u32))
     }
 
     /// Attempt to issue the next instruction of warp slot `i`.

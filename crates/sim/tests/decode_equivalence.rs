@@ -23,7 +23,21 @@ fn assert_identical(
     let old = crat_sim::reference::simulate_capture(kernel, cfg, launch, regs, tlp);
     match (new, old) {
         (Ok((ns, nm)), Ok((os, om))) => {
-            assert_eq!(ns, os, "SimStats diverge for `{}`", kernel.name());
+            // Attribution must satisfy its own invariant in both
+            // interpreters *and* be bit-identical between them (the
+            // SimStats equality below covers the latter).
+            ns.attribution
+                .check(ns.cycles)
+                .unwrap_or_else(|e| panic!("decoded attribution for `{}`: {e}", kernel.name()));
+            os.attribution
+                .check(os.cycles)
+                .unwrap_or_else(|e| panic!("reference attribution for `{}`: {e}", kernel.name()));
+            assert!(
+                ns == os,
+                "SimStats diverge for `{}`:\n  {}",
+                kernel.name(),
+                ns.diff(&os).join("\n  ")
+            );
             assert_eq!(nm, om, "final memory diverges for `{}`", kernel.name());
         }
         (new, old) => assert_eq!(
@@ -337,5 +351,38 @@ proptest! {
         let new = crat_sim::simulate_capture(&k, &cfg, &launch, 24, Some(2));
         let old = crat_sim::reference::simulate_capture(&k, &cfg, &launch, 24, Some(2));
         prop_assert_eq!(new, old);
+    }
+
+    /// The attribution invariant on random kernels, across every
+    /// scheduler and both capped and uncapped TLP: each scheduler's
+    /// cause counts are exclusive and sum exactly to `cycles`, and the
+    /// per-warp / per-block issue counts total `warp_insts`.
+    #[test]
+    fn attribution_invariant_on_random_kernels(r in recipe()) {
+        let k = build(&r);
+        let launch = LaunchConfig::new(4, 64)
+            .with_param("inp", 0x10_0000)
+            .with_param("out", 0x20_0000);
+        for sched in [SchedulerKind::Gto, SchedulerKind::Lrr, SchedulerKind::TwoLevel] {
+            let mut cfg = GpuConfig::fermi();
+            cfg.scheduler = sched;
+            for tlp in [None, Some(2)] {
+                let stats = crat_sim::simulate(&k, &cfg, &launch, 24, tlp).unwrap();
+                if let Err(e) = stats.attribution.check(stats.cycles) {
+                    return Err(TestCaseError::fail(format!("{sched:?}/{tlp:?}: {e}")));
+                }
+                let warp_sum: u64 = stats.attribution.warp_issued.iter().sum();
+                let block_sum: u64 = stats.attribution.block_issued.iter().sum();
+                prop_assert_eq!(warp_sum, stats.warp_insts);
+                prop_assert_eq!(block_sum, stats.warp_insts);
+                let issued = stats.attribution.cause(crat_sim::StallCause::Issued);
+                prop_assert!(issued <= stats.warp_insts);
+                // The final scheduler iteration (the one that retires
+                // the last block) is only committed on zero-cycle runs,
+                // so issued slots may trail warp_insts by at most one
+                // slot per scheduler.
+                prop_assert!(stats.warp_insts - issued <= u64::from(cfg.num_schedulers));
+            }
+        }
     }
 }

@@ -12,6 +12,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q"
 cargo test -q
 
+# Golden-baseline gate: re-run the snapshot suite with any blessing
+# environment stripped, so stale snapshots fail here even when the
+# developer has CRAT_BLESS exported. Regenerate intentional drift with
+#   CRAT_BLESS=1 cargo test --test golden_suite
+# and commit the updated tests/golden/*.json.
+echo "== golden suite (snapshot drift gate)"
+env -u CRAT_BLESS cargo test -q --test golden_suite
+
+# Slow tier (full-size grids; minutes in debug): cargo test -q -- --ignored
+
 echo "== cargo bench --no-run"
 cargo bench --workspace --no-run
 
