@@ -197,16 +197,20 @@ pub fn print_engine_stats(csv: bool) {
         println!("sim_cycles,{}", stats.sim_cycles);
         println!("sim_insts,{}", stats.sim_insts);
         println!("sim_insts_per_sec,{:.0}", stats.sim_insts_per_sec());
+        println!("panics_caught,{}", stats.panics_caught);
+        println!("budget_exceeded,{}", stats.budget_exceeded);
     } else {
         println!(
-            "# engine: {} threads, {} sims, {} cache hits ({:.0}%), {} decodes, {:.2}s simulating ({:.2}M instr/s)",
+            "# engine: {} threads, {} sims, {} cache hits ({:.0}%), {} decodes, {:.2}s simulating ({:.2}M instr/s), {} panics caught, {} budgets exceeded",
             e.threads(),
             stats.sims_executed,
             stats.cache_hits,
             stats.hit_rate() * 100.0,
             stats.decodes,
             stats.sim_time().as_secs_f64(),
-            stats.sim_insts_per_sec() / 1e6
+            stats.sim_insts_per_sec() / 1e6,
+            stats.panics_caught,
+            stats.budget_exceeded,
         );
     }
 }

@@ -10,12 +10,22 @@
 //!
 //! The library form exists so the argument parsing and command logic
 //! are unit-testable; `main.rs` is a thin shim.
+//!
+//! Every failure is mapped to a [`CliError`] with a distinct process
+//! exit code: `2` for usage errors, `3` for input errors (unreadable
+//! or unparsable files, failing kernels), `4` for internal errors
+//! (caught panics) — so scripts can tell "you called it wrong" from
+//! "your kernel is bad" from "the tool itself broke".
+
+// Robustness gate (DESIGN.md §7): failures become `CliError`s with
+// distinct exit codes, never aborts.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use crat_core::engine::EvalEngine;
-use crat_core::{analyze, optimize_with, CratOptions, OptTlpSource};
+use crat_core::{analyze, optimize_with, CratError, CratOptions, OptTlpSource};
 use crat_ptx::{parse, passes, Kernel};
 use crat_regalloc::{allocate, AllocOptions};
 use crat_sim::{GpuConfig, LaunchConfig};
@@ -111,12 +121,28 @@ impl Default for CommonOpts {
 /// Errors surfaced to the user.
 #[derive(Debug)]
 pub enum CliError {
-    /// Bad command line.
+    /// Bad command line (exit code 2).
     Usage(String),
-    /// I/O failure.
+    /// I/O failure (exit code 3).
     Io(std::io::Error),
-    /// Any pipeline failure, pre-rendered.
+    /// Any pipeline failure on the user's input, pre-rendered (exit
+    /// code 3).
     Tool(String),
+    /// The tool itself broke — a caught panic or engine-internal
+    /// failure, not the user's fault (exit code 4).
+    Internal(String),
+}
+
+impl CliError {
+    /// The process exit code for this error: `2` usage, `3` input,
+    /// `4` internal.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) | CliError::Tool(_) => 3,
+            CliError::Internal(_) => 4,
+        }
+    }
 }
 
 impl std::fmt::Display for CliError {
@@ -125,6 +151,7 @@ impl std::fmt::Display for CliError {
             CliError::Usage(m) => write!(f, "usage error: {m}\n\n{USAGE}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Tool(m) => f.write_str(m),
+            CliError::Internal(m) => write!(f, "internal error (please report): {m}"),
         }
     }
 }
@@ -134,6 +161,16 @@ impl std::error::Error for CliError {}
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> CliError {
         CliError::Io(e)
+    }
+}
+
+/// Map a pipeline failure onto the exit-code taxonomy: caught panics
+/// are the tool's fault ([`CliError::Internal`]), everything else is a
+/// property of the user's input ([`CliError::Tool`]).
+fn tool_error(context: &str, e: &CratError) -> CliError {
+    match e {
+        CratError::Internal { .. } => CliError::Internal(format!("{context}: {e}")),
+        _ => CliError::Tool(format!("{context}: {e}")),
     }
 }
 
@@ -318,10 +355,11 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Ok(())
     }
 
-    /// One-line engine report appended to simulating subcommands.
+    /// One-line engine report appended to simulating subcommands. The
+    /// robustness counters only appear when something actually tripped.
     fn engine_line(engine: &EvalEngine) -> String {
         let s = engine.stats();
-        format!(
+        let mut line = format!(
             "engine: {} threads, {} sims, {} cache hits, {} decodes, {:.2}s simulating ({:.2}M instr/s)",
             engine.threads(),
             s.sims_executed,
@@ -329,7 +367,14 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             s.decodes,
             s.sim_time().as_secs_f64(),
             s.sim_insts_per_sec() / 1e6
-        )
+        );
+        if s.panics_caught > 0 {
+            line.push_str(&format!(", {} panics caught", s.panics_caught));
+        }
+        if s.budget_exceeded > 0 {
+            line.push_str(&format!(", {} budgets exceeded", s.budget_exceeded));
+        }
+        line
     }
 
     match cmd {
@@ -364,11 +409,11 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             );
             use crat_core::{evaluate_with, Technique};
             let baseline = evaluate_with(engine, &kernel, &opts.gpu, &launch, Technique::OptTlp)
-                .map_err(|e| CliError::Tool(format!("OptTLP failed: {e}")))?;
+                .map_err(|e| tool_error("OptTLP failed", &e))?;
             let mut points = Vec::new();
             for t in [Technique::MaxTlp, Technique::OptTlp, Technique::Crat] {
                 let e = evaluate_with(engine, &kernel, &opts.gpu, &launch, t)
-                    .map_err(|err| CliError::Tool(format!("{t} failed: {err}")))?;
+                    .map_err(|err| tool_error(&format!("{t} failed"), &err))?;
                 let _ = writeln!(
                     out,
                     "  {:10} reg={:2} TLP={}  cycles={:9}  L1 hit={:5.1}%  vs OptTLP: {:.2}x",
@@ -451,7 +496,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 copts.shm_spill = false;
             }
             let solution = optimize_with(engine, &kernel, &opts.gpu, &launch, &copts)
-                .map_err(|e| CliError::Tool(format!("optimization failed: {e}")))?;
+                .map_err(|e| tool_error("optimization failed", &e))?;
             let _ = writeln!(
                 report,
                 "resource usage: MaxReg={} MinReg={} MaxTLP={} ShmSize={}B",
@@ -472,6 +517,34 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                     c.allocation.spills.counts.total_local(),
                     c.allocation.spills.counts.total_shared(),
                 );
+            }
+            // Degradation report: say exactly what was dropped or
+            // downgraded, so a degraded-but-successful run is visible.
+            if solution.is_degraded() {
+                let _ = writeln!(
+                    report,
+                    "degraded: {} point(s) skipped, {} fallback allocation(s)",
+                    solution.skipped.len(),
+                    solution.fallback_count()
+                );
+                for s in &solution.skipped {
+                    let _ = writeln!(
+                        report,
+                        "  skipped (reg={}, TLP={}): {}",
+                        s.point.reg, s.point.tlp, s.reason
+                    );
+                }
+                for c in solution
+                    .candidates
+                    .iter()
+                    .filter(|c| c.strategy == crat_core::AllocStrategy::Fallback)
+                {
+                    let _ = writeln!(
+                        report,
+                        "  fallback (reg={}, TLP={}): linear scan, local spills only",
+                        c.point.reg, c.achieved_tlp
+                    );
+                }
             }
             let winner = solution.winner();
             let _ = writeln!(
@@ -509,7 +582,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let engine = engine_for(&opts);
             let stats = engine
                 .simulate(&kernel, &opts.gpu, &launch, regs, tlp)
-                .map_err(|e| CliError::Tool(format!("simulation failed: {e}")))?;
+                .map_err(|e| tool_error(&file, &e))?;
             let mut out = String::new();
             let _ = writeln!(out, "simulated `{}` on {}:", kernel.name(), opts.gpu.name);
             let _ = writeln!(out, "  cycles              {}", stats.cycles);

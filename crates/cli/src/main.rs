@@ -1,17 +1,34 @@
 //! The `crat` command-line driver (thin shim over [`crat_cli`]).
+//!
+//! Exit codes: `0` success, `2` usage error, `3` input error, `4`
+//! internal error (including any panic that escapes the library).
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match crat_cli::parse_args(&args).and_then(crat_cli::run) {
-        Ok(text) => {
+    // Last line of defense: a panic anywhere below becomes exit code 4
+    // with a one-line report instead of an unwind trace.
+    let outcome = std::panic::catch_unwind(|| crat_cli::parse_args(&args).and_then(crat_cli::run));
+    match outcome {
+        Ok(Ok(text)) => {
             println!("{text}");
             ExitCode::SUCCESS
         }
-        Err(e) => {
+        Ok(Err(e)) => {
             eprintln!("{e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            eprintln!("internal error (please report): {msg}");
+            ExitCode::from(4)
         }
     }
 }

@@ -1,4 +1,4 @@
-//! The memoizing, parallel evaluation engine.
+//! The memoizing, parallel, panic-isolated evaluation engine.
 //!
 //! Every simulation the optimizer, the techniques, and the experiment
 //! binaries request goes through one [`EvalEngine`], which
@@ -16,26 +16,47 @@
 //!   second cache keyed by the kernel-only structural hash, so a TLP
 //!   or register sweep over one binary pays validation and lowering a
 //!   single time and every simulation runs on the pre-decoded IR;
+//! * **isolates faults**: each simulation runs under
+//!   [`catch_unwind`](std::panic::catch_unwind), so a panicking job
+//!   becomes a structured [`CratError::Internal`] result instead of
+//!   tearing down the process, and the engine (including its memo
+//!   cache) stays usable for subsequent jobs;
+//! * **enforces budgets** ([`EvalBudget`]): a per-job cycle-count
+//!   override degrades a runaway simulation to a deterministic
+//!   [`SimError::CycleLimit`], and a wall-clock deadline cancels it
+//!   cooperatively with [`SimError::DeadlineExceeded`];
 //! * **counts** what it did ([`EngineStats`]): simulations executed,
 //!   cache hits, kernels decoded, simulated cycles and warp
-//!   instructions, and wall time spent inside the simulator (from
-//!   which it derives sim-side throughput).
+//!   instructions, wall time spent inside the simulator, panics
+//!   caught, and budgets exceeded.
 //!
 //! Determinism: the simulator itself is deterministic, the cache key
 //! is injective over everything the simulator reads, and batch results
 //! are returned in submission order — so results obtained through the
 //! engine are bit-identical to calling [`crat_sim::simulate`]
 //! directly, at any thread count, cold or warm.
+//!
+//! Caching policy for failures: simulator errors are memoized like
+//! successes (retrying a deterministic simulation cannot change the
+//! outcome), but two result classes are *never* left in the cache —
+//! panics (a caught panic says nothing reliable about the operating
+//! point) and deadline expiries (wall-clock dependent, so a retry with
+//! a fresh deadline may legitimately succeed). Both fill their slot so
+//! concurrent waiters unblock, then the entry is removed.
 
+use std::any::Any;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use crat_ptx::Kernel;
 use crat_sim::{DecodedKernel, GpuConfig, LaunchConfig, SimError, SimStats};
+
+use crate::CratError;
 
 /// 64-bit FNV-1a with a caller-chosen offset basis. The standard
 /// library's default hasher is randomly seeded per process; the memo
@@ -99,6 +120,27 @@ fn kernel_key(kernel: &Kernel) -> SimKey {
     SimKey(digest(FNV_BASIS_LO), digest(FNV_BASIS_HI))
 }
 
+/// Lock a mutex, recovering from poisoning. The maps the engine guards
+/// are only mutated by single, non-panicking `HashMap` operations, so
+/// a poisoned lock (a worker panicked elsewhere while the OS preempted
+/// it mid-critical-section) still protects a structurally sound map —
+/// recovering is how the engine stays usable after a caught panic.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Render a panic payload for [`CratError::Internal`]: the common
+/// `&str` / `String` payloads verbatim, anything else a placeholder.
+fn payload_string(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// One simulation request, by reference: the engine never clones a
 /// kernel to queue it.
 #[derive(Debug, Clone, Copy)]
@@ -113,6 +155,47 @@ pub struct SimJob<'a> {
     pub regs_per_thread: u32,
     /// Optional cap on resident blocks (thread throttling).
     pub tlp_cap: Option<u32>,
+}
+
+/// Per-job evaluation limits. The default ([`EvalBudget::none`]) is
+/// unlimited; see the module docs for which budget outcomes are
+/// memoized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalBudget {
+    /// Cap the simulated cycle count below the GPU configuration's
+    /// `max_cycles`. Exceeding it yields [`SimError::CycleLimit`] —
+    /// deterministic, so the degraded result is memoized (under a key
+    /// that reflects the tightened limit).
+    pub max_cycles_override: Option<u64>,
+    /// Cancel the simulation cooperatively once this wall-clock
+    /// instant passes, yielding [`SimError::DeadlineExceeded`]. Wall
+    /// time is not deterministic, so this outcome is never memoized.
+    pub deadline: Option<Instant>,
+}
+
+impl EvalBudget {
+    /// No limits: the job runs to the GPU configuration's own
+    /// `max_cycles`.
+    pub fn none() -> EvalBudget {
+        EvalBudget::default()
+    }
+
+    /// Cap the simulated cycle count.
+    pub fn with_max_cycles(mut self, cycles: u64) -> EvalBudget {
+        self.max_cycles_override = Some(cycles);
+        self
+    }
+
+    /// Set a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> EvalBudget {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// True when no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_cycles_override.is_none() && self.deadline.is_none()
+    }
 }
 
 /// A snapshot of the engine's counters.
@@ -132,6 +215,11 @@ pub struct EngineStats {
     pub sim_cycles: u64,
     /// Warp instructions executed, summed over executed simulations.
     pub sim_insts: u64,
+    /// Worker panics caught and converted to [`CratError::Internal`].
+    pub panics_caught: u64,
+    /// Jobs stopped by an [`EvalBudget`] limit (cycle override hit or
+    /// deadline expired).
+    pub budget_exceeded: u64,
 }
 
 impl EngineStats {
@@ -179,7 +267,7 @@ impl EngineStats {
 /// Cache slot: filled exactly once by whichever request arrives first;
 /// concurrent requests for the same key block on it instead of running
 /// a duplicate simulation.
-type Slot = Arc<OnceLock<Result<SimStats, SimError>>>;
+type Slot = Arc<OnceLock<Result<SimStats, CratError>>>;
 
 /// The memoizing, parallel evaluation engine. See the module docs.
 #[derive(Debug)]
@@ -193,6 +281,8 @@ pub struct EvalEngine {
     decodes: AtomicU64,
     sim_cycles: AtomicU64,
     sim_insts: AtomicU64,
+    panics_caught: AtomicU64,
+    budget_exceeded: AtomicU64,
 }
 
 impl EvalEngine {
@@ -214,6 +304,8 @@ impl EvalEngine {
             decodes: AtomicU64::new(0),
             sim_cycles: AtomicU64::new(0),
             sim_insts: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            budget_exceeded: AtomicU64::new(0),
         }
     }
 
@@ -236,30 +328,34 @@ impl EvalEngine {
             decodes: self.decodes.load(Ordering::Relaxed),
             sim_cycles: self.sim_cycles.load(Ordering::Relaxed),
             sim_insts: self.sim_insts.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            budget_exceeded: self.budget_exceeded.load(Ordering::Relaxed),
         }
     }
 
     /// Number of distinct operating points cached so far.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("engine cache poisoned").len()
+        lock(&self.cache).len()
     }
 
     /// Number of distinct kernels in the decoded-kernel cache.
     pub fn decoded_len(&self) -> usize {
-        self.decoded.lock().expect("decoded cache poisoned").len()
+        lock(&self.decoded).len()
     }
 
     /// Drop all cached results and decoded kernels, and zero the
     /// counters.
     pub fn reset(&self) {
-        self.cache.lock().expect("engine cache poisoned").clear();
-        self.decoded.lock().expect("decoded cache poisoned").clear();
+        lock(&self.cache).clear();
+        lock(&self.decoded).clear();
         self.sims_executed.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
         self.sim_nanos.store(0, Ordering::Relaxed);
         self.decodes.store(0, Ordering::Relaxed);
         self.sim_cycles.store(0, Ordering::Relaxed);
         self.sim_insts.store(0, Ordering::Relaxed);
+        self.panics_caught.store(0, Ordering::Relaxed);
+        self.budget_exceeded.store(0, Ordering::Relaxed);
     }
 
     /// Lower `kernel` through the decoded-kernel cache: the first call
@@ -272,19 +368,14 @@ impl EvalEngine {
     /// cached (they are cheap to recompute and rare).
     pub fn decode_cached(&self, kernel: &Kernel) -> Result<Arc<DecodedKernel>, SimError> {
         let key = kernel_key(kernel);
-        if let Some(dk) = self
-            .decoded
-            .lock()
-            .expect("decoded cache poisoned")
-            .get(&key)
-        {
+        if let Some(dk) = lock(&self.decoded).get(&key) {
             return Ok(dk.clone());
         }
         // Decode outside the lock; a concurrent decode of the same
         // kernel is harmless (first insert wins, duplicates are
         // dropped and not counted).
         let dk = Arc::new(crat_sim::decode(kernel)?);
-        let mut cache = self.decoded.lock().expect("decoded cache poisoned");
+        let mut cache = lock(&self.decoded);
         match cache.entry(key) {
             Entry::Occupied(e) => Ok(e.get().clone()),
             Entry::Vacant(v) => {
@@ -296,13 +387,16 @@ impl EvalEngine {
 
     /// Simulate through the memo cache. Drop-in for
     /// [`crat_sim::simulate`]: the result (including errors) is
-    /// bit-identical to a direct call.
+    /// bit-identical to a direct call, with the simulator's error
+    /// wrapped as [`CratError::Sim`].
     ///
     /// # Errors
     ///
-    /// Whatever the underlying simulation returns; errors are cached
-    /// like successes (the simulator is deterministic, so retrying
-    /// cannot change the outcome).
+    /// Whatever the underlying simulation returns, as
+    /// [`CratError::Sim`]; a panicking simulation is caught and
+    /// surfaced as [`CratError::Internal`]. Simulator errors are
+    /// cached like successes (the simulator is deterministic, so
+    /// retrying cannot change the outcome); panics never are.
     pub fn simulate(
         &self,
         kernel: &Kernel,
@@ -310,49 +404,159 @@ impl EvalEngine {
         launch: &LaunchConfig,
         regs_per_thread: u32,
         tlp_cap: Option<u32>,
-    ) -> Result<SimStats, SimError> {
+    ) -> Result<SimStats, CratError> {
+        self.simulate_budgeted(
+            kernel,
+            gpu,
+            launch,
+            regs_per_thread,
+            tlp_cap,
+            EvalBudget::none(),
+        )
+    }
+
+    /// [`simulate`](EvalEngine::simulate) under a per-job
+    /// [`EvalBudget`].
+    ///
+    /// A cycle override is applied by tightening the GPU
+    /// configuration's `max_cycles`, which also changes the cache key
+    /// — so a budgeted result and an unlimited result of the same
+    /// operating point never alias. A deadline does *not* change the
+    /// key: a job that finishes under its deadline is bit-identical to
+    /// an unlimited run, and a [`SimError::DeadlineExceeded`] outcome
+    /// is never memoized.
+    ///
+    /// # Errors
+    ///
+    /// As [`simulate`](EvalEngine::simulate), plus
+    /// [`SimError::CycleLimit`] / [`SimError::DeadlineExceeded`]
+    /// (wrapped in [`CratError::Sim`]) when a budget limit is hit.
+    pub fn simulate_budgeted(
+        &self,
+        kernel: &Kernel,
+        gpu: &GpuConfig,
+        launch: &LaunchConfig,
+        regs_per_thread: u32,
+        tlp_cap: Option<u32>,
+        budget: EvalBudget,
+    ) -> Result<SimStats, CratError> {
+        // Apply the cycle override by tightening the config, so the
+        // cache key naturally reflects the effective limit.
+        let tightened: GpuConfig;
+        let gpu = match budget.max_cycles_override {
+            Some(cap) if cap < gpu.max_cycles => {
+                tightened = GpuConfig {
+                    max_cycles: cap,
+                    ..gpu.clone()
+                };
+                &tightened
+            }
+            _ => gpu,
+        };
         let key = sim_key(kernel, gpu, launch, regs_per_thread, tlp_cap);
         let (slot, owner) = {
-            let mut cache = self.cache.lock().expect("engine cache poisoned");
+            let mut cache = lock(&self.cache);
             match cache.entry(key) {
                 Entry::Occupied(e) => (e.get().clone(), false),
                 Entry::Vacant(v) => (v.insert(Arc::new(OnceLock::new())).clone(), true),
             }
         };
-        if owner {
-            let started = Instant::now();
-            let result = self.decode_cached(kernel).and_then(|dk| {
-                crat_sim::simulate_decoded(&dk, gpu, launch, regs_per_thread, tlp_cap)
-            });
-            let nanos = started.elapsed().as_nanos() as u64;
-            self.sims_executed.fetch_add(1, Ordering::Relaxed);
-            self.sim_nanos.fetch_add(nanos, Ordering::Relaxed);
-            if let Ok(s) = &result {
-                self.sim_cycles.fetch_add(s.cycles, Ordering::Relaxed);
-                self.sim_insts.fetch_add(s.warp_insts, Ordering::Relaxed);
-            }
-            slot.set(result.clone())
-                .expect("slot filled once, by its owner");
-            result
-        } else {
+        if !owner {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            slot.wait().clone()
+            return slot.wait().clone();
         }
+        let started = Instant::now();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            self.decode_cached(kernel).and_then(|dk| {
+                crat_sim::simulate_decoded_deadline(
+                    &dk,
+                    gpu,
+                    launch,
+                    regs_per_thread,
+                    tlp_cap,
+                    budget.deadline,
+                )
+            })
+        }));
+        let nanos = started.elapsed().as_nanos() as u64;
+        self.sims_executed.fetch_add(1, Ordering::Relaxed);
+        self.sim_nanos.fetch_add(nanos, Ordering::Relaxed);
+        let result: Result<SimStats, CratError> = match caught {
+            Ok(r) => r.map_err(CratError::Sim),
+            Err(payload) => {
+                self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                Err(CratError::Internal {
+                    job: format!(
+                        "sim job (kernel `{}`, gpu `{}`, grid {}, block {}, regs {}, tlp {:?})",
+                        kernel.name(),
+                        gpu.name,
+                        launch.grid_blocks,
+                        launch.block_size,
+                        regs_per_thread,
+                        tlp_cap,
+                    ),
+                    payload: payload_string(payload.as_ref()),
+                })
+            }
+        };
+        if let Ok(s) = &result {
+            self.sim_cycles.fetch_add(s.cycles, Ordering::Relaxed);
+            self.sim_insts.fetch_add(s.warp_insts, Ordering::Relaxed);
+        }
+        // Decide whether this outcome may stay memoized (module docs).
+        let evict = match &result {
+            Err(CratError::Internal { .. }) => true,
+            Err(CratError::Sim(SimError::DeadlineExceeded { .. })) => {
+                self.budget_exceeded.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(CratError::Sim(SimError::CycleLimit { .. }))
+                if budget.max_cycles_override.is_some() =>
+            {
+                self.budget_exceeded.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            _ => false,
+        };
+        // Fill the slot first so concurrent waiters always unblock,
+        // then drop the entry for non-memoizable outcomes. New
+        // requesters arriving before the removal wait on this slot and
+        // observe the structured error; requesters after it re-own.
+        let _ = slot.set(result.clone());
+        if evict {
+            let mut cache = lock(&self.cache);
+            if cache.get(&key).is_some_and(|s| Arc::ptr_eq(s, &slot)) {
+                cache.remove(&key);
+            }
+        }
+        result
     }
 
     /// Run a batch of simulations across the worker pool, returning
     /// results **in submission order** (batch `i` → result `i`), so
     /// callers that scan for the first error or the earliest minimum
-    /// behave exactly as a serial loop would.
-    pub fn simulate_batch(&self, jobs: &[SimJob<'_>]) -> Vec<Result<SimStats, SimError>> {
-        self.par_map(jobs, |j| {
+    /// behave exactly as a serial loop would. Each job is panic
+    /// isolated: a panicking job yields [`CratError::Internal`] in its
+    /// result position and the other jobs are unaffected.
+    pub fn simulate_batch(&self, jobs: &[SimJob<'_>]) -> Vec<Result<SimStats, CratError>> {
+        let nested = self.try_par_map(jobs, |j| {
             self.simulate(j.kernel, j.gpu, j.launch, j.regs_per_thread, j.tlp_cap)
-        })
+        });
+        nested.into_iter().map(|r| r.and_then(|x| x)).collect()
     }
 
     /// Apply `f` to every item across the worker pool and collect the
     /// results in item order. Falls back to a plain serial map when
     /// the pool width is 1 or the batch has a single item.
+    ///
+    /// # Panics
+    ///
+    /// If `f` itself panics the panic is recorded in
+    /// [`EngineStats::panics_caught`], **all** remaining workers are
+    /// drained (no thread is left detached), and the first payload is
+    /// then re-raised on the calling thread. Use
+    /// [`try_par_map`](EvalEngine::try_par_map) for the non-panicking
+    /// variant.
     pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -366,6 +570,7 @@ impl EvalEngine {
         }
         let next = AtomicUsize::new(0);
         let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
+        let mut first_panic: Option<Box<dyn Any + Send>> = None;
         std::thread::scope(|scope| {
             let workers: Vec<_> = (0..width)
                 .map(|_| {
@@ -382,12 +587,50 @@ impl EvalEngine {
                     })
                 })
                 .collect();
+            // Join every worker before reacting to a failure: a panic
+            // in one worker must not leave the others running (or the
+            // scope would re-panic on drop with a second payload).
             for w in workers {
-                indexed.extend(w.join().expect("engine worker panicked"));
+                match w.join() {
+                    Ok(part) => indexed.extend(part),
+                    Err(payload) => {
+                        self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                        first_panic.get_or_insert(payload);
+                    }
+                }
             }
         });
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
         indexed.sort_unstable_by_key(|&(i, _)| i);
         indexed.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Panic-isolated [`par_map`](EvalEngine::par_map): apply `f` to
+    /// every item across the worker pool, catching panics per item —
+    /// a panicking item yields `Err(CratError::Internal)` in its
+    /// result position while every other item completes normally.
+    /// Results are in item order.
+    pub fn try_par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, CratError>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let indices: Vec<usize> = (0..items.len()).collect();
+        self.par_map(&indices, |&i| {
+            match std::panic::catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                Ok(r) => Ok(r),
+                Err(payload) => {
+                    self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                    Err(CratError::Internal {
+                        job: format!("batch item {i}"),
+                        payload: payload_string(payload.as_ref()),
+                    })
+                }
+            }
+        })
     }
 }
 
@@ -430,20 +673,22 @@ pub fn configure_global(threads: usize) -> &'static EvalEngine {
     GLOBAL.get_or_init(|| EvalEngine::new(threads))
 }
 
-/// Simulate through the process-wide engine. Signature-compatible with
+/// Simulate through the process-wide engine. Argument-compatible with
 /// [`crat_sim::simulate`] so call sites can switch by changing one
-/// import.
+/// import; the simulator's error arrives wrapped in
+/// [`CratError::Sim`].
 ///
 /// # Errors
 ///
-/// Whatever the underlying simulation returns.
+/// Whatever the underlying simulation returns; see
+/// [`EvalEngine::simulate`].
 pub fn simulate(
     kernel: &Kernel,
     gpu: &GpuConfig,
     launch: &LaunchConfig,
     regs_per_thread: u32,
     tlp_cap: Option<u32>,
-) -> Result<SimStats, SimError> {
+) -> Result<SimStats, CratError> {
     global().simulate(kernel, gpu, launch, regs_per_thread, tlp_cap)
 }
 
@@ -534,7 +779,10 @@ mod tests {
         let parallel = engine.simulate_batch(&jobs);
         let serial: Vec<_> = jobs
             .iter()
-            .map(|j| crat_sim::simulate(j.kernel, j.gpu, j.launch, j.regs_per_thread, j.tlp_cap))
+            .map(|j| {
+                crat_sim::simulate(j.kernel, j.gpu, j.launch, j.regs_per_thread, j.tlp_cap)
+                    .map_err(CratError::Sim)
+            })
             .collect();
         assert_eq!(parallel, serial);
     }
@@ -546,6 +794,98 @@ mod tests {
         let parallel = engine.par_map(&items, |&x| x * x + 1);
         let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
         assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn try_par_map_isolates_a_panicking_item() {
+        let engine = EvalEngine::new(4);
+        let items: Vec<u64> = (0..16).collect();
+        let results = engine.try_par_map(&items, |&x| {
+            assert!(x != 7, "injected item panic");
+            x * 2
+        });
+        assert_eq!(results.len(), 16);
+        for (i, r) in results.iter().enumerate() {
+            if i == 7 {
+                match r {
+                    Err(CratError::Internal { job, payload }) => {
+                        assert!(job.contains("item 7"), "job was: {job}");
+                        assert!(payload.contains("injected item panic"));
+                    }
+                    other => panic!("expected Internal, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*r, Ok(i as u64 * 2));
+            }
+        }
+        assert_eq!(engine.stats().panics_caught, 1);
+    }
+
+    #[test]
+    fn par_map_drains_workers_on_panic_and_reraises() {
+        let engine = EvalEngine::new(4);
+        let items: Vec<u64> = (0..32).collect();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            engine.par_map(&items, |&x| {
+                assert!(x != 3, "worker blew up");
+                x
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        assert!(payload_string(payload.as_ref()).contains("worker blew up"));
+        assert!(engine.stats().panics_caught >= 1);
+        // The engine is still usable after the propagated panic.
+        let ok = engine.par_map(&items, |&x| x + 1);
+        assert_eq!(ok[31], 32);
+    }
+
+    #[test]
+    fn budget_cycle_override_degrades_to_cycle_limit() {
+        let (k, gpu, launch) = setup();
+        let engine = EvalEngine::serial();
+        let budget = EvalBudget::none().with_max_cycles(10);
+        let r = engine.simulate_budgeted(&k, &gpu, &launch, 16, Some(2), budget);
+        match r {
+            Err(CratError::Sim(SimError::CycleLimit { cycles })) => assert!(cycles >= 10),
+            other => panic!("expected CycleLimit, got {other:?}"),
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.budget_exceeded, 1);
+        assert_eq!(stats.panics_caught, 0);
+        // Deterministic outcome: memoized under the tightened key, and
+        // the unlimited run is unaffected by it.
+        assert_eq!(engine.cache_len(), 1);
+        let full = engine.simulate(&k, &gpu, &launch, 16, Some(2));
+        assert!(full.is_ok());
+        assert_eq!(engine.cache_len(), 2);
+    }
+
+    #[test]
+    fn budget_expired_deadline_is_not_cached() {
+        let (k, gpu, launch) = setup();
+        let engine = EvalEngine::serial();
+        let budget = EvalBudget::none().with_deadline(Instant::now() - Duration::from_secs(1));
+        let r = engine.simulate_budgeted(&k, &gpu, &launch, 16, Some(2), budget);
+        match r {
+            Err(CratError::Sim(SimError::DeadlineExceeded { .. })) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(engine.stats().budget_exceeded, 1);
+        assert_eq!(
+            engine.cache_len(),
+            0,
+            "deadline outcomes must not be memoized"
+        );
+        // A retry with a generous deadline succeeds under the same key.
+        let budget = EvalBudget::none().with_deadline(Instant::now() + Duration::from_secs(600));
+        let r = engine.simulate_budgeted(&k, &gpu, &launch, 16, Some(2), budget);
+        assert!(r.is_ok());
+        let direct = crat_sim::simulate(&k, &gpu, &launch, 16, Some(2)).unwrap();
+        assert_eq!(
+            r.unwrap(),
+            direct,
+            "under-deadline result matches unlimited"
+        );
     }
 
     #[test]

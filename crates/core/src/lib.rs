@@ -35,6 +35,11 @@
 //! # Ok::<(), crat_core::CratError>(())
 //! ```
 
+// Robustness gate (DESIGN.md §7): non-test code in this crate must
+// surface failures as structured errors, not aborts. Survivors carry a
+// local `#[allow]` with a justification.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod design_space;
 pub mod engine;
 pub mod metrics;
@@ -50,13 +55,13 @@ use std::error::Error;
 use std::fmt;
 
 pub use design_space::{prune, staircase, DesignPoint, ALLOC_FLOOR};
-pub use engine::{EngineStats, EvalEngine, SimJob};
+pub use engine::{EngineStats, EvalBudget, EvalEngine, SimJob};
 pub use metrics::{
     engine_to_json, metrics_document, stats_from_json, stats_to_json, Json, MetricsPoint,
 };
 pub use pipeline::{
-    optimize, optimize_oracle, optimize_oracle_with, optimize_with, Candidate, CratOptions,
-    CratSolution, OptTlpSource,
+    optimize, optimize_oracle, optimize_oracle_with, optimize_with, AllocStrategy, Candidate,
+    CratOptions, CratSolution, OptTlpSource, SkippedPoint,
 };
 pub use profile_tlp::{profile_opt_tlp, profile_opt_tlp_with, TlpProfile};
 pub use resource::{analyze, ResourceUsage};
@@ -74,6 +79,15 @@ pub enum CratError {
     Sim(crat_sim::SimError),
     /// Pruning left no candidate design points.
     NoCandidates,
+    /// A worker panicked while evaluating a job. The panic was caught
+    /// at the engine boundary and converted into this structured
+    /// error; the process stays alive and the engine stays usable.
+    Internal {
+        /// Human-readable description of the job that panicked.
+        job: String,
+        /// The panic payload, downcast to a string where possible.
+        payload: String,
+    },
 }
 
 impl fmt::Display for CratError {
@@ -82,6 +96,9 @@ impl fmt::Display for CratError {
             CratError::Alloc(e) => write!(f, "register allocation failed: {e}"),
             CratError::Sim(e) => write!(f, "simulation failed: {e}"),
             CratError::NoCandidates => f.write_str("design-space pruning left no candidates"),
+            CratError::Internal { job, payload } => {
+                write!(f, "internal error evaluating {job}: {payload}")
+            }
         }
     }
 }
@@ -91,7 +108,7 @@ impl Error for CratError {
         match self {
             CratError::Alloc(e) => Some(e),
             CratError::Sim(e) => Some(e),
-            CratError::NoCandidates => None,
+            CratError::NoCandidates | CratError::Internal { .. } => None,
         }
     }
 }

@@ -344,6 +344,8 @@ impl Parser<'_> {
                     // so boundaries are valid).
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    // `rest` is non-empty: `peek()` returned `Some`.
+                    #[allow(clippy::expect_used)]
                     let c = s.chars().next().expect("non-empty");
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -368,6 +370,8 @@ impl Parser<'_> {
                 _ => break,
             }
         }
+        // The scanned range holds only ASCII digit/sign/exponent bytes.
+        #[allow(clippy::expect_used)]
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
         if float || text.starts_with('-') {
             text.parse::<f64>()
@@ -550,6 +554,11 @@ pub fn engine_to_json(stats: &EngineStats) -> Json {
         ("decodes".to_string(), Json::Int(stats.decodes)),
         ("sim_cycles".to_string(), Json::Int(stats.sim_cycles)),
         ("sim_insts".to_string(), Json::Int(stats.sim_insts)),
+        ("panics_caught".to_string(), Json::Int(stats.panics_caught)),
+        (
+            "budget_exceeded".to_string(),
+            Json::Int(stats.budget_exceeded),
+        ),
     ])
 }
 
@@ -651,10 +660,14 @@ mod tests {
             decodes: 1,
             sim_cycles: 1000,
             sim_insts: 2000,
+            panics_caught: 1,
+            budget_exceeded: 2,
         };
         let json = engine_to_json(&stats);
         assert!(json.get("sim_nanos").is_none());
         assert_eq!(json.get("requests"), Some(&Json::Int(8)));
+        assert_eq!(json.get("panics_caught"), Some(&Json::Int(1)));
+        assert_eq!(json.get("budget_exceeded"), Some(&Json::Int(2)));
         let text = json.pretty();
         assert!(!text.contains("nanos"), "{text}");
     }

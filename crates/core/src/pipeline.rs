@@ -1,9 +1,18 @@
 //! The end-to-end CRAT optimizer (paper Figure 9): resource analysis →
 //! design-space pruning → per-candidate register allocation (with the
 //! shared-memory spilling optimization) → TPSC selection.
+//!
+//! The pipeline degrades gracefully instead of aborting: a failed
+//! Briggs coloring falls back to linear scan (recorded as
+//! [`AllocStrategy::Fallback`]), a candidate whose allocation or
+//! simulation errors is dropped with a recorded [`SkippedPoint`], and
+//! TPSC selection runs over the survivors. The whole optimize fails
+//! only when *no* candidate survives.
 
 use crat_ptx::{Cfg, Kernel, Space};
-use crat_regalloc::{allocate, AllocError, AllocOptions, Allocation, ShmSpillConfig};
+use crat_regalloc::{
+    allocate, allocate_linear_scan, AllocError, AllocOptions, Allocation, ShmSpillConfig,
+};
 use crat_sim::{occupancy, GpuConfig, LaunchConfig};
 
 use crate::design_space::{prune, DesignPoint};
@@ -81,6 +90,19 @@ impl CratOptions {
     }
 }
 
+/// Which allocator produced a candidate's allocation (the degradation
+/// ladder's first rung: briggs → linear-scan → skip point → fail run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocStrategy {
+    /// The primary Briggs graph-coloring allocator.
+    Briggs,
+    /// The linear-scan fallback, used after Briggs failed at this reg
+    /// target. Linear scan ignores the shared-memory spill
+    /// configuration, so fallback allocations spill to local memory
+    /// only — a degraded but valid binary.
+    Fallback,
+}
+
 /// One evaluated candidate design point.
 #[derive(Debug, Clone)]
 pub struct Candidate {
@@ -93,6 +115,17 @@ pub struct Candidate {
     pub tpsc: f64,
     /// The register allocation performed for it.
     pub allocation: Allocation,
+    /// Which allocator produced it.
+    pub strategy: AllocStrategy,
+}
+
+/// A design point the optimizer dropped instead of aborting on.
+#[derive(Debug, Clone)]
+pub struct SkippedPoint {
+    /// The dropped point.
+    pub point: DesignPoint,
+    /// Why it was dropped.
+    pub reason: CratError,
 }
 
 /// The optimizer's output.
@@ -106,6 +139,9 @@ pub struct CratSolution {
     pub candidates: Vec<Candidate>,
     /// Index of the chosen candidate.
     pub chosen: usize,
+    /// Design points dropped by graceful degradation (allocation or
+    /// simulation failed); empty on a healthy run.
+    pub skipped: Vec<SkippedPoint>,
 }
 
 impl CratSolution {
@@ -117,6 +153,20 @@ impl CratSolution {
     /// The chosen `(reg, TLP)` point.
     pub fn point(&self) -> DesignPoint {
         self.winner().point
+    }
+
+    /// Candidates produced by the linear-scan fallback.
+    pub fn fallback_count(&self) -> usize {
+        self.candidates
+            .iter()
+            .filter(|c| c.strategy == AllocStrategy::Fallback)
+            .count()
+    }
+
+    /// True when any degradation path fired (skipped points or
+    /// fallback allocations). Healthy inputs must report `false`.
+    pub fn is_degraded(&self) -> bool {
+        !self.skipped.is_empty() || self.fallback_count() > 0
     }
 }
 
@@ -160,19 +210,57 @@ pub(crate) fn robust_allocate(
     budget: u32,
     shm: Option<ShmSpillConfig>,
 ) -> Result<(Allocation, u32), AllocError> {
+    escalate(budget, |opts| allocate(kernel, opts), shm)
+}
+
+/// Run one allocator under the `+2` budget-escalation ladder.
+fn escalate<F>(
+    budget: u32,
+    mut alloc: F,
+    shm: Option<ShmSpillConfig>,
+) -> Result<(Allocation, u32), AllocError>
+where
+    F: FnMut(&AllocOptions) -> Result<Allocation, AllocError>,
+{
     let mut budget = budget;
     for attempt in 0..7 {
         let mut opts = AllocOptions::new(budget);
         if let Some(s) = shm {
             opts = opts.with_shm_spill(s);
         }
-        match allocate(kernel, &opts) {
+        match alloc(&opts) {
             Ok(a) => return Ok((a, budget)),
             Err(AllocError::BudgetTooSmall { .. }) if attempt < 6 => budget += 2,
             Err(e) => return Err(e),
         }
     }
     unreachable!("the final attempt either succeeds or returns its error")
+}
+
+/// The allocation rung of the degradation ladder: Briggs first, and on
+/// *any* Briggs failure retry the same budget ladder with the
+/// linear-scan fallback (which ignores `shm` — local spills only).
+/// Only when both allocators fail does the original Briggs error
+/// propagate, turning this point into a [`SkippedPoint`].
+///
+/// The `fault::take_briggs_failure` hook lets the fault-injection
+/// harness force the Briggs rung to fail deterministically.
+pub(crate) fn allocate_degraded(
+    kernel: &Kernel,
+    budget: u32,
+    shm: Option<ShmSpillConfig>,
+) -> Result<(Allocation, u32, AllocStrategy), AllocError> {
+    let briggs = if crat_sim::fault::take_briggs_failure() {
+        Err(AllocError::IterationLimit)
+    } else {
+        robust_allocate(kernel, budget, shm)
+    };
+    match briggs {
+        Ok((a, b)) => Ok((a, b, AllocStrategy::Briggs)),
+        Err(primary) => escalate(budget, |opts| allocate_linear_scan(kernel, opts), shm)
+            .map(|(a, b)| (a, b, AllocStrategy::Fallback))
+            .map_err(|_| primary),
+    }
 }
 
 /// Run the CRAT pipeline on one kernel.
@@ -220,7 +308,7 @@ pub fn optimize_with(
             // is visible — the profiled path throttles the same
             // binary, and consistency matters (paper §4.1 measures
             // with the tool-chain's allocation in place).
-            let (default_alloc, _) = robust_allocate(
+            let (default_alloc, _, _) = allocate_degraded(
                 kernel,
                 usage.default_reg.max(crate::design_space::ALLOC_FLOOR),
                 None,
@@ -234,7 +322,7 @@ pub fn optimize_with(
             )
         }
         OptTlpSource::Profiled => {
-            let (default_alloc, _) = robust_allocate(
+            let (default_alloc, _, _) = allocate_degraded(
                 kernel,
                 usage.default_reg.max(crate::design_space::ALLOC_FLOOR),
                 None,
@@ -256,44 +344,64 @@ pub fn optimize_with(
     }
 
     let work = thread_work_cycles(kernel, gpu, cost_local, cost_shm).max(1.0);
-    let candidates = engine
-        .par_map(&points, |&point| -> Result<Candidate, CratError> {
-            // Spare shared memory at this TLP, leaving the app's own
-            // usage untouched (Algorithm 1's SpareShmSize). A small
-            // margin covers the 128-byte allocation rounding.
-            let shm = if opts.shm_spill {
-                let per_block = gpu.shmem_per_sm / point.tlp.max(1);
-                let spare = per_block
-                    .saturating_sub(usage.shm_size.div_ceil(128) * 128)
-                    .saturating_sub(128);
-                Some(ShmSpillConfig {
-                    spare_bytes: spare,
-                    block_size: usage.block_size,
-                })
-            } else {
-                None
-            };
-
-            let (allocation, _) = robust_allocate(kernel, point.reg, shm)?;
-            let total_shm = usage.shm_size + allocation.spills.shared_spill_bytes_per_block;
-            let achieved_tlp = occupancy(gpu, allocation.slots_used, total_shm, usage.block_size)
-                .blocks
-                .min(point.tlp);
-            let score = tpsc(
-                achieved_tlp.max(1),
-                usage.block_size,
-                gpu.max_threads_per_sm,
-                allocation.spill_cost(cost_local, cost_shm) / work,
-            );
-            Ok(Candidate {
-                point,
-                achieved_tlp,
-                tpsc: score,
-                allocation,
+    let results = engine.try_par_map(&points, |&point| -> Result<Candidate, CratError> {
+        // Spare shared memory at this TLP, leaving the app's own
+        // usage untouched (Algorithm 1's SpareShmSize). A small
+        // margin covers the 128-byte allocation rounding.
+        let shm = if opts.shm_spill {
+            let per_block = gpu.shmem_per_sm / point.tlp.max(1);
+            let spare = per_block
+                .saturating_sub(usage.shm_size.div_ceil(128) * 128)
+                .saturating_sub(128);
+            Some(ShmSpillConfig {
+                spare_bytes: spare,
+                block_size: usage.block_size,
             })
+        } else {
+            None
+        };
+
+        let (allocation, _, strategy) = allocate_degraded(kernel, point.reg, shm)?;
+        let total_shm = usage.shm_size + allocation.spills.shared_spill_bytes_per_block;
+        let achieved_tlp = occupancy(gpu, allocation.slots_used, total_shm, usage.block_size)
+            .blocks
+            .min(point.tlp);
+        let score = tpsc(
+            achieved_tlp.max(1),
+            usage.block_size,
+            gpu.max_threads_per_sm,
+            allocation.spill_cost(cost_local, cost_shm) / work,
+        );
+        Ok(Candidate {
+            point,
+            achieved_tlp,
+            tpsc: score,
+            allocation,
+            strategy,
         })
-        .into_iter()
-        .collect::<Result<Vec<Candidate>, CratError>>()?;
+    });
+
+    // Graceful degradation: a failing point is dropped (recorded in
+    // `skipped`) and TPSC runs over the survivors; only an empty
+    // survivor set fails the run, with the first failure (lowest TLP)
+    // as the cause — matching the old abort-on-first-error order.
+    let mut candidates = Vec::with_capacity(points.len());
+    let mut skipped = Vec::new();
+    for (point, result) in points.iter().zip(results) {
+        match result.and_then(|r| r) {
+            Ok(c) => candidates.push(c),
+            Err(reason) => skipped.push(SkippedPoint {
+                point: *point,
+                reason,
+            }),
+        }
+    }
+    if candidates.is_empty() {
+        return Err(match skipped.into_iter().next() {
+            Some(s) => s.reason,
+            None => CratError::NoCandidates,
+        });
+    }
 
     // Smallest TPSC wins; ties break toward more parallelism, then
     // more registers.
@@ -306,13 +414,14 @@ pub fn optimize_with(
                 .then(cb.achieved_tlp.cmp(&ca.achieved_tlp))
                 .then(cb.point.reg.cmp(&ca.point.reg))
         })
-        .expect("candidates is non-empty");
+        .unwrap_or(0);
 
     Ok(CratSolution {
         usage,
         opt_tlp,
         candidates,
         chosen,
+        skipped,
     })
 }
 
@@ -360,15 +469,33 @@ pub fn optimize_oracle_with(
             tlp_cap: Some(c.achieved_tlp),
         })
         .collect();
+    // Graceful degradation: a candidate whose oracle simulation fails
+    // is excluded from selection (recorded in `skipped`) rather than
+    // aborting; only a fully failed batch fails the run.
     let mut best: Option<(usize, u64)> = None;
     for (i, result) in engine.simulate_batch(&jobs).into_iter().enumerate() {
-        let stats = result?;
-        if best.is_none_or(|(_, b)| stats.cycles < b) {
-            best = Some((i, stats.cycles));
+        match result {
+            Ok(stats) => {
+                if best.is_none_or(|(_, b)| stats.cycles < b) {
+                    best = Some((i, stats.cycles));
+                }
+            }
+            Err(reason) => solution.skipped.push(SkippedPoint {
+                point: solution.candidates[i].point,
+                reason,
+            }),
         }
     }
-    solution.chosen = best.expect("candidates are non-empty").0;
-    Ok(solution)
+    match best {
+        Some((i, _)) => {
+            solution.chosen = i;
+            Ok(solution)
+        }
+        None => Err(match solution.skipped.into_iter().next() {
+            Some(s) => s.reason,
+            None => CratError::NoCandidates,
+        }),
+    }
 }
 
 #[cfg(test)]

@@ -4,9 +4,10 @@
 //! possible TLPs" — a small space, at most `MaxTLP` runs).
 
 use crat_ptx::Kernel;
-use crat_sim::{GpuConfig, LaunchConfig, SimError, SimStats};
+use crat_sim::{GpuConfig, LaunchConfig, SimStats};
 
 use crate::engine::{EvalEngine, SimJob};
+use crate::CratError;
 
 /// The outcome of the TLP profiling sweep.
 #[derive(Debug, Clone)]
@@ -25,12 +26,10 @@ impl TlpProfile {
     /// Panics if the profile is empty (cannot happen for values
     /// produced by [`profile_opt_tlp`]).
     pub fn best(&self) -> &SimStats {
-        &self
-            .runs
-            .iter()
-            .find(|(t, _)| *t == self.opt_tlp)
-            .expect("winning run recorded")
-            .1
+        match self.runs.iter().find(|(t, _)| *t == self.opt_tlp) {
+            Some((_, stats)) => stats,
+            None => panic!("winning run recorded"),
+        }
     }
 }
 
@@ -46,7 +45,7 @@ pub fn profile_opt_tlp(
     gpu: &GpuConfig,
     launch: &LaunchConfig,
     regs_per_thread: u32,
-) -> Result<TlpProfile, SimError> {
+) -> Result<TlpProfile, CratError> {
     profile_opt_tlp_with(
         crate::engine::global(),
         kernel,
@@ -71,7 +70,7 @@ pub fn profile_opt_tlp_with(
     gpu: &GpuConfig,
     launch: &LaunchConfig,
     regs_per_thread: u32,
-) -> Result<TlpProfile, SimError> {
+) -> Result<TlpProfile, CratError> {
     let max = crat_sim::occupancy(
         gpu,
         regs_per_thread,

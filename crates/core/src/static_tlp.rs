@@ -89,7 +89,10 @@ fn mimic_gto(
             _ => (0..nwarps).find(|&i| runnable(&warps[i])),
         };
         let Some(i) = pick else {
-            // Nobody ready: advance to the earliest ready time.
+            // Nobody ready: advance to the earliest ready time. The
+            // filter is non-empty whenever `pick` found no runnable
+            // warp but the outer loop saw an unfinished one.
+            #[allow(clippy::expect_used)]
             let t = warps
                 .iter()
                 .filter(|w| w.next < trace.len())

@@ -11,7 +11,7 @@ use crat_sim::{
 
 use crate::design_space::ALLOC_FLOOR;
 use crate::engine::EvalEngine;
-use crate::pipeline::{optimize_with, robust_allocate, CratOptions};
+use crate::pipeline::{allocate_degraded, optimize_with, CratOptions};
 use crate::profile_tlp::profile_opt_tlp_with;
 use crate::resource::analyze;
 use crate::CratError;
@@ -125,13 +125,13 @@ pub fn evaluate_with(
 
     let (allocation, tlp, stats) = match technique {
         Technique::MaxTlp => {
-            let (alloc, _) = robust_allocate(kernel, default_budget, None)?;
+            let (alloc, _, _) = allocate_degraded(kernel, default_budget, None)?;
             let stats = engine.simulate(&alloc.kernel, gpu, launch, alloc.slots_used, None)?;
             let tlp = stats.resident_blocks;
             (alloc, tlp, stats)
         }
         Technique::OptTlp => {
-            let (alloc, _) = robust_allocate(kernel, default_budget, None)?;
+            let (alloc, _, _) = allocate_degraded(kernel, default_budget, None)?;
             let profile =
                 profile_opt_tlp_with(engine, &alloc.kernel, gpu, launch, alloc.slots_used)?;
             let stats = profile.best().clone();

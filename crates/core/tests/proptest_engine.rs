@@ -84,7 +84,8 @@ proptest! {
         let engine = EvalEngine::serial();
         let cold = engine.simulate(&kernel, &gpu, &launch, regs, tlp);
         let warm = engine.simulate(&kernel, &gpu, &launch, regs, tlp);
-        let fresh = crat_sim::simulate(&kernel, &gpu, &launch, regs, tlp);
+        let fresh = crat_sim::simulate(&kernel, &gpu, &launch, regs, tlp)
+            .map_err(crat_core::CratError::Sim);
         prop_assert_eq!(&cold, &warm, "cache hit diverged from the cached run");
         prop_assert_eq!(&warm, &fresh, "cache hit diverged from a fresh simulation");
 

@@ -278,6 +278,257 @@ impl LaunchConfig {
     }
 }
 
+/// Test-only fault injection.
+///
+/// The fault-injection harness (`crat-core/tests/fault_injection.rs`)
+/// needs two things from the simulator: a way to make a worker's
+/// simulation *panic* on demand (to prove the engine's panic
+/// isolation), and a deterministic, seed-driven source of adversarial
+/// inputs. Both live here so every layer shares one definition.
+///
+/// Nothing in this module runs in production paths unless explicitly
+/// armed; the disarmed fast path is a single relaxed atomic load.
+pub mod fault {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use super::{GpuConfig, LaunchConfig};
+
+    /// Panic payload of an injected simulator panic (recognizable in
+    /// `CratError::Internal` results).
+    pub const INJECTED_SIM_PANIC: &str = "injected fault: simulated worker panic";
+
+    /// Pending injected simulator panics.
+    static SIM_PANICS: AtomicU64 = AtomicU64::new(0);
+    /// Pending injected Briggs-coloring failures (consumed by the
+    /// optimizer's allocation ladder to force its linear-scan
+    /// fallback).
+    static BRIGGS_FAILURES: AtomicU64 = AtomicU64::new(0);
+
+    /// Arm the next `n` simulations (process-wide) to panic with
+    /// [`INJECTED_SIM_PANIC`]. Test-only: callers must serialize tests
+    /// that arm faults (arming is global).
+    pub fn arm_sim_panics(n: u64) {
+        SIM_PANICS.store(n, Ordering::SeqCst);
+    }
+
+    /// Arm the next `n` Briggs allocations (process-wide) to report
+    /// failure, forcing the optimizer's degradation ladder onto its
+    /// linear-scan fallback. Test-only.
+    pub fn arm_briggs_failures(n: u64) {
+        BRIGGS_FAILURES.store(n, Ordering::SeqCst);
+    }
+
+    /// Disarm every pending fault.
+    pub fn disarm_all() {
+        SIM_PANICS.store(0, Ordering::SeqCst);
+        BRIGGS_FAILURES.store(0, Ordering::SeqCst);
+    }
+
+    /// Consume one pending fault from `counter`; false when disarmed.
+    fn take(counter: &AtomicU64) -> bool {
+        // Fast path: nothing armed (the only cost healthy runs pay).
+        if counter.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        counter
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Consume one pending Briggs failure (polled by `crat-core`).
+    pub fn take_briggs_failure() -> bool {
+        take(&BRIGGS_FAILURES)
+    }
+
+    /// Panic if a simulator panic is armed (polled at simulation
+    /// entry).
+    pub(crate) fn fire_sim_panic() {
+        if take(&SIM_PANICS) {
+            panic!("{INJECTED_SIM_PANIC}");
+        }
+    }
+
+    /// A deterministic, seed-driven plan of adversarial inputs: PTX
+    /// mutations, hostile launch geometry, and shrunken GPU
+    /// configurations. Same seed → same faults, so every harness
+    /// failure is reproducible from its seed alone.
+    #[derive(Debug, Clone)]
+    pub struct FaultPlan {
+        state: u64,
+    }
+
+    impl FaultPlan {
+        /// A plan seeded with `seed` (any value, including 0).
+        pub fn new(seed: u64) -> FaultPlan {
+            FaultPlan {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Next raw 64-bit value (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..bound` (`bound` must be positive).
+        pub fn next_range(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound.max(1)
+        }
+
+        /// True with probability `num`/`den`.
+        pub fn chance(&mut self, num: u64, den: u64) -> bool {
+            self.next_range(den.max(1)) < num
+        }
+
+        /// Mutate PTX source: truncation, line shuffling/duplication,
+        /// operand-character swaps, and out-of-range immediates. The
+        /// result is adversarial but deterministic for the plan state.
+        pub fn mutate_ptx(&mut self, src: &str) -> String {
+            match self.next_range(5) {
+                // Truncate mid-stream (possibly mid-token).
+                0 => {
+                    let mut cut = self.next_range(src.len().max(1) as u64) as usize;
+                    while cut > 0 && !src.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    src[..cut].to_string()
+                }
+                // Drop a random line.
+                1 => {
+                    let lines: Vec<&str> = src.lines().collect();
+                    if lines.is_empty() {
+                        return String::new();
+                    }
+                    let drop = self.next_range(lines.len() as u64) as usize;
+                    let mut out = String::new();
+                    for (i, l) in lines.iter().enumerate() {
+                        if i != drop {
+                            out.push_str(l);
+                            out.push('\n');
+                        }
+                    }
+                    out
+                }
+                // Duplicate a random line (redefinitions, double rets).
+                2 => {
+                    let lines: Vec<&str> = src.lines().collect();
+                    if lines.is_empty() {
+                        return String::new();
+                    }
+                    let dup = self.next_range(lines.len() as u64) as usize;
+                    let mut out = String::new();
+                    for (i, l) in lines.iter().enumerate() {
+                        out.push_str(l);
+                        out.push('\n');
+                        if i == dup {
+                            out.push_str(l);
+                            out.push('\n');
+                        }
+                    }
+                    out
+                }
+                // Swap two characters (shuffled operands, broken
+                // mnemonics).
+                3 => {
+                    let mut chars: Vec<char> = src.chars().collect();
+                    if chars.len() >= 2 {
+                        let a = self.next_range(chars.len() as u64) as usize;
+                        let b = self.next_range(chars.len() as u64) as usize;
+                        chars.swap(a, b);
+                    }
+                    chars.into_iter().collect()
+                }
+                // Blow up every immediate on a random line to an
+                // out-of-range value.
+                _ => {
+                    let huge = format!("{}", self.next_u64());
+                    let lines: Vec<&str> = src.lines().collect();
+                    if lines.is_empty() {
+                        return String::new();
+                    }
+                    let target = self.next_range(lines.len() as u64) as usize;
+                    let mut out = String::new();
+                    for (i, l) in lines.iter().enumerate() {
+                        if i == target {
+                            let mut mutated = String::new();
+                            let mut in_num = false;
+                            for c in l.chars() {
+                                if c.is_ascii_digit() {
+                                    if !in_num {
+                                        mutated.push_str(&huge);
+                                        in_num = true;
+                                    }
+                                } else {
+                                    in_num = false;
+                                    mutated.push(c);
+                                }
+                            }
+                            out.push_str(&mutated);
+                        } else {
+                            out.push_str(l);
+                        }
+                        out.push('\n');
+                    }
+                    out
+                }
+            }
+        }
+
+        /// An adversarial launch: zero/huge grids, non-warp-multiple or
+        /// zero block sizes, unbound or hostile parameter values.
+        pub fn adversarial_launch(&mut self, warp_size: u32) -> LaunchConfig {
+            let grid = match self.next_range(4) {
+                0 => 0,
+                1 => 1,
+                2 => self.next_range(1 << 20) as u32,
+                _ => u32::MAX,
+            };
+            let block = match self.next_range(4) {
+                0 => 0,
+                1 => self.next_range(5 * u64::from(warp_size)) as u32, // often misaligned
+                2 => warp_size * (1 + self.next_range(64) as u32),     // possibly oversized
+                _ => u32::MAX - self.next_range(100) as u32,
+            };
+            let mut launch = LaunchConfig::new(grid, block);
+            for p in 0..self.next_range(4) {
+                let value = match self.next_range(3) {
+                    0 => 0,
+                    1 => u64::MAX - self.next_range(1 << 12),
+                    _ => self.next_u64(),
+                };
+                launch = launch.with_param(&format!("p{p}"), value);
+            }
+            launch
+        }
+
+        /// A hostile GPU configuration derived from `base`: shrunken
+        /// register files / caches / shared memory and a tight cycle
+        /// limit, to force occupancy failures, reservation storms, and
+        /// cycle-limit exits.
+        pub fn adversarial_gpu(&mut self, base: &GpuConfig) -> GpuConfig {
+            let mut gpu = base.clone();
+            gpu.name = format!("fault-{}", self.next_u64());
+            if self.chance(1, 2) {
+                gpu.registers_per_sm = 1 + self.next_range(2048) as u32;
+            }
+            if self.chance(1, 2) {
+                gpu.shmem_per_sm = self.next_range(4096) as u32;
+            }
+            if self.chance(1, 2) {
+                gpu.max_threads_per_sm = 32 * (1 + self.next_range(8) as u32);
+            }
+            if self.chance(1, 2) {
+                gpu.max_cycles = 1 + self.next_range(10_000);
+            }
+            gpu
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

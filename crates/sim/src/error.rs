@@ -43,6 +43,15 @@ pub enum SimError {
         /// The cycle count at which simulation stopped.
         cycles: u64,
     },
+    /// The caller's wall-clock deadline expired and the simulation
+    /// cancelled itself cooperatively (see
+    /// [`simulate_decoded_deadline`](crate::simulate_decoded_deadline)).
+    /// Unlike every other variant this one depends on wall time, so it
+    /// must never be memoized.
+    DeadlineExceeded {
+        /// The cycle count at which simulation stopped.
+        cycles: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -61,6 +70,9 @@ impl fmt::Display for SimError {
             SimError::Deadlock => f.write_str("simulation deadlocked: no warp can ever issue"),
             SimError::CycleLimit { cycles } => {
                 write!(f, "cycle limit exceeded after {cycles} cycles")
+            }
+            SimError::DeadlineExceeded { cycles } => {
+                write!(f, "evaluation deadline expired after {cycles} simulated cycles")
             }
         }
     }
@@ -91,6 +103,9 @@ mod tests {
         assert!(e.to_string().contains("out"));
         let e = SimError::CycleLimit { cycles: 9 };
         assert!(e.to_string().contains('9'));
+        let e = SimError::DeadlineExceeded { cycles: 77 };
+        assert!(e.to_string().contains("77"));
+        assert!(e.to_string().contains("deadline"));
         let e = SimError::OutOfBounds {
             space: Space::Shared,
             addr: 128,

@@ -59,6 +59,7 @@ pub mod reference;
 mod stats;
 
 pub use cache::{Cache, CacheDecision};
+pub use config::fault::{self, FaultPlan};
 pub use config::{
     CacheConfig, GpuConfig, LatencyConfig, LaunchConfig, SchedulerKind, TWO_LEVEL_GROUP,
 };
@@ -67,7 +68,7 @@ pub use energy::{estimate_energy, EnergyCoefficients, EnergyReport};
 pub use error::SimError;
 pub use machine::{
     simulate, simulate_capture, simulate_decoded, simulate_decoded_capture,
-    simulate_decoded_traced, SchedDecision, SchedTrace,
+    simulate_decoded_deadline, simulate_decoded_traced, SchedDecision, SchedTrace,
 };
 pub use memory::MemorySystem;
 pub use occupancy::{max_regs_for_tlp, occupancy, LimitingResource, Occupancy};

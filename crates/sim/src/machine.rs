@@ -19,6 +19,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
 
 use crat_ptx::{BlockId, Kernel, Space, SpecialReg, Type};
 
@@ -187,7 +188,8 @@ pub fn simulate_decoded_capture(
     regs_per_thread: u32,
     tlp_cap: Option<u32>,
 ) -> Result<(SimStats, HashMap<u64, u64>), SimError> {
-    simulate_decoded_inner(dk, cfg, launch, regs_per_thread, tlp_cap, None).map(|(s, m, _)| (s, m))
+    simulate_decoded_inner(dk, cfg, launch, regs_per_thread, tlp_cap, None, None)
+        .map(|(s, m, _)| (s, m))
 }
 
 /// [`simulate_decoded`] with a scheduler-decision trace: the last
@@ -205,8 +207,42 @@ pub fn simulate_decoded_traced(
     tlp_cap: Option<u32>,
     trace_depth: usize,
 ) -> Result<(SimStats, SchedTrace), SimError> {
-    simulate_decoded_inner(dk, cfg, launch, regs_per_thread, tlp_cap, Some(trace_depth))
-        .map(|(s, _, t)| (s, t.expect("trace requested")))
+    simulate_decoded_inner(
+        dk,
+        cfg,
+        launch,
+        regs_per_thread,
+        tlp_cap,
+        Some(trace_depth),
+        None,
+    )
+    .map(|(s, _, t)| (s, t.expect("trace requested")))
+}
+
+/// [`simulate_decoded`] with a cooperative wall-clock deadline: the
+/// cycle loop periodically compares `Instant::now()` against
+/// `deadline` and, once it has passed, stops with
+/// [`SimError::DeadlineExceeded`] instead of running to completion.
+/// This is the cancellation hook the evaluation engine's per-job
+/// budgets use to bound runaway simulations.
+///
+/// With `deadline: None` this is exactly [`simulate_decoded`] (the
+/// checks are skipped, not merely disarmed), so results and timings of
+/// the healthy path are unchanged.
+///
+/// # Errors
+///
+/// Same as [`simulate_decoded`], plus [`SimError::DeadlineExceeded`].
+pub fn simulate_decoded_deadline(
+    dk: &DecodedKernel,
+    cfg: &GpuConfig,
+    launch: &LaunchConfig,
+    regs_per_thread: u32,
+    tlp_cap: Option<u32>,
+    deadline: Option<Instant>,
+) -> Result<SimStats, SimError> {
+    simulate_decoded_inner(dk, cfg, launch, regs_per_thread, tlp_cap, None, deadline)
+        .map(|(s, _, _)| s)
 }
 
 type SimOutput = (SimStats, HashMap<u64, u64>, Option<SchedTrace>);
@@ -218,7 +254,9 @@ fn simulate_decoded_inner(
     regs_per_thread: u32,
     tlp_cap: Option<u32>,
     trace_depth: Option<usize>,
+    deadline: Option<Instant>,
 ) -> Result<SimOutput, SimError> {
+    crate::config::fault::fire_sim_panic();
     if launch.grid_blocks == 0 {
         return Err(SimError::BadLaunch("grid has zero blocks".to_string()));
     }
@@ -252,6 +290,7 @@ fn simulate_decoded_inner(
 
     let mut m = Machine::new(dk, cfg, launch, blocks_this_sm);
     m.trace = trace_depth.map(SchedTrace::new);
+    m.deadline = deadline;
     m.stats.resident_blocks = resident;
     for _ in 0..resident {
         m.launch_block()?;
@@ -379,8 +418,18 @@ struct Machine<'a> {
     slot_causes: Vec<(StallCause, u32)>,
     /// Optional ring buffer of recent scheduler decisions.
     trace: Option<SchedTrace>,
+    /// Cooperative cancellation: wall-clock deadline checked every
+    /// [`DEADLINE_CHECK_INTERVAL`] loop iterations (and on the first).
+    deadline: Option<Instant>,
+    /// Iterations until the next deadline check.
+    deadline_countdown: u32,
     stats: SimStats,
 }
+
+/// Loop iterations between wall-clock deadline checks: rare enough
+/// that `Instant::now()` is invisible in profiles, frequent enough
+/// that an expired deadline stops the loop within microseconds.
+const DEADLINE_CHECK_INTERVAL: u32 = 4096;
 
 impl<'a> Machine<'a> {
     fn new(
@@ -418,6 +467,8 @@ impl<'a> Machine<'a> {
             block_pool: Vec::new(),
             slot_causes: vec![(StallCause::Empty, NO_WARP); cfg.num_schedulers as usize],
             trace: None,
+            deadline: None,
+            deadline_countdown: 0,
             stats: {
                 let mut stats = SimStats::default();
                 stats.attribution.init_schedulers(cfg.num_schedulers);
@@ -521,6 +572,18 @@ impl<'a> Machine<'a> {
 
     fn run(&mut self) -> Result<(), SimError> {
         while self.blocks_done < self.blocks_total {
+            if let Some(deadline) = self.deadline {
+                // Cooperative cancellation: countdown starts at zero, so
+                // an already-expired deadline is caught before the first
+                // cycle even on the shortest kernels.
+                if self.deadline_countdown == 0 {
+                    self.deadline_countdown = DEADLINE_CHECK_INTERVAL;
+                    if Instant::now() >= deadline {
+                        return Err(SimError::DeadlineExceeded { cycles: self.now });
+                    }
+                }
+                self.deadline_countdown -= 1;
+            }
             self.drain_writebacks();
             let mut issued_any = false;
             for s in 0..self.cfg.num_schedulers as usize {

@@ -7,10 +7,21 @@ echo "== cargo fmt --check"
 cargo fmt --check
 
 echo "== cargo clippy --workspace -- -D warnings"
+# Also enforces the robustness gate: crat-core and crat-cli carry
+# crate-level `deny(clippy::unwrap_used, clippy::expect_used)` on
+# non-test code (DESIGN.md §7), so a stray unwrap fails this step.
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo test -q"
 cargo test -q
+
+# Fault-injection smoke tier: 200+ deterministic seeded scenarios
+# (mutated PTX, adversarial launches, starved allocator budgets,
+# injected worker panics, expired budgets). Fixed seeds, bounded
+# wall clock; a panic or hang anywhere in the pipeline fails here.
+echo "== fault-injection harness"
+cargo test -q -p crat-core --test fault_injection
+cargo test -q -p crat-ptx --test parser_fuzz
 
 # Golden-baseline gate: re-run the snapshot suite with any blessing
 # environment stripped, so stale snapshots fail here even when the

@@ -165,6 +165,46 @@ fn golden_suite_matches_snapshots() {
     );
 }
 
+/// Degradation guard: the graceful-degradation paths (skipped points,
+/// linear-scan fallback, caught panics, budget cancellations) must be
+/// completely inert on healthy inputs — all 22 apps optimize with
+/// zero skipped points, zero fallback allocations, and an engine that
+/// caught nothing.
+#[test]
+fn degradation_path_inert_on_healthy_inputs() {
+    use crat_suite::core::{optimize_with, AllocStrategy, CratOptions, EvalEngine};
+
+    let engine = EvalEngine::new(0);
+    let gpu = GpuConfig::fermi();
+    for app in suite::all() {
+        let kernel = build_kernel(app);
+        let launch = launch_sized(app, GRID_BLOCKS);
+        let sol = optimize_with(&engine, &kernel, &gpu, &launch, &CratOptions::new())
+            .unwrap_or_else(|err| panic!("{}: healthy optimize failed: {err}", app.abbr));
+        assert!(
+            sol.skipped.is_empty(),
+            "{}: healthy run skipped {} point(s): {:?}",
+            app.abbr,
+            sol.skipped.len(),
+            sol.skipped
+        );
+        assert_eq!(
+            sol.fallback_count(),
+            0,
+            "{}: healthy run used the linear-scan fallback",
+            app.abbr
+        );
+        assert!(sol
+            .candidates
+            .iter()
+            .all(|c| c.strategy == AllocStrategy::Briggs));
+        assert!(!sol.is_degraded());
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.panics_caught, 0, "healthy suite caught a panic");
+    assert_eq!(stats.budget_exceeded, 0, "healthy suite tripped a budget");
+}
+
 /// Slow tier: the attribution invariant at every app's *default* grid
 /// size (not pinned to snapshots — the full-size grids make this take
 /// minutes in debug builds). Run with `cargo test -q -- --ignored`.
