@@ -1,0 +1,130 @@
+//! Allocation-sweep throughput: the cold per-point path (every design
+//! point rebuilds liveness and interference from scratch, via
+//! `reference_alloc`) vs the shared-context sweep (one
+//! `AllocContext::build` per kernel, `allocate_with` per point).
+//!
+//! The workload is the full 22-app suite: for each app the design
+//! space is pruned exactly as `optimize_with` would (rightmost stair
+//! points up to `MaxTLP`), and every surviving `(reg, TLP)` point is
+//! allocated. The vendored Criterion stand-in only reports mean wall
+//! time, so this bench additionally prints explicit `allocs/sec` and
+//! speedup lines — the numbers recorded in `BENCH_alloc_sweep.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use crat_core::{analyze, prune};
+use crat_ptx::Kernel;
+use crat_regalloc::{allocate_with, reference_alloc, AllocContext, AllocOptions};
+use crat_sim::GpuConfig;
+use crat_workloads::{build_kernel, launch_sized, suite};
+
+const GRID_BLOCKS: u32 = 30;
+const REPS: u32 = 3;
+
+/// Every app paired with its pruned register-budget sweep (descending
+/// reg order, the same order `optimize_with` walks).
+fn workload(gpu: &GpuConfig) -> Vec<(Kernel, Vec<u32>)> {
+    suite::all()
+        .map(|app| {
+            let kernel = build_kernel(app);
+            let launch = launch_sized(app, GRID_BLOCKS);
+            let usage = analyze(&kernel, gpu, &launch);
+            let mut budgets: Vec<u32> = prune(&usage, gpu, usage.max_tlp)
+                .iter()
+                .map(|p| p.reg)
+                .collect();
+            budgets.reverse(); // prune() is TLP-ascending = reg-descending reversed
+            (kernel, budgets)
+        })
+        .collect()
+}
+
+/// Run `sweep` over the whole suite `REPS` times and print throughput.
+/// Returns (seconds, allocations performed).
+fn measure(
+    label: &str,
+    work: &[(Kernel, Vec<u32>)],
+    mut sweep: impl FnMut(&Kernel, &[u32]) -> u64,
+) -> (f64, u64) {
+    let start = Instant::now();
+    let mut allocs = 0u64;
+    for _ in 0..REPS {
+        for (kernel, budgets) in work {
+            allocs += sweep(kernel, budgets);
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "{label:<40} allocs/sec {:.3e}  ({allocs} allocs, {secs:.3}s)",
+        allocs as f64 / secs,
+    );
+    (secs, allocs)
+}
+
+/// One full-suite sweep on the cold path.
+fn cold_sweep(kernel: &Kernel, budgets: &[u32]) -> u64 {
+    let mut n = 0;
+    for &reg in budgets {
+        if reference_alloc(black_box(kernel), &AllocOptions::new(reg)).is_ok() {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// One full-suite sweep on the shared-context path.
+fn shared_sweep(kernel: &Kernel, budgets: &[u32]) -> u64 {
+    let ctx = AllocContext::build(kernel);
+    let mut n = 0;
+    for &reg in budgets {
+        if allocate_with(black_box(kernel), &ctx, &AllocOptions::new(reg)).is_ok() {
+            n += 1;
+        }
+    }
+    n
+}
+
+fn bench_alloc_sweep(c: &mut Criterion) {
+    let gpu = GpuConfig::fermi();
+    let work = workload(&gpu);
+    let points: usize = work.iter().map(|(_, b)| b.len()).sum();
+    println!("alloc_sweep: {} apps, {points} design points", work.len());
+
+    // Warm up allocators and page tables.
+    for (k, b) in &work {
+        shared_sweep(k, b);
+    }
+
+    let (cold_s, cold_n) = measure("alloc_sweep/cold_per_point", &work, cold_sweep);
+    let (shared_s, shared_n) = measure("alloc_sweep/shared_context", &work, shared_sweep);
+    assert_eq!(cold_n, shared_n, "paths must allocate the same points");
+    println!(
+        "alloc_sweep/speedup                      {:.2}x (shared over cold)",
+        cold_s / shared_s
+    );
+
+    // Mean-time entries so regressions show in the Criterion report.
+    c.bench_function("alloc_sweep/cold_suite_pass", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for (k, budgets) in &work {
+                n += cold_sweep(k, budgets);
+            }
+            black_box(n)
+        })
+    });
+    c.bench_function("alloc_sweep/shared_suite_pass", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for (k, budgets) in &work {
+                n += shared_sweep(k, budgets);
+            }
+            black_box(n)
+        })
+    });
+}
+
+criterion_group!(benches, bench_alloc_sweep);
+criterion_main!(benches);

@@ -199,9 +199,12 @@ pub fn print_engine_stats(csv: bool) {
         println!("sim_insts_per_sec,{:.0}", stats.sim_insts_per_sec());
         println!("panics_caught,{}", stats.panics_caught);
         println!("budget_exceeded,{}", stats.budget_exceeded);
+        println!("alloc_ctx_builds,{}", stats.alloc_ctx_builds);
+        println!("alloc_ctx_hits,{}", stats.alloc_ctx_hits);
+        println!("allocs_run,{}", stats.allocs_run);
     } else {
         println!(
-            "# engine: {} threads, {} sims, {} cache hits ({:.0}%), {} decodes, {:.2}s simulating ({:.2}M instr/s), {} panics caught, {} budgets exceeded",
+            "# engine: {} threads, {} sims, {} cache hits ({:.0}%), {} decodes, {:.2}s simulating ({:.2}M instr/s), {} allocs off {} shared ctx ({} ctx hits), {} panics caught, {} budgets exceeded",
             e.threads(),
             stats.sims_executed,
             stats.cache_hits,
@@ -209,6 +212,9 @@ pub fn print_engine_stats(csv: bool) {
             stats.decodes,
             stats.sim_time().as_secs_f64(),
             stats.sim_insts_per_sec() / 1e6,
+            stats.allocs_run,
+            stats.alloc_ctx_builds,
+            stats.alloc_ctx_hits,
             stats.panics_caught,
             stats.budget_exceeded,
         );

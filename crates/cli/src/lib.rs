@@ -368,6 +368,12 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             s.sim_time().as_secs_f64(),
             s.sim_insts_per_sec() / 1e6
         );
+        if s.allocs_run > 0 {
+            line.push_str(&format!(
+                ", {} allocs off {} shared ctx ({} ctx hits)",
+                s.allocs_run, s.alloc_ctx_builds, s.alloc_ctx_hits
+            ));
+        }
         if s.panics_caught > 0 {
             line.push_str(&format!(", {} panics caught", s.panics_caught));
         }
@@ -526,6 +532,16 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                     "degraded: {} point(s) skipped, {} fallback allocation(s)",
                     solution.skipped.len(),
                     solution.fallback_count()
+                );
+                // Whether the degraded path reused the shared analysis
+                // or had to rebuild it: the fallback linear scan
+                // borrows the same cached context as Briggs, so hits
+                // should dominate builds even on a degraded run.
+                let es = engine.stats();
+                let _ = writeln!(
+                    report,
+                    "  alloc context: {} build(s), {} reuse(s) across {} allocation run(s)",
+                    es.alloc_ctx_builds, es.alloc_ctx_hits, es.allocs_run
                 );
                 for s in &solution.skipped {
                     let _ = writeln!(

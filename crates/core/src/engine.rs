@@ -54,6 +54,7 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use crat_ptx::Kernel;
+use crat_regalloc::AllocContext;
 use crat_sim::{DecodedKernel, GpuConfig, LaunchConfig, SimError, SimStats};
 
 use crate::CratError;
@@ -220,6 +221,14 @@ pub struct EngineStats {
     /// Jobs stopped by an [`EvalBudget`] limit (cycle override hit or
     /// deadline expired).
     pub budget_exceeded: u64,
+    /// Shared allocation contexts built (allocation-analysis cache
+    /// misses).
+    pub alloc_ctx_builds: u64,
+    /// Allocation-context requests served from the cache.
+    pub alloc_ctx_hits: u64,
+    /// Register allocations run through the pipeline (every budget-
+    /// escalation attempt of every design point counts one).
+    pub allocs_run: u64,
 }
 
 impl EngineStats {
@@ -275,6 +284,7 @@ pub struct EvalEngine {
     threads: usize,
     cache: Mutex<HashMap<SimKey, Slot>>,
     decoded: Mutex<HashMap<SimKey, Arc<DecodedKernel>>>,
+    alloc_ctx: Mutex<HashMap<SimKey, Arc<AllocContext>>>,
     sims_executed: AtomicU64,
     cache_hits: AtomicU64,
     sim_nanos: AtomicU64,
@@ -283,6 +293,9 @@ pub struct EvalEngine {
     sim_insts: AtomicU64,
     panics_caught: AtomicU64,
     budget_exceeded: AtomicU64,
+    alloc_ctx_builds: AtomicU64,
+    alloc_ctx_hits: AtomicU64,
+    allocs_run: AtomicU64,
 }
 
 impl EvalEngine {
@@ -298,6 +311,7 @@ impl EvalEngine {
             threads,
             cache: Mutex::new(HashMap::new()),
             decoded: Mutex::new(HashMap::new()),
+            alloc_ctx: Mutex::new(HashMap::new()),
             sims_executed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             sim_nanos: AtomicU64::new(0),
@@ -306,6 +320,9 @@ impl EvalEngine {
             sim_insts: AtomicU64::new(0),
             panics_caught: AtomicU64::new(0),
             budget_exceeded: AtomicU64::new(0),
+            alloc_ctx_builds: AtomicU64::new(0),
+            alloc_ctx_hits: AtomicU64::new(0),
+            allocs_run: AtomicU64::new(0),
         }
     }
 
@@ -330,6 +347,9 @@ impl EvalEngine {
             sim_insts: self.sim_insts.load(Ordering::Relaxed),
             panics_caught: self.panics_caught.load(Ordering::Relaxed),
             budget_exceeded: self.budget_exceeded.load(Ordering::Relaxed),
+            alloc_ctx_builds: self.alloc_ctx_builds.load(Ordering::Relaxed),
+            alloc_ctx_hits: self.alloc_ctx_hits.load(Ordering::Relaxed),
+            allocs_run: self.allocs_run.load(Ordering::Relaxed),
         }
     }
 
@@ -343,11 +363,17 @@ impl EvalEngine {
         lock(&self.decoded).len()
     }
 
-    /// Drop all cached results and decoded kernels, and zero the
-    /// counters.
+    /// Number of distinct kernels in the allocation-context cache.
+    pub fn alloc_ctx_len(&self) -> usize {
+        lock(&self.alloc_ctx).len()
+    }
+
+    /// Drop all cached results, decoded kernels, and allocation
+    /// contexts, and zero the counters.
     pub fn reset(&self) {
         lock(&self.cache).clear();
         lock(&self.decoded).clear();
+        lock(&self.alloc_ctx).clear();
         self.sims_executed.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
         self.sim_nanos.store(0, Ordering::Relaxed);
@@ -356,6 +382,46 @@ impl EvalEngine {
         self.sim_insts.store(0, Ordering::Relaxed);
         self.panics_caught.store(0, Ordering::Relaxed);
         self.budget_exceeded.store(0, Ordering::Relaxed);
+        self.alloc_ctx_builds.store(0, Ordering::Relaxed);
+        self.alloc_ctx_hits.store(0, Ordering::Relaxed);
+        self.allocs_run.store(0, Ordering::Relaxed);
+    }
+
+    /// Fetch (or build) the shared allocation analysis for `kernel`,
+    /// keyed by the same kernel-only structural hash as the decoded-
+    /// kernel cache: liveness, live ranges, def/use counts, spill
+    /// weights, and the interference graph are computed once per
+    /// kernel per process, and every design point of a sweep borrows
+    /// the one [`AllocContext`]. Concurrent first requests may build
+    /// duplicate contexts; the first insert wins and only it is
+    /// counted as a build.
+    pub fn alloc_context(&self, kernel: &Kernel) -> Arc<AllocContext> {
+        let key = kernel_key(kernel);
+        if let Some(ctx) = lock(&self.alloc_ctx).get(&key) {
+            self.alloc_ctx_hits.fetch_add(1, Ordering::Relaxed);
+            return ctx.clone();
+        }
+        // Build outside the lock: analyses can take milliseconds on
+        // large kernels and must not serialize the whole pool.
+        let ctx = Arc::new(AllocContext::build(kernel));
+        let mut cache = lock(&self.alloc_ctx);
+        match cache.entry(key) {
+            Entry::Occupied(e) => {
+                self.alloc_ctx_hits.fetch_add(1, Ordering::Relaxed);
+                e.get().clone()
+            }
+            Entry::Vacant(v) => {
+                self.alloc_ctx_builds.fetch_add(1, Ordering::Relaxed);
+                v.insert(ctx).clone()
+            }
+        }
+    }
+
+    /// Record `n` register-allocation runs (the pipeline calls this
+    /// once per allocator invocation, including each budget-escalation
+    /// attempt).
+    pub fn count_allocs(&self, n: u64) {
+        self.allocs_run.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Lower `kernel` through the decoded-kernel cache: the first call
@@ -917,6 +983,29 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.sim_cycles, s.cycles);
         assert_eq!(stats.sim_insts, s.warp_insts);
+    }
+
+    #[test]
+    fn alloc_context_cache_is_shared_per_kernel() {
+        let (k, _, _) = setup();
+        let engine = EvalEngine::serial();
+        let a = engine.alloc_context(&k);
+        let b = engine.alloc_context(&k);
+        assert!(Arc::ptr_eq(&a, &b), "both requests must borrow one context");
+        let stats = engine.stats();
+        assert_eq!(stats.alloc_ctx_builds, 1);
+        assert_eq!(stats.alloc_ctx_hits, 1);
+        assert_eq!(engine.alloc_ctx_len(), 1);
+        engine.count_allocs(3);
+        assert_eq!(engine.stats().allocs_run, 3);
+        // A different kernel gets its own context.
+        let other = build_kernel(suite::spec("CFD"));
+        let c = engine.alloc_context(&other);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(engine.alloc_ctx_len(), 2);
+        engine.reset();
+        assert_eq!(engine.alloc_ctx_len(), 0);
+        assert_eq!(engine.stats(), EngineStats::default());
     }
 
     #[test]

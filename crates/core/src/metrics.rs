@@ -559,6 +559,15 @@ pub fn engine_to_json(stats: &EngineStats) -> Json {
             "budget_exceeded".to_string(),
             Json::Int(stats.budget_exceeded),
         ),
+        (
+            "alloc_ctx_builds".to_string(),
+            Json::Int(stats.alloc_ctx_builds),
+        ),
+        (
+            "alloc_ctx_hits".to_string(),
+            Json::Int(stats.alloc_ctx_hits),
+        ),
+        ("allocs_run".to_string(), Json::Int(stats.allocs_run)),
     ])
 }
 
@@ -662,12 +671,18 @@ mod tests {
             sim_insts: 2000,
             panics_caught: 1,
             budget_exceeded: 2,
+            alloc_ctx_builds: 4,
+            alloc_ctx_hits: 9,
+            allocs_run: 13,
         };
         let json = engine_to_json(&stats);
         assert!(json.get("sim_nanos").is_none());
         assert_eq!(json.get("requests"), Some(&Json::Int(8)));
         assert_eq!(json.get("panics_caught"), Some(&Json::Int(1)));
         assert_eq!(json.get("budget_exceeded"), Some(&Json::Int(2)));
+        assert_eq!(json.get("alloc_ctx_builds"), Some(&Json::Int(4)));
+        assert_eq!(json.get("alloc_ctx_hits"), Some(&Json::Int(9)));
+        assert_eq!(json.get("allocs_run"), Some(&Json::Int(13)));
         let text = json.pretty();
         assert!(!text.contains("nanos"), "{text}");
     }

@@ -11,7 +11,7 @@
 
 use crat_ptx::{Cfg, Kernel, Space};
 use crat_regalloc::{
-    allocate, allocate_linear_scan, AllocError, AllocOptions, Allocation, ShmSpillConfig,
+    allocate_linear_scan_with, allocate_with, AllocError, AllocOptions, Allocation, ShmSpillConfig,
 };
 use crat_sim::{occupancy, GpuConfig, LaunchConfig};
 
@@ -173,9 +173,16 @@ impl CratSolution {
 /// Rough per-thread execution cost of `kernel` in cycles (static
 /// latencies weighted by trip counts). Used to normalize the TPSC
 /// spill term; computed on the pre-allocation kernel so every
-/// candidate shares the same denominator.
-fn thread_work_cycles(kernel: &Kernel, gpu: &GpuConfig, cost_local: f64, cost_shm: f64) -> f64 {
-    let cfg = Cfg::build(kernel);
+/// candidate shares the same denominator. The CFG comes from the
+/// kernel's shared [`crat_regalloc::AllocContext`] — one more analysis
+/// the sweep no longer repeats.
+fn thread_work_cycles(
+    kernel: &Kernel,
+    cfg: &Cfg,
+    gpu: &GpuConfig,
+    cost_local: f64,
+    cost_shm: f64,
+) -> f64 {
     kernel
         .blocks()
         .iter()
@@ -204,13 +211,25 @@ fn thread_work_cycles(kernel: &Kernel, gpu: &GpuConfig, cost_local: f64, cost_sh
 
 /// Allocate with escalating budgets: structural effects (pair
 /// alignment, spill temporaries) can push a kernel slightly past a
-/// tight budget, so nudge upward rather than fail.
+/// tight budget, so nudge upward rather than fail. Every attempt
+/// borrows the engine's cached [`crat_regalloc::AllocContext`] for the
+/// kernel — the whole ladder (and the whole design-point sweep above
+/// it) shares one liveness/interference analysis.
 pub(crate) fn robust_allocate(
+    engine: &EvalEngine,
     kernel: &Kernel,
     budget: u32,
     shm: Option<ShmSpillConfig>,
 ) -> Result<(Allocation, u32), AllocError> {
-    escalate(budget, |opts| allocate(kernel, opts), shm)
+    let ctx = engine.alloc_context(kernel);
+    escalate(
+        budget,
+        |opts| {
+            engine.count_allocs(1);
+            allocate_with(kernel, &ctx, opts)
+        },
+        shm,
+    )
 }
 
 /// Run one allocator under the `+2` budget-escalation ladder.
@@ -246,6 +265,7 @@ where
 /// The `fault::take_briggs_failure` hook lets the fault-injection
 /// harness force the Briggs rung to fail deterministically.
 pub(crate) fn allocate_degraded(
+    engine: &EvalEngine,
     kernel: &Kernel,
     budget: u32,
     shm: Option<ShmSpillConfig>,
@@ -253,13 +273,25 @@ pub(crate) fn allocate_degraded(
     let briggs = if crat_sim::fault::take_briggs_failure() {
         Err(AllocError::IterationLimit)
     } else {
-        robust_allocate(kernel, budget, shm)
+        robust_allocate(engine, kernel, budget, shm)
     };
     match briggs {
         Ok((a, b)) => Ok((a, b, AllocStrategy::Briggs)),
-        Err(primary) => escalate(budget, |opts| allocate_linear_scan(kernel, opts), shm)
+        Err(primary) => {
+            // The fallback reuses the same cached context (a hit, not
+            // a rebuild): linear scan reads only its CFG and ranges.
+            let ctx = engine.alloc_context(kernel);
+            escalate(
+                budget,
+                |opts| {
+                    engine.count_allocs(1);
+                    allocate_linear_scan_with(kernel, &ctx, opts)
+                },
+                shm,
+            )
             .map(|(a, b)| (a, b, AllocStrategy::Fallback))
-            .map_err(|_| primary),
+            .map_err(|_| primary)
+        }
     }
 }
 
@@ -309,6 +341,7 @@ pub fn optimize_with(
             // binary, and consistency matters (paper §4.1 measures
             // with the tool-chain's allocation in place).
             let (default_alloc, _, _) = allocate_degraded(
+                engine,
                 kernel,
                 usage.default_reg.max(crate::design_space::ALLOC_FLOOR),
                 None,
@@ -323,6 +356,7 @@ pub fn optimize_with(
         }
         OptTlpSource::Profiled => {
             let (default_alloc, _, _) = allocate_degraded(
+                engine,
                 kernel,
                 usage.default_reg.max(crate::design_space::ALLOC_FLOOR),
                 None,
@@ -343,7 +377,18 @@ pub fn optimize_with(
         return Err(CratError::NoCandidates);
     }
 
-    let work = thread_work_cycles(kernel, gpu, cost_local, cost_shm).max(1.0);
+    // One shared analysis for the whole sweep: prefetch the kernel's
+    // allocation context so every candidate (and every escalation
+    // attempt within one) borrows it instead of rebuilding liveness
+    // and the interference graph. `prune` returns the staircase with
+    // TLP ascending — i.e. register targets in *descending* order —
+    // so the sweep walks from the loosest budget down, each point
+    // ranking its spill candidates off the same shared spill-weight
+    // seed (a per-point carry-over of actual spill *decisions* would
+    // break bit-identical equality with the from-scratch allocator,
+    // so only budget-independent analyses are shared).
+    let ctx = engine.alloc_context(kernel);
+    let work = thread_work_cycles(kernel, &ctx.cfg, gpu, cost_local, cost_shm).max(1.0);
     let results = engine.try_par_map(&points, |&point| -> Result<Candidate, CratError> {
         // Spare shared memory at this TLP, leaving the app's own
         // usage untouched (Algorithm 1's SpareShmSize). A small
@@ -361,7 +406,7 @@ pub fn optimize_with(
             None
         };
 
-        let (allocation, _, strategy) = allocate_degraded(kernel, point.reg, shm)?;
+        let (allocation, _, strategy) = allocate_degraded(engine, kernel, point.reg, shm)?;
         let total_shm = usage.shm_size + allocation.spills.shared_spill_bytes_per_block;
         let achieved_tlp = occupancy(gpu, allocation.slots_used, total_shm, usage.block_size)
             .blocks

@@ -125,13 +125,13 @@ pub fn evaluate_with(
 
     let (allocation, tlp, stats) = match technique {
         Technique::MaxTlp => {
-            let (alloc, _, _) = allocate_degraded(kernel, default_budget, None)?;
+            let (alloc, _, _) = allocate_degraded(engine, kernel, default_budget, None)?;
             let stats = engine.simulate(&alloc.kernel, gpu, launch, alloc.slots_used, None)?;
             let tlp = stats.resident_blocks;
             (alloc, tlp, stats)
         }
         Technique::OptTlp => {
-            let (alloc, _, _) = allocate_degraded(kernel, default_budget, None)?;
+            let (alloc, _, _) = allocate_degraded(engine, kernel, default_budget, None)?;
             let profile =
                 profile_opt_tlp_with(engine, &alloc.kernel, gpu, launch, alloc.slots_used)?;
             let stats = profile.best().clone();

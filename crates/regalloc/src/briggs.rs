@@ -6,6 +6,7 @@ use std::collections::HashMap;
 use crat_ptx::{Cfg, Kernel, Liveness, Type, VReg};
 
 use crate::coloring::{try_color, ColorAssignment, ColorOutcome};
+use crate::context::AllocContext;
 use crate::interference::InterferenceGraph;
 use crate::result::{Allocation, SpillHome};
 use crate::shm_opt::knapsack_select;
@@ -44,13 +45,43 @@ use crate::{AllocError, AllocOptions};
 /// # Ok::<(), crat_regalloc::AllocError>(())
 /// ```
 pub fn allocate(kernel: &Kernel, opts: &AllocOptions) -> Result<Allocation, AllocError> {
-    match run(kernel, opts, true) {
+    run_with_shm_fallback(kernel, None, opts)
+}
+
+/// [`allocate`] borrowing a shared [`AllocContext`] for the first
+/// build–color–spill iteration.
+///
+/// The context must have been built from this exact `kernel` (the
+/// engine caches contexts by the kernel's structural hash); later
+/// iterations rebuild their analyses because spill code has changed
+/// the kernel. Results are bit-identical to [`allocate`] — only the
+/// redundant first-iteration analysis is skipped, which is the bulk of
+/// the work for the common no-spill and few-spill budgets of a design-
+/// point sweep.
+///
+/// # Errors
+///
+/// Same failure modes as [`allocate`].
+pub fn allocate_with(
+    kernel: &Kernel,
+    ctx: &AllocContext,
+    opts: &AllocOptions,
+) -> Result<Allocation, AllocError> {
+    run_with_shm_fallback(kernel, Some(ctx), opts)
+}
+
+fn run_with_shm_fallback(
+    kernel: &Kernel,
+    ctx: Option<&AllocContext>,
+    opts: &AllocOptions,
+) -> Result<Allocation, AllocError> {
+    match run(kernel, ctx, opts, true) {
         Ok(a) => Ok(a),
         // If the budget only became infeasible after the shared-memory
         // rewrite added its address-setup registers, fall back to
         // local-only spilling rather than failing.
         Err((AllocError::BudgetTooSmall { .. }, true)) if opts.shm_spill.is_some() => {
-            run(kernel, opts, false).map_err(|(e, _)| e)
+            run(kernel, ctx, opts, false).map_err(|(e, _)| e)
         }
         Err((e, _)) => Err(e),
     }
@@ -58,12 +89,17 @@ pub fn allocate(kernel: &Kernel, opts: &AllocOptions) -> Result<Allocation, Allo
 
 fn run(
     kernel: &Kernel,
+    ctx: Option<&AllocContext>,
     opts: &AllocOptions,
     enable_shm: bool,
 ) -> Result<Allocation, (AllocError, bool)> {
     kernel
         .validate()
         .map_err(|e| (AllocError::InvalidKernel(e), false))?;
+    debug_assert!(
+        ctx.is_none_or(|c| c.num_regs() == kernel.num_regs()),
+        "AllocContext was built from a different kernel"
+    );
 
     let mut work = kernel.clone();
     let mut st = SpillState::with_split(opts.spill_split);
@@ -71,13 +107,26 @@ fn run(
     let report_block_size = opts.shm_spill.map_or(1, |s| s.block_size);
     let mut rehomed = false;
 
+    // The shared context stands in for the first iteration's analyses
+    // (the kernel is still exactly the one it was built from); every
+    // later iteration runs on spill-rewritten code and rebuilds.
+    let mut shared = ctx;
     for _ in 0..opts.max_iterations {
-        let cfg = Cfg::build(&work);
-        let lv = Liveness::compute(&work, &cfg);
-        let ranges = lv.ranges(&work, &cfg);
-        let graph = InterferenceGraph::build(&work, &cfg, &lv);
+        let owned;
+        let (cfg, ranges, graph): (&Cfg, &[crat_ptx::LiveRange], &InterferenceGraph) =
+            match shared.take() {
+                Some(c) => (&c.cfg, &c.ranges, &c.graph),
+                None => {
+                    let cfg = Cfg::build(&work);
+                    let lv = Liveness::compute(&work, &cfg);
+                    let ranges = lv.ranges(&work, &cfg);
+                    let graph = InterferenceGraph::build(&work, &cfg, &lv);
+                    owned = (cfg, ranges, graph);
+                    (&owned.0, &owned.1, &owned.2)
+                }
+            };
 
-        match try_color(&work, &graph, &ranges, opts.budget_slots, &st.unspillable) {
+        match try_color(&work, graph, ranges, opts.budget_slots, &st.unspillable) {
             ColorOutcome::Colored(assignment) => {
                 // Re-run Algorithm 1 whenever new local sub-stacks
                 // exist and spare shared memory remains (later spill
@@ -85,10 +134,10 @@ fn run(
                 // re-homing pass).
                 if let Some(shm) = shm_enabled {
                     let used = st
-                        .report(&work, &cfg, shm.block_size)
+                        .report(&work, cfg, shm.block_size)
                         .shared_spill_bytes_per_block;
                     let spare = shm.spare_bytes.saturating_sub(used);
-                    let picks = plan_shared_rehoming(&st, &work, &cfg, spare, shm.block_size);
+                    let picks = plan_shared_rehoming(&st, &work, cfg, spare, shm.block_size);
                     if !picks.is_empty() {
                         for si in picks {
                             st.rehome_to_shared(&mut work, si, shm.block_size);
@@ -97,7 +146,7 @@ fn run(
                         continue; // re-color with the setup code in place
                     }
                 }
-                let spills = st.report(&work, &cfg, report_block_size);
+                let spills = st.report(&work, cfg, report_block_size);
                 let (physical, pred_regs_used) = rename_to_physical(&work, &assignment);
                 debug_assert_eq!(physical.validate(), Ok(()));
                 return Ok(Allocation {
@@ -133,7 +182,7 @@ fn run(
 }
 
 /// Decide which local sub-stacks move to shared memory: Algorithm 1.
-fn plan_shared_rehoming(
+pub(crate) fn plan_shared_rehoming(
     st: &SpillState,
     work: &Kernel,
     cfg: &Cfg,
@@ -368,6 +417,22 @@ mod tests {
         let text = a.kernel.to_ptx();
         let re = crat_ptx::parse(&text).unwrap();
         assert_eq!(re, a.kernel);
+    }
+
+    #[test]
+    fn shared_context_matches_from_scratch() {
+        let k = pressure_kernel(14);
+        let ctx = AllocContext::build(&k);
+        let generous = allocate(&k, &AllocOptions::new(64)).unwrap();
+        for budget in [64, generous.slots_used - 2, generous.slots_used - 6] {
+            let opts = AllocOptions::new(budget);
+            let cold = allocate(&k, &opts).unwrap();
+            let warm = allocate_with(&k, &ctx, &opts).unwrap();
+            assert_eq!(cold, warm, "budget {budget}");
+        }
+        // The context survives the sweep untouched and stays valid.
+        let again = allocate_with(&k, &ctx, &AllocOptions::new(64)).unwrap();
+        assert_eq!(again, generous);
     }
 
     #[test]

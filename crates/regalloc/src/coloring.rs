@@ -61,6 +61,23 @@ pub fn try_color(
     let mut remaining: usize = alive.iter().filter(|&&a| a).count();
     let mut stack: Vec<VReg> = Vec::with_capacity(remaining);
 
+    // Weighted degrees among the alive set, maintained incrementally:
+    // initialized in one pass over the adjacency arena, then each
+    // removal subtracts the removed node's width from its live
+    // neighbors. This keeps every simplify scan O(n) with O(1) degree
+    // lookups — the values are at all times exactly
+    // `graph.weighted_degree_among(v, &alive)`, so outcomes are
+    // bit-identical to recomputing from scratch.
+    let mut deg: Vec<u32> = (0..n)
+        .map(|i| {
+            if alive[i] {
+                graph.weighted_degree_among(VReg(i as u32), &alive)
+            } else {
+                0
+            }
+        })
+        .collect();
+
     // Simplify: peel trivially colorable nodes; when stuck, remove the
     // cheapest spill candidate optimistically (Briggs).
     while remaining > 0 {
@@ -75,7 +92,7 @@ pub fn try_color(
                 continue;
             }
             let v = VReg(i as u32);
-            if graph.weighted_degree_among(v, &alive) + graph.width(v) <= budget {
+            if deg[i] + graph.width(v) <= budget {
                 if graph.width(v) == 1 {
                     picked = Some(v);
                     break;
@@ -88,7 +105,7 @@ pub fn try_color(
         let picked = picked.or(picked_wide);
         let v = match picked {
             Some(v) => v,
-            None => match cheapest_spill_candidate(n, &alive, graph, ranges, unspillable) {
+            None => match cheapest_spill_candidate(n, &alive, |i| deg[i], ranges, unspillable) {
                 Some(v) => v,
                 // Only unspillable nodes remain and none is trivially
                 // colorable; push them optimistically anyway — select
@@ -98,6 +115,11 @@ pub fn try_color(
         };
         alive[v.index()] = false;
         remaining -= 1;
+        for &nb in graph.neighbor_ids(v) {
+            if alive[nb as usize] {
+                deg[nb as usize] -= graph.width(v);
+            }
+        }
         stack.push(v);
     }
 
@@ -152,7 +174,8 @@ pub fn try_color(
         for v in slot_of.keys() {
             colored_alive[v.index()] = true;
         }
-        return match cheapest_spill_candidate(n, &colored_alive, graph, ranges, unspillable) {
+        let deg_of = |i: usize| graph.weighted_degree_among(VReg(i as u32), &colored_alive);
+        return match cheapest_spill_candidate(n, &colored_alive, deg_of, ranges, unspillable) {
             Some(v) => ColorOutcome::Spill(vec![v]),
             None => ColorOutcome::Fatal,
         };
@@ -178,7 +201,7 @@ pub fn try_color(
 /// notes in §5.2 shows up as extra declared registers), but slots pack
 /// by width so a dead `f32`'s slot can be reused by a `u32`, as the
 /// hardware's untyped register file allows.
-fn slot_class(ty: Type) -> Type {
+pub(crate) fn slot_class(ty: Type) -> Type {
     match ty.reg_slots() {
         2 => Type::U64,
         _ => Type::U32,
@@ -194,11 +217,13 @@ fn first_alive(n: usize, alive: &[bool]) -> Option<VReg> {
 /// (spilling a rarely-accessed, highly-conflicting long range is
 /// cheapest — the paper's FDTD example in §2.2). Registers with very
 /// short ranges are excluded: reloading them immediately would not
-/// reduce pressure.
+/// reduce pressure. `deg_of` supplies the weighted degree among the
+/// alive set (cached during simplify, recomputed for the one-shot
+/// force-spill).
 fn cheapest_spill_candidate(
     n: usize,
     alive: &[bool],
-    graph: &InterferenceGraph,
+    deg_of: impl Fn(usize) -> u32,
     ranges: &[LiveRange],
     unspillable: &HashSet<VReg>,
 ) -> Option<VReg> {
@@ -211,7 +236,7 @@ fn cheapest_spill_candidate(
         if unspillable.contains(&v) || ranges[i].len() < 2 {
             continue;
         }
-        let degree = graph.weighted_degree_among(v, alive) as f64;
+        let degree = deg_of(i) as f64;
         if degree == 0.0 {
             continue;
         }
@@ -236,7 +261,7 @@ fn cheapest_spill_candidate(
 /// keeps wide pairs together, but any free aligned run is acceptable —
 /// hardware registers are untyped, so a dead value of any type frees
 /// its slots for everyone.
-fn find_slot(
+pub(crate) fn find_slot(
     width: u32,
     budget: u32,
     forbidden: &[bool],
@@ -450,10 +475,11 @@ mod tests {
         let lv = Liveness::compute(&k, &cfg);
         let ranges = lv.ranges(&k, &cfg);
         let g = InterferenceGraph::build(&k, &cfg, &lv);
+        let alive = vec![true; k.num_regs()];
         let cand = cheapest_spill_candidate(
             k.num_regs(),
-            &vec![true; k.num_regs()],
-            &g,
+            &alive,
+            |i| g.weighted_degree_among(VReg(i as u32), &alive),
             &ranges,
             &HashSet::new(),
         );

@@ -6,17 +6,46 @@
 //! live; the classic move-instruction refinement (a copy's source does
 //! not interfere with its destination) is applied so that copies can
 //! share a register.
-
-use std::collections::HashSet;
+//!
+//! The graph is stored twice, in forms tuned for the two ways the
+//! allocator reads it:
+//!
+//! * a **dense bit-matrix** (one `u64` row stripe per node) answering
+//!   [`interferes`](InterferenceGraph::interferes) in O(1) during edge
+//!   insertion and membership tests; and
+//! * **sorted adjacency lists** in one contiguous CSR arena, giving
+//!   cache-friendly, deterministic iteration for the simplify/select
+//!   phases, with plain and width-weighted degrees cached per node.
+//!
+//! Sorted adjacency is a determinism guarantee, not just a layout
+//! choice: the earlier `Vec<HashSet<u32>>` representation iterated
+//! neighbors in hash order, which is stable for a fixed standard
+//! library but makes any order-sensitive consumer a latent
+//! nondeterminism bug. Every iteration the allocator performs is now
+//! in ascending register order by construction.
 
 use crat_ptx::{Cfg, Instruction, Kernel, Liveness, Op, Operand, Type, VReg};
 
 /// An undirected interference graph over a kernel's virtual registers.
 #[derive(Debug, Clone)]
 pub struct InterferenceGraph {
-    /// Adjacency sets, indexed by register id. Non-allocatable
-    /// registers have empty sets and `allocatable[i] == false`.
-    adj: Vec<HashSet<u32>>,
+    /// Number of nodes (registers, including non-allocatable ones).
+    n: usize,
+    /// `u64` words per bit-matrix row.
+    row_words: usize,
+    /// Dense adjacency bit-matrix, row-major: bit `b` of row `a` is
+    /// set iff `a` and `b` interfere.
+    bits: Vec<u64>,
+    /// CSR offsets into `adj`: node `v`'s neighbors are
+    /// `adj[adj_off[v] .. adj_off[v + 1]]`, sorted ascending.
+    adj_off: Vec<u32>,
+    /// All adjacency lists, concatenated.
+    adj: Vec<u32>,
+    /// Cached neighbor counts.
+    degrees: Vec<u32>,
+    /// Cached width-weighted degrees (total register slots occupied by
+    /// the neighbors).
+    weighted_degrees: Vec<u32>,
     allocatable: Vec<bool>,
     widths: Vec<u32>,
 }
@@ -25,14 +54,21 @@ impl InterferenceGraph {
     /// Build the graph from a kernel and its liveness solution.
     pub fn build(kernel: &Kernel, _cfg: &Cfg, liveness: &Liveness) -> InterferenceGraph {
         let n = kernel.num_regs();
-        let mut g = InterferenceGraph {
-            adj: vec![HashSet::new(); n],
-            allocatable: (0..n)
-                .map(|i| kernel.reg_ty(VReg(i as u32)) != Type::Pred)
-                .collect(),
-            widths: (0..n)
-                .map(|i| kernel.reg_ty(VReg(i as u32)).reg_slots().max(1))
-                .collect(),
+        let row_words = n.div_ceil(64);
+        let allocatable: Vec<bool> = (0..n)
+            .map(|i| kernel.reg_ty(VReg(i as u32)) != Type::Pred)
+            .collect();
+        let widths: Vec<u32> = (0..n)
+            .map(|i| kernel.reg_ty(VReg(i as u32)).reg_slots().max(1))
+            .collect();
+        let mut bits = vec![0u64; n * row_words];
+
+        let mut add_edge = |a: VReg, b: VReg| {
+            if a == b || !allocatable[a.index()] || !allocatable[b.index()] {
+                return;
+            }
+            bits[a.index() * row_words + b.index() / 64] |= 1 << (b.index() % 64);
+            bits[b.index() * row_words + a.index() / 64] |= 1 << (a.index() % 64);
         };
 
         let mut uses_buf = Vec::new();
@@ -44,7 +80,7 @@ impl InterferenceGraph {
                     for l in live.iter() {
                         let l = VReg(l as u32);
                         if l != d && Some(l) != move_src {
-                            g.add_edge(d, l);
+                            add_edge(d, l);
                         }
                     }
                     if !inst.is_conditional_def() {
@@ -60,12 +96,49 @@ impl InterferenceGraph {
                 }
             }
         }
-        g
+
+        // Freeze the bit-matrix into sorted CSR adjacency: scanning
+        // each row's words low-to-high yields neighbors in ascending
+        // register order, so no sort pass is needed.
+        let mut adj_off = Vec::with_capacity(n + 1);
+        let mut adj = Vec::new();
+        let mut degrees = vec![0u32; n];
+        let mut weighted_degrees = vec![0u32; n];
+        adj_off.push(0u32);
+        for v in 0..n {
+            let row = &bits[v * row_words..(v + 1) * row_words];
+            let mut wdeg = 0u32;
+            for (w, &word) in row.iter().enumerate() {
+                let mut rest = word;
+                while rest != 0 {
+                    let bit = rest.trailing_zeros() as usize;
+                    let nb = w * 64 + bit;
+                    adj.push(nb as u32);
+                    wdeg += widths[nb];
+                    rest &= rest - 1;
+                }
+            }
+            degrees[v] = adj.len() as u32 - adj_off[v];
+            weighted_degrees[v] = wdeg;
+            adj_off.push(adj.len() as u32);
+        }
+
+        InterferenceGraph {
+            n,
+            row_words,
+            bits,
+            adj_off,
+            adj,
+            degrees,
+            weighted_degrees,
+            allocatable,
+            widths,
+        }
     }
 
     /// Number of registers (nodes, including non-allocatable ones).
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.n
     }
 
     /// Whether `v` participates in coloring.
@@ -78,48 +151,101 @@ impl InterferenceGraph {
         self.widths[v.index()]
     }
 
-    /// Whether `a` and `b` interfere.
+    /// Whether `a` and `b` interfere (one bit-matrix probe).
     pub fn interferes(&self, a: VReg, b: VReg) -> bool {
-        self.adj[a.index()].contains(&b.0)
+        self.bits[a.index() * self.row_words + b.index() / 64] & (1 << (b.index() % 64)) != 0
     }
 
-    /// The neighbors of `v`.
+    /// The neighbors of `v`, in ascending register order.
     pub fn neighbors(&self, v: VReg) -> impl Iterator<Item = VReg> + '_ {
-        self.adj[v.index()].iter().map(|&i| VReg(i))
+        self.neighbor_ids(v).iter().map(|&i| VReg(i))
     }
 
-    /// Plain degree of `v` (neighbor count).
+    /// The sorted adjacency list of `v` as raw register ids.
+    pub fn neighbor_ids(&self, v: VReg) -> &[u32] {
+        let (lo, hi) = (
+            self.adj_off[v.index()] as usize,
+            self.adj_off[v.index() + 1] as usize,
+        );
+        &self.adj[lo..hi]
+    }
+
+    /// Plain degree of `v` (neighbor count), cached.
     pub fn degree(&self, v: VReg) -> usize {
-        self.adj[v.index()].len()
+        self.degrees[v.index()] as usize
     }
 
     /// Width-weighted degree: the number of register *slots* the
-    /// neighbors of `v` occupy. A node is trivially colorable with
-    /// budget `k` when `weighted_degree + width <= k` (Briggs'
+    /// neighbors of `v` occupy, cached. A node is trivially colorable
+    /// with budget `k` when `weighted_degree + width <= k` (Briggs'
     /// conservative test generalized to aliased/wide registers).
     pub fn weighted_degree(&self, v: VReg) -> u32 {
-        self.adj[v.index()]
-            .iter()
-            .map(|&i| self.widths[i as usize])
-            .sum()
+        self.weighted_degrees[v.index()]
     }
 
     /// Width-weighted degree counting only neighbors still present in
     /// `alive` (used during simplification).
     pub fn weighted_degree_among(&self, v: VReg, alive: &[bool]) -> u32 {
-        self.adj[v.index()]
+        self.neighbor_ids(v)
             .iter()
             .filter(|&&i| alive[i as usize])
             .map(|&i| self.widths[i as usize])
             .sum()
     }
 
-    fn add_edge(&mut self, a: VReg, b: VReg) {
-        if a == b || !self.allocatable[a.index()] || !self.allocatable[b.index()] {
-            return;
+    /// Verify the internal invariants tying the two representations
+    /// together; used by the property-test suite.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated invariant.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        if self.adj_off.len() != self.n + 1 {
+            return Err(format!(
+                "adj_off has {} entries for {} nodes",
+                self.adj_off.len(),
+                self.n
+            ));
         }
-        self.adj[a.index()].insert(b.0);
-        self.adj[b.index()].insert(a.0);
+        for v in 0..self.n {
+            let v_reg = VReg(v as u32);
+            let list = self.neighbor_ids(v_reg);
+            if !list.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("adjacency of r{v} is not sorted/deduplicated"));
+            }
+            if list.len() != self.degrees[v] as usize {
+                return Err(format!("cached degree of r{v} disagrees with adjacency"));
+            }
+            let wdeg: u32 = list.iter().map(|&i| self.widths[i as usize]).sum();
+            if wdeg != self.weighted_degrees[v] {
+                return Err(format!("cached weighted degree of r{v} is stale"));
+            }
+            let row_pop: usize = self.bits[v * self.row_words..(v + 1) * self.row_words]
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum();
+            if row_pop != list.len() {
+                return Err(format!(
+                    "bit-matrix row of r{v} has {row_pop} bits but {} neighbors",
+                    list.len()
+                ));
+            }
+            for &nb in list {
+                let nb_reg = VReg(nb);
+                if nb_reg == v_reg {
+                    return Err(format!("r{v} is its own neighbor"));
+                }
+                if !self.interferes(v_reg, nb_reg) || !self.interferes(nb_reg, v_reg) {
+                    return Err(format!(
+                        "edge (r{v}, r{nb}) in adjacency but not symmetric in the bit-matrix"
+                    ));
+                }
+                if !self.allocatable[v] || !self.allocatable[nb as usize] {
+                    return Err(format!("edge (r{v}, r{nb}) touches a non-allocatable node"));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -255,5 +381,23 @@ mod tests {
         let after = g.weighted_degree_among(x, &alive);
         assert!(after < before);
         let _ = BlockId(0);
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_consistent() {
+        let mut b = KernelBuilder::new("k");
+        let vs: Vec<VReg> = (0..12).map(|i| b.mov(Type::U32, Operand::Imm(i))).collect();
+        let mut acc = vs[0];
+        for &v in &vs[1..] {
+            acc = b.add(Type::U32, acc, v);
+        }
+        let k = b.finish();
+        let g = graph_of(&k);
+        g.check_consistency().unwrap();
+        // Every pairwise-live pair interferes; adjacency is ascending.
+        let ids = g.neighbor_ids(vs[0]);
+        assert!(!ids.is_empty());
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(g.degree(vs[0]), ids.len());
     }
 }

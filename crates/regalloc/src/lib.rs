@@ -44,8 +44,10 @@
 
 mod briggs;
 mod coloring;
+mod context;
 mod interference;
 mod linear_scan;
+mod reference;
 mod result;
 mod shm_opt;
 mod spill;
@@ -53,10 +55,12 @@ mod spill;
 use std::error::Error;
 use std::fmt;
 
-pub use briggs::allocate;
+pub use briggs::{allocate, allocate_with};
 pub use coloring::{try_color, ColorAssignment, ColorOutcome};
+pub use context::AllocContext;
 pub use interference::InterferenceGraph;
-pub use linear_scan::allocate_linear_scan;
+pub use linear_scan::{allocate_linear_scan, allocate_linear_scan_with};
+pub use reference::reference_alloc;
 pub use result::{
     Allocation, SpillCounts, SpillHome, SpillKind, SpillReport, SpilledVar, SubStackReport,
 };

@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use crat_ptx::{Cfg, Kernel, Liveness, Type, VReg};
 
 use crate::coloring::ColorAssignment;
+use crate::context::AllocContext;
 use crate::spill::SpillState;
 use crate::{briggs::rename_to_physical, AllocError, AllocOptions, Allocation};
 
@@ -43,15 +44,53 @@ pub fn allocate_linear_scan(
     kernel: &Kernel,
     opts: &AllocOptions,
 ) -> Result<Allocation, AllocError> {
+    run(kernel, None, opts)
+}
+
+/// [`allocate_linear_scan`] borrowing a shared [`AllocContext`] for
+/// the first scan (the context's interference graph is unused — linear
+/// scan only needs the CFG and live ranges). Results are bit-identical
+/// to [`allocate_linear_scan`]; later iterations rebuild because spill
+/// code changed the kernel.
+///
+/// # Errors
+///
+/// Same failure modes as [`allocate_linear_scan`].
+pub fn allocate_linear_scan_with(
+    kernel: &Kernel,
+    ctx: &AllocContext,
+    opts: &AllocOptions,
+) -> Result<Allocation, AllocError> {
+    run(kernel, Some(ctx), opts)
+}
+
+fn run(
+    kernel: &Kernel,
+    ctx: Option<&AllocContext>,
+    opts: &AllocOptions,
+) -> Result<Allocation, AllocError> {
     kernel.validate().map_err(AllocError::InvalidKernel)?;
+    debug_assert!(
+        ctx.is_none_or(|c| c.num_regs() == kernel.num_regs()),
+        "AllocContext was built from a different kernel"
+    );
     let budget = opts.budget_slots;
     let mut work = kernel.clone();
     let mut st = SpillState::default();
 
+    let mut shared = ctx;
     for _ in 0..opts.max_iterations {
-        let cfg = Cfg::build(&work);
-        let lv = Liveness::compute(&work, &cfg);
-        let ranges = lv.ranges(&work, &cfg);
+        let owned;
+        let (cfg, ranges): (&Cfg, &[crat_ptx::LiveRange]) = match shared.take() {
+            Some(c) => (&c.cfg, &c.ranges),
+            None => {
+                let cfg = Cfg::build(&work);
+                let lv = Liveness::compute(&work, &cfg);
+                let ranges = lv.ranges(&work, &cfg);
+                owned = (cfg, ranges);
+                (&owned.0, &owned.1)
+            }
+        };
 
         // Nodes in increasing start order.
         let mut order: Vec<VReg> = (0..work.num_regs() as u32)
@@ -166,7 +205,7 @@ pub fn allocate_linear_scan(
                 slot_types,
                 slots_used,
             };
-            let report = st.report(&work, &cfg, 1);
+            let report = st.report(&work, cfg, 1);
             let (physical, pred_regs_used) = rename_to_physical(&work, &assignment);
             debug_assert_eq!(physical.validate(), Ok(()));
             return Ok(Allocation {
@@ -260,6 +299,21 @@ mod tests {
                     "n={n} budget={budget}: briggs={b} linear={l}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn shared_context_matches_from_scratch() {
+        let k = pressure_kernel(14);
+        let ctx = AllocContext::build(&k);
+        let full = allocate_linear_scan(&k, &AllocOptions::new(64))
+            .unwrap()
+            .slots_used;
+        for budget in [64, full - 2, full - 5] {
+            let opts = AllocOptions::new(budget);
+            let cold = allocate_linear_scan(&k, &opts).unwrap();
+            let warm = allocate_linear_scan_with(&k, &ctx, &opts).unwrap();
+            assert_eq!(cold, warm, "budget {budget}");
         }
     }
 

@@ -123,7 +123,7 @@ impl SpillCounts {
 }
 
 /// Everything the allocator reports about spilling.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SpillReport {
     /// Each spilled variable and where it went.
     pub spilled: Vec<SpilledVar>,
@@ -145,8 +145,11 @@ impl SpillReport {
     }
 }
 
-/// The outcome of register allocation.
-#[derive(Debug, Clone)]
+/// The outcome of register allocation. Equality is structural over
+/// the rewritten kernel, register counts, and the full spill report —
+/// the differential suite uses it to prove the shared-context and
+/// from-scratch allocators agree bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Allocation {
     /// The rewritten kernel over physical registers (with spill code).
     pub kernel: Kernel,

@@ -1,0 +1,132 @@
+//! Property tests for the shared-analysis engine: on random kernels
+//! and random budgets, allocating off a prebuilt [`AllocContext`] is
+//! bit-identical to the from-scratch reference pipeline, and the
+//! bit-matrix interference graph's internal representations (dense
+//! bits, CSR adjacency, cached degrees) stay cross-consistent.
+
+use proptest::prelude::*;
+
+use crat_ptx::{Cfg, KernelBuilder, Liveness, Operand, Space, Type, VReg};
+use crat_regalloc::{
+    allocate_with, reference_alloc, AllocContext, AllocOptions, InterferenceGraph,
+};
+
+/// A random straight-line kernel mixing u32/u64/f32 values with
+/// overlapping lifetimes (same generator as `coloring_props.rs`).
+fn kernel_from(seed: &[(u8, u8)]) -> crat_ptx::Kernel {
+    let mut b = KernelBuilder::new("p");
+    let out = b.param_ptr("out");
+    let tid = b.special_tid_x(Type::U32);
+    let mut live: Vec<(VReg, Type)> = vec![(tid, Type::U32)];
+    for &(kind, sel) in seed {
+        match kind % 4 {
+            0 => {
+                let v = b.add(Type::U32, tid, Operand::Imm(sel as i64));
+                live.push((v, Type::U32));
+            }
+            1 => {
+                let v = b.cvt(Type::U64, Type::U32, tid);
+                live.push((v, Type::U64));
+            }
+            2 => {
+                let v = b.cvt(Type::F32, Type::U32, tid);
+                live.push((v, Type::F32));
+            }
+            _ => {
+                // Consume two same-typed values into one.
+                let (x, ty) = live[sel as usize % live.len()];
+                let candidates: Vec<VReg> = live
+                    .iter()
+                    .filter(|(_, t)| *t == ty)
+                    .map(|(v, _)| *v)
+                    .collect();
+                let y = candidates[(sel as usize / 2) % candidates.len()];
+                let v = b.add(ty, x, y);
+                live.push((v, ty));
+            }
+        }
+    }
+    // Keep everything alive to the end: sum by type.
+    for ty in [Type::U32, Type::U64, Type::F32] {
+        let vals: Vec<VReg> = live
+            .iter()
+            .filter(|(_, t)| *t == ty)
+            .map(|(v, _)| *v)
+            .collect();
+        if vals.len() >= 2 {
+            let mut acc = vals[0];
+            for &v in &vals[1..] {
+                acc = b.add(ty, acc, v);
+            }
+            if ty == Type::U32 {
+                let a = b.wide_address(out, acc, 4);
+                b.st(Space::Global, Type::U32, a, acc);
+            }
+        }
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Shared-context allocation is bit-identical to the from-scratch
+    /// reference pipeline at any budget, success or failure.
+    #[test]
+    fn shared_context_matches_reference(
+        seed in prop::collection::vec((any::<u8>(), any::<u8>()), 1..30),
+        budget in 12u32..48,
+    ) {
+        let kernel = kernel_from(&seed);
+        prop_assert_eq!(kernel.validate(), Ok(()));
+        let ctx = AllocContext::build(&kernel);
+        let opts = AllocOptions::new(budget);
+        let shared = allocate_with(&kernel, &ctx, &opts);
+        let fresh = reference_alloc(&kernel, &opts);
+        match (shared, fresh) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "outcomes diverge: {:?} vs {:?}", a, b),
+        }
+    }
+
+    /// One context serves a whole descending budget sweep without
+    /// drifting from per-point reference allocations.
+    #[test]
+    fn one_context_serves_a_descending_sweep(
+        seed in prop::collection::vec((any::<u8>(), any::<u8>()), 1..30),
+    ) {
+        let kernel = kernel_from(&seed);
+        let ctx = AllocContext::build(&kernel);
+        for budget in [40u32, 28, 20, 14] {
+            let opts = AllocOptions::new(budget);
+            let shared = allocate_with(&kernel, &ctx, &opts);
+            let fresh = reference_alloc(&kernel, &opts);
+            prop_assert_eq!(shared.is_ok(), fresh.is_ok());
+            if let (Ok(a), Ok(b)) = (shared, fresh) {
+                prop_assert_eq!(a, b, "diverges at budget {}", budget);
+            }
+        }
+    }
+
+    /// The bit-matrix, CSR adjacency, and cached degrees of the
+    /// interference graph agree with each other on every random
+    /// kernel.
+    #[test]
+    fn interference_representations_are_cross_consistent(
+        seed in prop::collection::vec((any::<u8>(), any::<u8>()), 1..30),
+    ) {
+        let kernel = kernel_from(&seed);
+        let cfg = Cfg::build(&kernel);
+        let lv = Liveness::compute(&kernel, &cfg);
+        let graph = InterferenceGraph::build(&kernel, &cfg, &lv);
+        prop_assert_eq!(graph.check_consistency(), Ok(()));
+        // The context's graph is the same build.
+        let ctx = AllocContext::build(&kernel);
+        prop_assert_eq!(ctx.graph.check_consistency(), Ok(()));
+        prop_assert_eq!(ctx.num_regs(), kernel.num_regs());
+        for v in 0..kernel.num_regs() as u32 {
+            prop_assert_eq!(graph.degree(VReg(v)), ctx.graph.degree(VReg(v)));
+        }
+    }
+}

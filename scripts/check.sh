@@ -39,4 +39,11 @@ cargo bench --workspace --no-run
 echo "== sim throughput smoke test"
 cargo bench -p crat-bench --bench sim_throughput
 
+# Alloc-sweep smoke tier: the shared-context allocator must beat the
+# cold per-point path over the full suite (recorded numbers live in
+# BENCH_alloc_sweep.json; the bench asserts both paths allocate the
+# same design points).
+echo "== alloc sweep smoke test"
+cargo bench -p crat-bench --bench alloc_sweep
+
 echo "All checks passed."

@@ -1,0 +1,129 @@
+//! Suite-wide allocation differential test: every workload in the
+//! paper's suite, at every pruned design point, must allocate
+//! bit-identically — same colors, same spills, same `slots_used` —
+//! through the shared-context allocator ([`AllocContext`] +
+//! `allocate_with`) and through the from-scratch reference path
+//! (`reference_alloc`, the pre-context pipeline preserved verbatim).
+//!
+//! This is the allocator's counterpart to `decode_differential.rs`:
+//! it pins the shared-analysis engine to the original algorithm so a
+//! divergence isolates to the analysis sharing or the bit-matrix
+//! interference representation.
+
+use crat_suite::core::{analyze, optimize_with, CratOptions, EvalEngine};
+use crat_suite::regalloc::{
+    allocate_with, reference_alloc, AllocContext, AllocOptions, ShmSpillConfig,
+};
+use crat_suite::sim::GpuConfig;
+use crat_suite::workloads::{build_kernel, launch_sized, suite};
+
+#[test]
+fn every_app_every_point_matches_the_reference_allocator() {
+    let gpu = GpuConfig::fermi();
+    for app in suite::all() {
+        let kernel = build_kernel(app);
+        let launch = launch_sized(app, 6);
+        let usage = analyze(&kernel, &gpu, &launch);
+        let points = crat_suite::core::prune(&usage, &gpu, usage.max_tlp);
+        assert!(!points.is_empty(), "app {} pruned to nothing", app.abbr);
+
+        // One context serves the whole sweep, descending reg order as
+        // the pipeline walks it.
+        let ctx = AllocContext::build(&kernel);
+        for p in points.iter().rev() {
+            let opts = AllocOptions::new(p.reg);
+            let shared = allocate_with(&kernel, &ctx, &opts);
+            let fresh = reference_alloc(&kernel, &opts);
+            match (shared, fresh) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(
+                        a, b,
+                        "app {} diverges at reg={} tlp={}",
+                        app.abbr, p.reg, p.tlp
+                    );
+                }
+                (Err(a), Err(b)) => {
+                    assert_eq!(a, b, "app {} errors diverge at reg={}", app.abbr, p.reg);
+                }
+                (shared, fresh) => panic!(
+                    "app {} at reg={}: shared {shared:?} vs fresh {fresh:?}",
+                    app.abbr, p.reg
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn shm_spilling_matches_the_reference_allocator() {
+    // A register-hungry slice of the suite with the shared-memory
+    // spilling optimization enabled, at budgets tight enough to force
+    // spills into the knapsack.
+    for abbr in ["CFD", "FDTD", "SRAD", "LUD"] {
+        let app = suite::spec(abbr);
+        let kernel = build_kernel(app);
+        let ctx = AllocContext::build(&kernel);
+        for budget in [24, 18, 14] {
+            let opts = AllocOptions::new(budget).with_shm_spill(ShmSpillConfig {
+                spare_bytes: 2048,
+                block_size: app.block_size,
+            });
+            let shared = allocate_with(&kernel, &ctx, &opts);
+            let fresh = reference_alloc(&kernel, &opts);
+            assert_eq!(
+                shared.is_ok(),
+                fresh.is_ok(),
+                "app {abbr} outcome diverges at budget {budget}"
+            );
+            if let (Ok(a), Ok(b)) = (shared, fresh) {
+                assert_eq!(a, b, "app {abbr} diverges at budget {budget} with shm");
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_allocate_identically() {
+    // Sorted adjacency makes the allocator deterministic: rebuilding
+    // the context from scratch must reproduce the same allocation,
+    // run after run.
+    for abbr in ["CFD", "KMN", "BAK"] {
+        let app = suite::spec(abbr);
+        let kernel = build_kernel(app);
+        let opts = AllocOptions::new(20);
+        let first = allocate_with(&kernel, &AllocContext::build(&kernel), &opts).unwrap();
+        for _ in 0..3 {
+            let again = allocate_with(&kernel, &AllocContext::build(&kernel), &opts).unwrap();
+            assert_eq!(first, again, "app {abbr} is not run-deterministic");
+        }
+    }
+}
+
+#[test]
+fn optimization_is_identical_across_thread_counts() {
+    // The full pipeline — shared contexts fetched through the engine
+    // cache, points fanned out across workers — must pick the same
+    // design point and produce the same winning allocation whether it
+    // runs on one worker or four.
+    let gpu = GpuConfig::fermi();
+    let opts = CratOptions::new();
+    for abbr in ["CFD", "KMN"] {
+        let app = suite::spec(abbr);
+        let kernel = build_kernel(app);
+        let launch = launch_sized(app, 6);
+        let e1 = EvalEngine::new(1);
+        let e4 = EvalEngine::new(4);
+        let s1 = optimize_with(&e1, &kernel, &gpu, &launch, &opts).unwrap();
+        let s4 = optimize_with(&e4, &kernel, &gpu, &launch, &opts).unwrap();
+        assert_eq!(s1.point(), s4.point(), "app {abbr} picks different points");
+        assert_eq!(
+            s1.winner().allocation,
+            s4.winner().allocation,
+            "app {abbr} winner allocation diverges across thread counts"
+        );
+        // The engine actually exercised the shared-context path.
+        let stats = e4.stats();
+        assert!(stats.alloc_ctx_builds >= 1);
+        assert!(stats.allocs_run >= 1);
+    }
+}
