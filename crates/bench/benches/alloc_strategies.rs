@@ -1,0 +1,116 @@
+//! Strategy-roster overhead and payoff: the pinned single-strategy
+//! sweep (`Pinned(Briggs)`, the pre-roster pipeline) vs the full
+//! default roster (Briggs, min-reg scheduling + Briggs, and SSA spill
+//! minimization competing at every design point).
+//!
+//! The workload is the full 22-app suite run end to end through
+//! `optimize_with` with a fixed `OptTLP` (so no profiling simulations
+//! dilute the allocation cost being measured). The vendored Criterion
+//! stand-in only reports mean wall time, so this bench additionally
+//! prints explicit `points/sec` lines and the per-strategy win
+//! counters — the numbers recorded in `BENCH_alloc_strategies.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use crat_core::{
+    optimize_with, AllocStrategy, CratOptions, EvalEngine, OptTlpSource, StrategyRoster,
+};
+use crat_ptx::Kernel;
+use crat_sim::{GpuConfig, LaunchConfig};
+use crat_workloads::{build_kernel, launch_sized, suite};
+
+const GRID_BLOCKS: u32 = 30;
+const REPS: u32 = 3;
+/// A fixed TLP cap keeps the profiling stage out of the measurement.
+const OPT_TLP: u32 = 4;
+
+fn workload() -> Vec<(Kernel, LaunchConfig)> {
+    suite::all()
+        .map(|app| (build_kernel(app), launch_sized(app, GRID_BLOCKS)))
+        .collect()
+}
+
+fn options(roster: StrategyRoster) -> CratOptions {
+    CratOptions {
+        opt_tlp: OptTlpSource::Given(OPT_TLP),
+        roster,
+        ..CratOptions::new()
+    }
+}
+
+/// One full-suite optimization pass; returns candidate points evaluated.
+fn suite_pass(engine: &EvalEngine, work: &[(Kernel, LaunchConfig)], opts: &CratOptions) -> u64 {
+    let gpu = GpuConfig::fermi();
+    let mut points = 0u64;
+    for (kernel, launch) in work {
+        let sol = optimize_with(engine, black_box(kernel), &gpu, launch, opts)
+            .unwrap_or_else(|e| panic!("optimize failed: {e}"));
+        points += sol.candidates.len() as u64;
+    }
+    points
+}
+
+/// Run the sweep `REPS` times and print throughput.
+fn measure(label: &str, work: &[(Kernel, LaunchConfig)], opts: &CratOptions) -> (f64, u64) {
+    // A fresh engine per arm: the memo and context caches warm up
+    // inside the measurement the same way for both rosters.
+    let engine = EvalEngine::new(2);
+    let start = Instant::now();
+    let mut points = 0u64;
+    for _ in 0..REPS {
+        points += suite_pass(&engine, work, opts);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "{label:<40} points/sec {:.3e}  ({points} candidate points, {secs:.3}s)",
+        points as f64 / secs,
+    );
+    let stats = engine.stats();
+    for kind in AllocStrategy::ALL {
+        let s = stats.strategies[kind.index()];
+        if s.attempts > 0 {
+            println!(
+                "{label:<40}   {} wins/attempts {}/{} (ctx reuse {})",
+                kind.label(),
+                s.wins,
+                s.attempts,
+                s.ctx_reuse
+            );
+        }
+    }
+    (secs, points)
+}
+
+fn bench_alloc_strategies(c: &mut Criterion) {
+    let work = workload();
+    println!("alloc_strategies: {} apps, OptTLP={OPT_TLP}", work.len());
+
+    let pinned = options(StrategyRoster::Pinned(AllocStrategy::Briggs));
+    let roster = options(StrategyRoster::Default);
+
+    // Warm up allocators and page tables.
+    suite_pass(&EvalEngine::new(2), &work, &roster);
+
+    let (pinned_s, pinned_n) = measure("alloc_strategies/pinned_briggs", &work, &pinned);
+    let (roster_s, roster_n) = measure("alloc_strategies/default_roster", &work, &roster);
+    assert_eq!(pinned_n, roster_n, "arms must evaluate the same points");
+    println!(
+        "alloc_strategies/roster_cost             {:.2}x (roster over pinned)",
+        roster_s / pinned_s
+    );
+
+    // Mean-time entries so regressions show in the Criterion report.
+    let e_pinned = EvalEngine::new(2);
+    c.bench_function("alloc_strategies/pinned_suite_pass", |b| {
+        b.iter(|| black_box(suite_pass(&e_pinned, &work, &pinned)))
+    });
+    let e_roster = EvalEngine::new(2);
+    c.bench_function("alloc_strategies/roster_suite_pass", |b| {
+        b.iter(|| black_box(suite_pass(&e_roster, &work, &roster)))
+    });
+}
+
+criterion_group!(benches, bench_alloc_strategies);
+criterion_main!(benches);

@@ -202,6 +202,14 @@ pub fn print_engine_stats(csv: bool) {
         println!("alloc_ctx_builds,{}", stats.alloc_ctx_builds);
         println!("alloc_ctx_hits,{}", stats.alloc_ctx_hits);
         println!("allocs_run,{}", stats.allocs_run);
+        for kind in crat_core::AllocStrategy::ALL {
+            let s = stats.strategies[kind.index()];
+            let key = kind.label().replace(['+', '-'], "_");
+            println!("strategy_{key}_attempts,{}", s.attempts);
+            println!("strategy_{key}_wins,{}", s.wins);
+            println!("strategy_{key}_spill_bytes,{}", s.spill_bytes);
+            println!("strategy_{key}_ctx_reuse,{}", s.ctx_reuse);
+        }
     } else {
         println!(
             "# engine: {} threads, {} sims, {} cache hits ({:.0}%), {} decodes, {:.2}s simulating ({:.2}M instr/s), {} allocs off {} shared ctx ({} ctx hits), {} panics caught, {} budgets exceeded",
@@ -218,6 +226,16 @@ pub fn print_engine_stats(csv: bool) {
             stats.panics_caught,
             stats.budget_exceeded,
         );
+        let sweep: Vec<String> = crat_core::AllocStrategy::ALL
+            .iter()
+            .filter_map(|k| {
+                let s = stats.strategies[k.index()];
+                (s.attempts > 0).then(|| format!("{} {}/{}", k.label(), s.wins, s.attempts))
+            })
+            .collect();
+        if !sweep.is_empty() {
+            println!("# strategy wins/attempts: {}", sweep.join(" "));
+        }
     }
 }
 

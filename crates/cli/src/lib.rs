@@ -25,7 +25,9 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use crat_core::engine::EvalEngine;
-use crat_core::{analyze, optimize_with, CratError, CratOptions, OptTlpSource};
+use crat_core::{
+    analyze, optimize_with, AllocStrategy, CratError, CratOptions, OptTlpSource, StrategyRoster,
+};
 use crat_ptx::{parse, passes, Kernel};
 use crat_regalloc::{allocate, AllocOptions};
 use crat_sim::{GpuConfig, LaunchConfig};
@@ -95,6 +97,9 @@ pub struct CommonOpts {
     pub opt_tlp: OptTlpSource,
     /// Disable shared-memory spilling.
     pub no_shm: bool,
+    /// Which allocator strategies compete at each design point
+    /// (`--alloc-strategy`): the full roster, or pinned to one.
+    pub roster: StrategyRoster,
     /// Evaluation-engine worker threads (`None`: `CRAT_THREADS` or
     /// available parallelism).
     pub threads: Option<usize>,
@@ -112,6 +117,7 @@ impl Default for CommonOpts {
             params: Vec::new(),
             opt_tlp: OptTlpSource::Profiled,
             no_shm: false,
+            roster: StrategyRoster::Default,
             threads: None,
             metrics_json: None,
         }
@@ -180,12 +186,14 @@ crat — coordinated register allocation and TLP optimization for PTX kernels
 
 USAGE:
   crat app      <ABBR> [--gpu fermi|kepler] [--grid N]
+                [--alloc-strategy roster|briggs|sched-briggs|ssa]
                 (run a paper benchmark: MaxTLP vs OptTLP vs CRAT)
   crat analyze  <kernel.ptx> [--gpu fermi|kepler] [--block N]
   crat passes   <kernel.ptx> [-o out.ptx]
   crat optimize <kernel.ptx> [-o out.ptx] [--gpu fermi|kepler]
                 [--grid N] [--block N] [--param name=value]...
                 [--opt-tlp profile|static|<N>] [--no-shm] [--prepass]
+                [--alloc-strategy roster|briggs|sched-briggs|ssa]
   crat simulate <kernel.ptx> [--gpu fermi|kepler] [--grid N] [--block N]
                 [--param name=value]... [--regs N] [--tlp N]
   crat help
@@ -196,6 +204,11 @@ environment variable, or the machine's available parallelism) and
 `--metrics-json <path>` to export every evaluated (reg, TLP) point —
 full stats plus the scheduler-cycle attribution and the engine's
 deterministic counters — as a JSON document.
+`--alloc-strategy` selects which register allocators compete at each
+design point: the default `roster` runs Briggs, min-reg scheduling +
+Briggs, and SSA spill minimization and keeps the best TPSC score;
+naming one strategy pins every point to it (`briggs` reproduces the
+pre-roster pipeline bit-identically).
 Parameter values accept decimal or 0x-hex. Unbound pointer parameters
 are auto-bound to distinct synthetic addresses.";
 
@@ -249,6 +262,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 opts.threads = Some(n);
             }
             "--metrics-json" => opts.metrics_json = Some(value_of(a, &mut it)?),
+            "--alloc-strategy" => {
+                let v = value_of(a, &mut it)?;
+                opts.roster = StrategyRoster::parse(&v).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "--alloc-strategy: `{v}` is not one of roster, briggs, sched-briggs, ssa"
+                    ))
+                })?;
+            }
             "--param" => {
                 let kv = value_of(a, &mut it)?;
                 let (k, v) = kv.split_once('=').ok_or_else(|| {
@@ -374,6 +395,18 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 s.allocs_run, s.alloc_ctx_builds, s.alloc_ctx_hits
             ));
         }
+        // Per-strategy roster counters, present only when the strategy
+        // sweep actually ran (wins/attempts per competitor).
+        let sweep: Vec<String> = AllocStrategy::ALL
+            .iter()
+            .filter_map(|k| {
+                let st = s.strategies[k.index()];
+                (st.attempts > 0).then(|| format!("{} {}/{}", k.label(), st.wins, st.attempts))
+            })
+            .collect();
+        if !sweep.is_empty() {
+            line.push_str(&format!(", strategy wins/attempts: {}", sweep.join(" ")));
+        }
         if s.panics_caught > 0 {
             line.push_str(&format!(", {} panics caught", s.panics_caught));
         }
@@ -413,12 +446,19 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 "{} ({} / {}), grid {grid} x {} threads:",
                 app.name, app.kernel, app.suite, app.block_size
             );
-            use crat_core::{evaluate_with, Technique};
-            let baseline = evaluate_with(engine, &kernel, &opts.gpu, &launch, Technique::OptTlp)
-                .map_err(|e| tool_error("OptTLP failed", &e))?;
+            use crat_core::{evaluate_with_roster, Technique};
+            let baseline = evaluate_with_roster(
+                engine,
+                &kernel,
+                &opts.gpu,
+                &launch,
+                Technique::OptTlp,
+                opts.roster,
+            )
+            .map_err(|e| tool_error("OptTLP failed", &e))?;
             let mut points = Vec::new();
             for t in [Technique::MaxTlp, Technique::OptTlp, Technique::Crat] {
-                let e = evaluate_with(engine, &kernel, &opts.gpu, &launch, t)
+                let e = evaluate_with_roster(engine, &kernel, &opts.gpu, &launch, t, opts.roster)
                     .map_err(|err| tool_error(&format!("{t} failed"), &err))?;
                 let _ = writeln!(
                     out,
@@ -496,6 +536,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let engine = engine_for(&opts);
             let mut copts = CratOptions {
                 opt_tlp: opts.opt_tlp,
+                roster: opts.roster,
                 ..CratOptions::new()
             };
             if opts.no_shm {
@@ -515,11 +556,12 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             for (i, c) in solution.candidates.iter().enumerate() {
                 let _ = writeln!(
                     report,
-                    "  {}candidate (reg={}, TLP={}) TPSC={:.4} spills(local={}, shm={})",
+                    "  {}candidate (reg={}, TLP={}) TPSC={:.4} strategy={} spills(local={}, shm={})",
                     if i == solution.chosen { "* " } else { "  " },
                     c.point.reg,
                     c.achieved_tlp,
                     c.tpsc,
+                    c.strategy.label(),
                     c.allocation.spills.counts.total_local(),
                     c.allocation.spills.counts.total_shared(),
                 );
@@ -553,7 +595,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 for c in solution
                     .candidates
                     .iter()
-                    .filter(|c| c.strategy == crat_core::AllocStrategy::Fallback)
+                    .filter(|c| c.strategy == AllocStrategy::LinearScan)
                 {
                     let _ = writeln!(
                         report,
@@ -735,6 +777,32 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_alloc_strategy() {
+        let cmd = parse_args(&s(&["optimize", "k.ptx", "--alloc-strategy", "ssa"])).unwrap();
+        match cmd {
+            Command::Optimize { opts, .. } => {
+                assert_eq!(opts.roster, StrategyRoster::Pinned(AllocStrategy::Ssa));
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse_args(&s(&["app", "CFD", "--alloc-strategy", "roster"])).unwrap();
+        match cmd {
+            Command::App { opts, .. } => assert_eq!(opts.roster, StrategyRoster::Default),
+            other => panic!("{other:?}"),
+        }
+        // Linear scan is degradation-only: not a pinnable strategy.
+        assert!(matches!(
+            parse_args(&s(&[
+                "optimize",
+                "k.ptx",
+                "--alloc-strategy",
+                "linear-scan"
+            ])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

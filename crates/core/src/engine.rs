@@ -54,7 +54,7 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use crat_ptx::Kernel;
-use crat_regalloc::AllocContext;
+use crat_regalloc::{AllocContext, StrategyKind};
 use crat_sim::{DecodedKernel, GpuConfig, LaunchConfig, SimError, SimStats};
 
 use crate::CratError;
@@ -199,6 +199,25 @@ impl EvalBudget {
     }
 }
 
+/// Per-strategy allocation counters, indexed by
+/// [`StrategyKind::index`](crat_regalloc::StrategyKind::index) in
+/// [`EngineStats::strategies`]. These track the design-point roster
+/// sweep only — the default-allocation ladder (OptTLP profiling and
+/// the MaxTlp/OptTlp baselines) does not attribute its allocations to
+/// a strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StrategyStats {
+    /// Design points at which this strategy was attempted.
+    pub attempts: u64,
+    /// Design points this strategy's allocation won.
+    pub wins: u64,
+    /// Spill bytes (local per thread + shared per block) summed over
+    /// winning allocations.
+    pub spill_bytes: u64,
+    /// Allocation-context cache hits attributed to this strategy.
+    pub ctx_reuse: u64,
+}
+
 /// A snapshot of the engine's counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
@@ -229,6 +248,9 @@ pub struct EngineStats {
     /// Register allocations run through the pipeline (every budget-
     /// escalation attempt of every design point counts one).
     pub allocs_run: u64,
+    /// Per-strategy roster counters, indexed by
+    /// [`StrategyKind::index`](crat_regalloc::StrategyKind::index).
+    pub strategies: [StrategyStats; 4],
 }
 
 impl EngineStats {
@@ -296,6 +318,34 @@ pub struct EvalEngine {
     alloc_ctx_builds: AtomicU64,
     alloc_ctx_hits: AtomicU64,
     allocs_run: AtomicU64,
+    strategies: [StrategyCells; 4],
+}
+
+/// Atomic backing for one strategy's [`StrategyStats`].
+#[derive(Debug, Default)]
+struct StrategyCells {
+    attempts: AtomicU64,
+    wins: AtomicU64,
+    spill_bytes: AtomicU64,
+    ctx_reuse: AtomicU64,
+}
+
+impl StrategyCells {
+    fn snapshot(&self) -> StrategyStats {
+        StrategyStats {
+            attempts: self.attempts.load(Ordering::Relaxed),
+            wins: self.wins.load(Ordering::Relaxed),
+            spill_bytes: self.spill_bytes.load(Ordering::Relaxed),
+            ctx_reuse: self.ctx_reuse.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.attempts.store(0, Ordering::Relaxed);
+        self.wins.store(0, Ordering::Relaxed);
+        self.spill_bytes.store(0, Ordering::Relaxed);
+        self.ctx_reuse.store(0, Ordering::Relaxed);
+    }
 }
 
 impl EvalEngine {
@@ -323,6 +373,7 @@ impl EvalEngine {
             alloc_ctx_builds: AtomicU64::new(0),
             alloc_ctx_hits: AtomicU64::new(0),
             allocs_run: AtomicU64::new(0),
+            strategies: std::array::from_fn(|_| StrategyCells::default()),
         }
     }
 
@@ -350,6 +401,7 @@ impl EvalEngine {
             alloc_ctx_builds: self.alloc_ctx_builds.load(Ordering::Relaxed),
             alloc_ctx_hits: self.alloc_ctx_hits.load(Ordering::Relaxed),
             allocs_run: self.allocs_run.load(Ordering::Relaxed),
+            strategies: std::array::from_fn(|i| self.strategies[i].snapshot()),
         }
     }
 
@@ -385,6 +437,9 @@ impl EvalEngine {
         self.alloc_ctx_builds.store(0, Ordering::Relaxed);
         self.alloc_ctx_hits.store(0, Ordering::Relaxed);
         self.allocs_run.store(0, Ordering::Relaxed);
+        for s in &self.strategies {
+            s.reset();
+        }
     }
 
     /// Fetch (or build) the shared allocation analysis for `kernel`,
@@ -396,10 +451,18 @@ impl EvalEngine {
     /// duplicate contexts; the first insert wins and only it is
     /// counted as a build.
     pub fn alloc_context(&self, kernel: &Kernel) -> Arc<AllocContext> {
+        self.alloc_context_tracked(kernel).0
+    }
+
+    /// [`alloc_context`](Self::alloc_context), also reporting whether
+    /// the context came from the cache (`true`) or was freshly built
+    /// (`false`) — the pipeline attributes hits to the requesting
+    /// strategy.
+    pub fn alloc_context_tracked(&self, kernel: &Kernel) -> (Arc<AllocContext>, bool) {
         let key = kernel_key(kernel);
         if let Some(ctx) = lock(&self.alloc_ctx).get(&key) {
             self.alloc_ctx_hits.fetch_add(1, Ordering::Relaxed);
-            return ctx.clone();
+            return (ctx.clone(), true);
         }
         // Build outside the lock: analyses can take milliseconds on
         // large kernels and must not serialize the whole pool.
@@ -408,11 +471,11 @@ impl EvalEngine {
         match cache.entry(key) {
             Entry::Occupied(e) => {
                 self.alloc_ctx_hits.fetch_add(1, Ordering::Relaxed);
-                e.get().clone()
+                (e.get().clone(), true)
             }
             Entry::Vacant(v) => {
                 self.alloc_ctx_builds.fetch_add(1, Ordering::Relaxed);
-                v.insert(ctx).clone()
+                (v.insert(ctx).clone(), false)
             }
         }
     }
@@ -422,6 +485,28 @@ impl EvalEngine {
     /// attempt).
     pub fn count_allocs(&self, n: u64) {
         self.allocs_run.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record that `kind` was attempted at a design point.
+    pub fn count_strategy_attempt(&self, kind: StrategyKind) {
+        self.strategies[kind.index()]
+            .attempts
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record that `kind` won a design point with an allocation
+    /// spilling `spill_bytes` (local per thread + shared per block).
+    pub fn count_strategy_win(&self, kind: StrategyKind, spill_bytes: u64) {
+        let cells = &self.strategies[kind.index()];
+        cells.wins.fetch_add(1, Ordering::Relaxed);
+        cells.spill_bytes.fetch_add(spill_bytes, Ordering::Relaxed);
+    }
+
+    /// Record an allocation-context cache hit attributed to `kind`.
+    pub fn count_strategy_ctx_reuse(&self, kind: StrategyKind) {
+        self.strategies[kind.index()]
+            .ctx_reuse
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Lower `kernel` through the decoded-kernel cache: the first call

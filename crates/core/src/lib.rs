@@ -55,19 +55,21 @@ use std::error::Error;
 use std::fmt;
 
 pub use design_space::{prune, staircase, DesignPoint, ALLOC_FLOOR};
-pub use engine::{EngineStats, EvalBudget, EvalEngine, SimJob};
+pub use engine::{EngineStats, EvalBudget, EvalEngine, SimJob, StrategyStats};
 pub use metrics::{
     engine_to_json, metrics_document, stats_from_json, stats_to_json, Json, MetricsPoint,
 };
 pub use pipeline::{
     optimize, optimize_oracle, optimize_oracle_with, optimize_with, AllocStrategy, Candidate,
-    CratOptions, CratSolution, OptTlpSource, SkippedPoint,
+    CratOptions, CratSolution, OptTlpSource, SkippedPoint, StrategyRoster,
 };
 pub use profile_tlp::{profile_opt_tlp, profile_opt_tlp_with, TlpProfile};
 pub use resource::{analyze, ResourceUsage};
 pub use segments::{segment_kernel, Segment};
 pub use static_tlp::estimate_opt_tlp;
-pub use techniques::{evaluate, evaluate_with, Evaluation, Technique, STATIC_L1_HIT_RATE};
+pub use techniques::{
+    evaluate, evaluate_with, evaluate_with_roster, Evaluation, Technique, STATIC_L1_HIT_RATE,
+};
 pub use tpsc::{tlp_gain, tpsc};
 
 /// Errors of the CRAT pipeline.

@@ -568,6 +568,26 @@ pub fn engine_to_json(stats: &EngineStats) -> Json {
             Json::Int(stats.alloc_ctx_hits),
         ),
         ("allocs_run".to_string(), Json::Int(stats.allocs_run)),
+        (
+            "strategies".to_string(),
+            Json::Obj(
+                crat_regalloc::StrategyKind::ALL
+                    .iter()
+                    .map(|kind| {
+                        let s = stats.strategies[kind.index()];
+                        (
+                            kind.label().replace(['+', '-'], "_"),
+                            Json::Obj(vec![
+                                ("attempts".to_string(), Json::Int(s.attempts)),
+                                ("wins".to_string(), Json::Int(s.wins)),
+                                ("spill_bytes".to_string(), Json::Int(s.spill_bytes)),
+                                ("ctx_reuse".to_string(), Json::Int(s.ctx_reuse)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -662,7 +682,7 @@ mod tests {
 
     #[test]
     fn engine_export_omits_wall_time() {
-        let stats = EngineStats {
+        let mut stats = EngineStats {
             sims_executed: 3,
             cache_hits: 5,
             sim_nanos: 123_456,
@@ -674,6 +694,13 @@ mod tests {
             alloc_ctx_builds: 4,
             alloc_ctx_hits: 9,
             allocs_run: 13,
+            ..EngineStats::default()
+        };
+        stats.strategies[crat_regalloc::StrategyKind::Ssa.index()] = crate::StrategyStats {
+            attempts: 7,
+            wins: 2,
+            spill_bytes: 640,
+            ctx_reuse: 5,
         };
         let json = engine_to_json(&stats);
         assert!(json.get("sim_nanos").is_none());
@@ -683,6 +710,19 @@ mod tests {
         assert_eq!(json.get("alloc_ctx_builds"), Some(&Json::Int(4)));
         assert_eq!(json.get("alloc_ctx_hits"), Some(&Json::Int(9)));
         assert_eq!(json.get("allocs_run"), Some(&Json::Int(13)));
+        let ssa = json
+            .get("strategies")
+            .and_then(|s| s.get("ssa"))
+            .expect("per-strategy block");
+        assert_eq!(ssa.get("attempts"), Some(&Json::Int(7)));
+        assert_eq!(ssa.get("wins"), Some(&Json::Int(2)));
+        assert_eq!(ssa.get("spill_bytes"), Some(&Json::Int(640)));
+        assert_eq!(ssa.get("ctx_reuse"), Some(&Json::Int(5)));
+        let briggs = json
+            .get("strategies")
+            .and_then(|s| s.get("sched_briggs"))
+            .expect("label is json-friendly");
+        assert_eq!(briggs.get("attempts"), Some(&Json::Int(0)));
         let text = json.pretty();
         assert!(!text.contains("nanos"), "{text}");
     }

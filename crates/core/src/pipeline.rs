@@ -2,16 +2,25 @@
 //! design-space pruning → per-candidate register allocation (with the
 //! shared-memory spilling optimization) → TPSC selection.
 //!
-//! The pipeline degrades gracefully instead of aborting: a failed
-//! Briggs coloring falls back to linear scan (recorded as
-//! [`AllocStrategy::Fallback`]), a candidate whose allocation or
-//! simulation errors is dropped with a recorded [`SkippedPoint`], and
-//! TPSC selection runs over the survivors. The whole optimize fails
-//! only when *no* candidate survives.
+//! Each design point runs a configurable *roster* of allocator
+//! strategies (see [`StrategyRoster`]; default: Briggs, min-reg
+//! scheduling + Briggs, and SSA spill minimization) and keeps the
+//! best-scoring allocation, so the register/TLP sweep also coordinates
+//! with *how* registers are allocated.
+//!
+//! The pipeline degrades gracefully instead of aborting: when every
+//! roster strategy fails at a point, the linear-scan rung is tried
+//! (recorded as [`AllocStrategy::LinearScan`]); a candidate whose
+//! allocation or simulation errors is dropped with a recorded
+//! [`SkippedPoint`], and TPSC selection runs over the survivors. The
+//! whole optimize fails only when *no* candidate survives.
+
+use std::sync::Arc;
 
 use crat_ptx::{Cfg, Kernel, Space};
 use crat_regalloc::{
-    allocate_linear_scan_with, allocate_with, AllocError, AllocOptions, Allocation, ShmSpillConfig,
+    allocate_linear_scan_with, allocate_with, strategy, AllocContext, AllocError, AllocOptions,
+    Allocation, ContextSource, ShmSpillConfig,
 };
 use crat_sim::{occupancy, GpuConfig, LaunchConfig};
 
@@ -53,6 +62,8 @@ pub struct CratOptions {
     pub cost_local: Option<f64>,
     /// Per-access cost of shared memory; `None` derives it.
     pub cost_shm: Option<f64>,
+    /// Which allocator strategies compete at each design point.
+    pub roster: StrategyRoster,
 }
 
 impl Default for CratOptions {
@@ -62,6 +73,7 @@ impl Default for CratOptions {
             shm_spill: true,
             cost_local: None,
             cost_shm: None,
+            roster: StrategyRoster::Default,
         }
     }
 }
@@ -90,17 +102,63 @@ impl CratOptions {
     }
 }
 
-/// Which allocator produced a candidate's allocation (the degradation
-/// ladder's first rung: briggs → linear-scan → skip point → fail run).
+/// Which allocator produced a candidate's allocation.
+///
+/// This is [`crat_regalloc::StrategyKind`] re-exported under the name
+/// the pipeline has always used. [`AllocStrategy::LinearScan`] plays
+/// the old `Fallback` role: it is not a roster member but the last
+/// degradation rung, tried only after every roster strategy failed at
+/// a point (linear scan ignores the shared-memory spill configuration,
+/// so such allocations spill to local memory only — a degraded but
+/// valid binary).
+pub use crat_regalloc::StrategyKind as AllocStrategy;
+
+/// The set of allocator strategies competing at each design point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AllocStrategy {
-    /// The primary Briggs graph-coloring allocator.
-    Briggs,
-    /// The linear-scan fallback, used after Briggs failed at this reg
-    /// target. Linear scan ignores the shared-memory spill
-    /// configuration, so fallback allocations spill to local memory
-    /// only — a degraded but valid binary.
-    Fallback,
+pub enum StrategyRoster {
+    /// The default competition roster
+    /// ([`crat_regalloc::StrategyKind::ROSTER`]): Briggs, min-reg
+    /// scheduling + Briggs, and SSA spill minimization, with the best
+    /// TPSC score winning each point.
+    Default,
+    /// A single pinned strategy — no competition. `Pinned(Briggs)`
+    /// reproduces the pre-roster pipeline bit-identically.
+    Pinned(AllocStrategy),
+}
+
+impl StrategyRoster {
+    /// The strategies to run at each point, in escalation order.
+    pub fn strategies(self) -> &'static [AllocStrategy] {
+        match self {
+            StrategyRoster::Default => &AllocStrategy::ROSTER,
+            StrategyRoster::Pinned(AllocStrategy::Briggs) => &[AllocStrategy::Briggs],
+            StrategyRoster::Pinned(AllocStrategy::SchedBriggs) => &[AllocStrategy::SchedBriggs],
+            StrategyRoster::Pinned(AllocStrategy::Ssa) => &[AllocStrategy::Ssa],
+            StrategyRoster::Pinned(AllocStrategy::LinearScan) => &[AllocStrategy::LinearScan],
+        }
+    }
+
+    /// Parse a CLI spelling: `roster`/`default`, or a pinnable
+    /// strategy name (`briggs`, `sched-briggs`, `ssa`). Linear scan is
+    /// degradation-only and cannot be pinned.
+    pub fn parse(s: &str) -> Option<StrategyRoster> {
+        match s {
+            "roster" | "default" => Some(StrategyRoster::Default),
+            _ => match AllocStrategy::parse(s) {
+                Some(AllocStrategy::LinearScan) | None => None,
+                Some(k) => Some(StrategyRoster::Pinned(k)),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for StrategyRoster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategyRoster::Default => f.write_str("roster"),
+            StrategyRoster::Pinned(k) => f.write_str(k.label()),
+        }
+    }
 }
 
 /// One evaluated candidate design point.
@@ -155,11 +213,12 @@ impl CratSolution {
         self.winner().point
     }
 
-    /// Candidates produced by the linear-scan fallback.
+    /// Candidates produced by the linear-scan degradation rung (every
+    /// roster strategy failed at those points).
     pub fn fallback_count(&self) -> usize {
         self.candidates
             .iter()
-            .filter(|c| c.strategy == AllocStrategy::Fallback)
+            .filter(|c| c.strategy == AllocStrategy::LinearScan)
             .count()
     }
 
@@ -256,11 +315,14 @@ where
     unreachable!("the final attempt either succeeds or returns its error")
 }
 
-/// The allocation rung of the degradation ladder: Briggs first, and on
-/// *any* Briggs failure retry the same budget ladder with the
-/// linear-scan fallback (which ignores `shm` — local spills only).
-/// Only when both allocators fail does the original Briggs error
-/// propagate, turning this point into a [`SkippedPoint`].
+/// The allocation rung of the degradation ladder for the *default
+/// allocation* paths (OptTLP profiling and static analysis, the
+/// MaxTlp/OptTlp baselines): Briggs first, and on *any* Briggs failure
+/// retry the same budget ladder with the linear-scan fallback (which
+/// ignores `shm` — local spills only). Only when both allocators fail
+/// does the original Briggs error propagate, turning this point into a
+/// [`SkippedPoint`]. The design-point sweep itself runs the strategy
+/// roster instead (see [`optimize_with`]).
 ///
 /// The `fault::take_briggs_failure` hook lets the fault-injection
 /// harness force the Briggs rung to fail deterministically.
@@ -289,10 +351,59 @@ pub(crate) fn allocate_degraded(
                 },
                 shm,
             )
-            .map(|(a, b)| (a, b, AllocStrategy::Fallback))
+            .map(|(a, b)| (a, b, AllocStrategy::LinearScan))
             .map_err(|_| primary)
         }
     }
+}
+
+/// A [`ContextSource`] backed by the engine's structural-hash cache,
+/// attributing cache hits to the strategy that made them. The
+/// scheduled kernel of `sched+briggs` keys by its own hash, so an
+/// unchanged schedule shares the plain kernel's context.
+struct StrategyCtxSource<'a> {
+    engine: &'a EvalEngine,
+    kind: AllocStrategy,
+}
+
+impl ContextSource for StrategyCtxSource<'_> {
+    fn context(&self, kernel: &Kernel) -> Arc<AllocContext> {
+        let (ctx, hit) = self.engine.alloc_context_tracked(kernel);
+        if hit {
+            self.engine.count_strategy_ctx_reuse(self.kind);
+        }
+        ctx
+    }
+}
+
+/// Poll the fault-injection hook for `kind`: test-only, always false
+/// in production (the disarmed path is one relaxed atomic load).
+fn strategy_fault_injected(kind: AllocStrategy) -> bool {
+    match kind {
+        AllocStrategy::Briggs => crat_sim::fault::take_briggs_failure(),
+        AllocStrategy::Ssa => crat_sim::fault::take_ssa_failure(),
+        _ => false,
+    }
+}
+
+/// Run one roster strategy under the `+2` budget-escalation ladder,
+/// drawing shared analyses from the engine's context cache.
+fn run_strategy(
+    engine: &EvalEngine,
+    kernel: &Kernel,
+    kind: AllocStrategy,
+    budget: u32,
+    shm: Option<ShmSpillConfig>,
+) -> Result<(Allocation, u32), AllocError> {
+    let ctxs = StrategyCtxSource { engine, kind };
+    escalate(
+        budget,
+        |opts| {
+            engine.count_allocs(1);
+            strategy(kind).allocate(kernel, &ctxs, opts)
+        },
+        shm,
+    )
 }
 
 /// Run the CRAT pipeline on one kernel.
@@ -406,24 +517,80 @@ pub fn optimize_with(
             None
         };
 
-        let (allocation, _, strategy) = allocate_degraded(engine, kernel, point.reg, shm)?;
-        let total_shm = usage.shm_size + allocation.spills.shared_spill_bytes_per_block;
-        let achieved_tlp = occupancy(gpu, allocation.slots_used, total_shm, usage.block_size)
-            .blocks
-            .min(point.tlp);
-        let score = tpsc(
-            achieved_tlp.max(1),
-            usage.block_size,
-            gpu.max_threads_per_sm,
-            allocation.spill_cost(cost_local, cost_shm) / work,
-        );
-        Ok(Candidate {
-            point,
-            achieved_tlp,
-            tpsc: score,
-            allocation,
-            strategy,
-        })
+        let score_of = |allocation: &Allocation| {
+            let total_shm = usage.shm_size + allocation.spills.shared_spill_bytes_per_block;
+            let achieved_tlp = occupancy(gpu, allocation.slots_used, total_shm, usage.block_size)
+                .blocks
+                .min(point.tlp);
+            let score = tpsc(
+                achieved_tlp.max(1),
+                usage.block_size,
+                gpu.max_threads_per_sm,
+                allocation.spill_cost(cost_local, cost_shm) / work,
+            );
+            (achieved_tlp, score)
+        };
+
+        // Every roster strategy competes at this point; the best TPSC
+        // score wins (ties break toward fewer register slots, then
+        // toward roster order). A strategy failure only degrades the
+        // point if *every* strategy fails.
+        let mut best: Option<Candidate> = None;
+        let mut primary_err: Option<AllocError> = None;
+        for &kind in opts.roster.strategies() {
+            engine.count_strategy_attempt(kind);
+            let result = if strategy_fault_injected(kind) {
+                Err(AllocError::IterationLimit)
+            } else {
+                run_strategy(engine, kernel, kind, point.reg, shm)
+            };
+            match result {
+                Ok((allocation, _)) => {
+                    let (achieved_tlp, score) = score_of(&allocation);
+                    let better = best.as_ref().is_none_or(|b| {
+                        score < b.tpsc
+                            || (score == b.tpsc && allocation.slots_used < b.allocation.slots_used)
+                    });
+                    if better {
+                        best = Some(Candidate {
+                            point,
+                            achieved_tlp,
+                            tpsc: score,
+                            allocation,
+                            strategy: kind,
+                        });
+                    }
+                }
+                Err(e) => {
+                    primary_err.get_or_insert(e);
+                }
+            }
+        }
+        let cand = match best {
+            Some(c) => c,
+            None => {
+                // Degradation rung: every roster strategy failed here.
+                // Try linear scan before skipping the point; if it
+                // also fails, propagate the primary (first) error.
+                let primary = primary_err.unwrap_or(AllocError::IterationLimit);
+                engine.count_strategy_attempt(AllocStrategy::LinearScan);
+                let (allocation, _) =
+                    run_strategy(engine, kernel, AllocStrategy::LinearScan, point.reg, shm)
+                        .map_err(|_| primary)?;
+                let (achieved_tlp, score) = score_of(&allocation);
+                Candidate {
+                    point,
+                    achieved_tlp,
+                    tpsc: score,
+                    allocation,
+                    strategy: AllocStrategy::LinearScan,
+                }
+            }
+        };
+        let spill_bytes = u64::from(cand.allocation.spills.local_bytes_per_thread)
+            + u64::from(cand.allocation.spills.shared_spill_bytes_per_block);
+        engine.count_strategy_win(cand.strategy, spill_bytes);
+        Ok(cand)
     });
 
     // Graceful degradation: a failing point is dropped (recorded in

@@ -11,7 +11,7 @@ use crat_sim::{
 
 use crate::design_space::ALLOC_FLOOR;
 use crate::engine::EvalEngine;
-use crate::pipeline::{allocate_degraded, optimize_with, CratOptions};
+use crate::pipeline::{allocate_degraded, optimize_with, CratOptions, StrategyRoster};
 use crate::profile_tlp::profile_opt_tlp_with;
 use crate::resource::analyze;
 use crate::CratError;
@@ -119,6 +119,31 @@ pub fn evaluate_with(
     launch: &LaunchConfig,
     technique: Technique,
 ) -> Result<Evaluation, CratError> {
+    evaluate_with_roster(
+        engine,
+        kernel,
+        gpu,
+        launch,
+        technique,
+        StrategyRoster::Default,
+    )
+}
+
+/// [`evaluate_with`] with an explicit allocator-strategy roster for the
+/// CRAT variants. `MaxTlp` and `OptTlp` use the default allocation path
+/// and ignore the roster.
+///
+/// # Errors
+///
+/// Propagates allocation and simulation failures.
+pub fn evaluate_with_roster(
+    engine: &EvalEngine,
+    kernel: &Kernel,
+    gpu: &GpuConfig,
+    launch: &LaunchConfig,
+    technique: Technique,
+    roster: StrategyRoster,
+) -> Result<Evaluation, CratError> {
     let usage = analyze(kernel, gpu, launch);
     let default_budget = usage.default_reg.max(ALLOC_FLOOR);
     let coeff = EnergyCoefficients::default();
@@ -138,10 +163,13 @@ pub fn evaluate_with(
             (alloc, profile.opt_tlp, stats)
         }
         Technique::CratLocal | Technique::Crat | Technique::CratStatic => {
-            let opts = match technique {
-                Technique::CratLocal => CratOptions::local_only(),
-                Technique::Crat => CratOptions::new(),
-                _ => CratOptions::static_analysis(STATIC_L1_HIT_RATE),
+            let opts = CratOptions {
+                roster,
+                ..match technique {
+                    Technique::CratLocal => CratOptions::local_only(),
+                    Technique::Crat => CratOptions::new(),
+                    _ => CratOptions::static_analysis(STATIC_L1_HIT_RATE),
+                }
             };
             let solution = optimize_with(engine, kernel, gpu, launch, &opts)?;
             let winner = solution.winner().clone();

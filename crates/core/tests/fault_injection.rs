@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use crat_core::{
     optimize_with, AllocStrategy, CratError, CratOptions, EvalBudget, EvalEngine, OptTlpSource,
-    SimJob,
+    SimJob, StrategyRoster,
 };
 use crat_ptx::parse;
 use crat_regalloc::{allocate, allocate_linear_scan, AllocOptions};
@@ -163,9 +163,11 @@ fn allocator_survives_starved_budgets() {
     }
 }
 
-/// Optimizer degradation: 16 seeds arming forced Briggs failures. The
-/// pipeline must fall back to linear scan (recording the strategy),
-/// still produce a valid solution, and stay inert once disarmed.
+/// Optimizer degradation: 16 seeds arming forced Briggs failures
+/// against a roster pinned to Briggs, so the strategy sweep has no
+/// sibling to absorb the fault. The pipeline must fall back to linear
+/// scan (recording the strategy), still produce a valid solution, and
+/// stay inert once disarmed.
 #[test]
 fn optimizer_degrades_on_briggs_failure() {
     let _guard = fault_guard();
@@ -180,6 +182,7 @@ fn optimizer_degrades_on_briggs_failure() {
             // the armed failures land on candidate allocations.
             let opts = CratOptions {
                 opt_tlp: OptTlpSource::Given(1 + (seed % 4) as u32),
+                roster: StrategyRoster::Pinned(AllocStrategy::Briggs),
                 ..CratOptions::new()
             };
             fault::arm_briggs_failures(1 + seed % 3);
@@ -202,6 +205,80 @@ fn optimizer_degrades_on_briggs_failure() {
                 .candidates
                 .iter()
                 .all(|c| c.strategy == AllocStrategy::Briggs));
+        });
+    }
+}
+
+/// SSA-allocator degradation: 8 seeds arming forced SSA failures
+/// against a roster pinned to the SSA strategy. Mirrors the Briggs
+/// scenario: the per-point sweep has no sibling strategy, so the armed
+/// failure must surface as a linear-scan fallback.
+#[test]
+fn optimizer_degrades_on_ssa_failure() {
+    let _guard = fault_guard();
+    let engine = EvalEngine::new(2);
+    let gpu = GpuConfig::fermi();
+    for seed in 0..8u64 {
+        scenario(seed, || {
+            let app = app_for_seed(seed);
+            let kernel = build_kernel(app);
+            let launch = launch_sized(app, 30);
+            let opts = CratOptions {
+                opt_tlp: OptTlpSource::Given(1 + (seed % 4) as u32),
+                roster: StrategyRoster::Pinned(AllocStrategy::Ssa),
+                ..CratOptions::new()
+            };
+            fault::arm_ssa_failures(1 + seed % 3);
+            let solution = optimize_with(&engine, &kernel, &gpu, &launch, &opts)
+                .expect("fallback must keep the optimize alive");
+            fault::disarm_all();
+            assert!(
+                solution.fallback_count() > 0,
+                "seed {seed}: a forced SSA failure must surface as a fallback"
+            );
+            assert!(solution.is_degraded());
+            assert!(solution.winner().allocation.slots_used > 0);
+            // Disarmed, the same optimize is healthy again.
+            let healthy = optimize_with(&engine, &kernel, &gpu, &launch, &opts)
+                .expect("healthy rerun must succeed");
+            assert_eq!(healthy.fallback_count(), 0);
+            assert!(healthy
+                .candidates
+                .iter()
+                .all(|c| c.strategy == AllocStrategy::Ssa));
+        });
+    }
+}
+
+/// Roster resilience: 8 seeds arming forced Briggs failures against
+/// the full default roster. The sibling strategies absorb the fault —
+/// the point still gets a competitive (non-fallback) allocation, so
+/// the solution is NOT degraded.
+#[test]
+fn default_roster_absorbs_single_strategy_failures() {
+    let _guard = fault_guard();
+    let engine = EvalEngine::new(2);
+    let gpu = GpuConfig::fermi();
+    for seed in 0..8u64 {
+        scenario(seed, || {
+            let app = app_for_seed(seed);
+            let kernel = build_kernel(app);
+            let launch = launch_sized(app, 30);
+            let opts = CratOptions {
+                opt_tlp: OptTlpSource::Given(1 + (seed % 4) as u32),
+                ..CratOptions::new()
+            };
+            fault::arm_briggs_failures(1 + seed % 3);
+            let solution = optimize_with(&engine, &kernel, &gpu, &launch, &opts)
+                .expect("the roster must keep the optimize alive");
+            fault::disarm_all();
+            assert_eq!(
+                solution.fallback_count(),
+                0,
+                "seed {seed}: sibling strategies must absorb the Briggs failure"
+            );
+            assert!(!solution.is_degraded());
+            assert!(solution.winner().allocation.slots_used > 0);
         });
     }
 }
@@ -315,5 +392,5 @@ fn budgets_degrade_runaway_simulations() {
 #[test]
 #[allow(clippy::assertions_on_constants)] // the constant sum *is* the contract
 fn harness_covers_at_least_200_seeds() {
-    assert!(80 + 48 + 40 + 16 + 16 + 24 >= 200);
+    assert!(80 + 48 + 40 + 16 + 8 + 8 + 16 + 24 >= 200);
 }

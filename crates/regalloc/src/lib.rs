@@ -49,8 +49,11 @@ mod interference;
 mod linear_scan;
 mod reference;
 mod result;
+mod sched;
 mod shm_opt;
 mod spill;
+mod ssa_spill;
+mod strategy;
 
 use std::error::Error;
 use std::fmt;
@@ -64,7 +67,10 @@ pub use reference::reference_alloc;
 pub use result::{
     Allocation, SpillCounts, SpillHome, SpillKind, SpillReport, SpilledVar, SubStackReport,
 };
+pub use sched::{min_reg_schedule, SchedReport};
 pub use shm_opt::{knapsack_select, selection_gain, selection_weight};
+pub use ssa_spill::{allocate_ssa, allocate_ssa_with};
+pub use strategy::{strategy, AllocatorStrategy, ContextSource, FreshContext, StrategyKind};
 
 /// Configuration for the shared-memory spilling optimization
 /// (Algorithm 1).

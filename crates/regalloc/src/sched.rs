@@ -1,0 +1,452 @@
+//! Pre-allocation min-reg instruction scheduling.
+//!
+//! Register pressure is partly an artifact of instruction order: two
+//! orders of the same basic block can differ in how many values are
+//! simultaneously live. This pass list-schedules each block with a
+//! greedy minimum-liveness heuristic (in the spirit of min-reg
+//! scheduling work such as Chen, arXiv 2303.06855): at every step it
+//! issues, among the dependence-ready instructions, the one with the
+//! lowest immediate effect on live register slots, preferring
+//! instructions that kill values over instructions that create them.
+//! The greed is tempered for memory: among candidates that do not
+//! shrink the live set, ready loads issue first rather than sinking to
+//! their consumers, so the reorder never trades away the load-to-use
+//! distance that lets the warp scheduler hide memory latency.
+//!
+//! The result feeds any allocator: a lower `MaxReg` before allocation
+//! means fewer spills at tight budgets. The pass is conservative on
+//! two fronts:
+//!
+//! * **Dependences.** True, anti and output register dependences are
+//!   honoured within each block; memory is modelled with stores and
+//!   barriers as fences (loads may reorder with loads, never across a
+//!   store or `bar.sync`). Guarded definitions read their destination,
+//!   so predicated partial writes keep their program order.
+//! * **Adoption.** The permuted kernel is adopted only when a full
+//!   liveness recomputation proves its `MaxReg`
+//!   ([`Liveness::max_live_slots`]) *strictly* decreased; otherwise
+//!   the original order is returned unchanged. The scheduler can
+//!   therefore never increase register pressure.
+
+use std::collections::{HashMap, HashSet};
+
+use crat_ptx::{BasicBlock, Cfg, Kernel, Liveness, Op, VReg};
+
+/// What [`min_reg_schedule`] did to a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedReport {
+    /// Blocks whose instruction order changed in the adopted kernel
+    /// (0 when the original order was kept).
+    pub blocks_reordered: usize,
+    /// `MaxReg` (register slots) of the input kernel.
+    pub max_live_before: u32,
+    /// `MaxReg` of the returned kernel (`== max_live_before` when the
+    /// original order was kept).
+    pub max_live_after: u32,
+}
+
+/// Reorder instructions within each basic block to reduce register
+/// pressure, keeping the original kernel whenever the reordering does
+/// not strictly lower `MaxReg`.
+///
+/// Deterministic: ties in the scheduling heuristic break toward the
+/// original program order.
+pub fn min_reg_schedule(kernel: &Kernel) -> (Kernel, SchedReport) {
+    let cfg = Cfg::build(kernel);
+    let lv = Liveness::compute(kernel, &cfg);
+    let before = lv.max_live_slots(kernel);
+
+    let mut candidate = kernel.clone();
+    let mut reordered = 0usize;
+    for block in kernel.blocks() {
+        if let Some(order) = schedule_block(kernel, &lv, block) {
+            let permuted: Vec<_> = order.iter().map(|&i| block.insts[i].clone()).collect();
+            // A reorder is only worth adopting if it did not pay for
+            // register pressure with memory latency: every load must
+            // keep the load-to-first-use distance — the window the
+            // warp scheduler uses to hide it — that it had in program
+            // order, up to the point of sufficiency.
+            if !keeps_loads_covered(&block.insts, &permuted) {
+                continue;
+            }
+            candidate.block_mut(block.id).insts = permuted;
+            reordered += 1;
+        }
+    }
+
+    let kept = SchedReport {
+        blocks_reordered: 0,
+        max_live_before: before,
+        max_live_after: before,
+    };
+    if reordered == 0 {
+        return (kernel.clone(), kept);
+    }
+    debug_assert_eq!(candidate.validate(), Ok(()));
+    let ccfg = Cfg::build(&candidate);
+    let clv = Liveness::compute(&candidate, &ccfg);
+    let after = clv.max_live_slots(&candidate);
+    if after < before {
+        (
+            candidate,
+            SchedReport {
+                blocks_reordered: reordered,
+                max_live_before: before,
+                max_live_after: after,
+            },
+        )
+    } else {
+        (kernel.clone(), kept)
+    }
+}
+
+/// Distance (in slots) past which a load is considered sufficiently
+/// hidden: interleaved warps multiply the window, so separation beyond
+/// this buys nothing and need not be preserved.
+const EXPOSURE_CAP: usize = 16;
+
+/// Capped load-to-first-use distance of each load in an instruction
+/// sequence, keyed by the loaded register — a static proxy for how
+/// much independent work the warp scheduler has to hide that load's
+/// latency behind. A load whose value is never read in the block
+/// counts as fully hidden.
+fn load_cover(insts: &[crat_ptx::Instruction]) -> HashMap<VReg, usize> {
+    insts
+        .iter()
+        .enumerate()
+        .filter(|(_, inst)| matches!(inst.op, Op::Ld { .. }))
+        .filter_map(|(j, inst)| {
+            let d = inst.def()?;
+            let dist = insts[j + 1..]
+                .iter()
+                .position(|i| i.uses().contains(&d))
+                .map_or(EXPOSURE_CAP, |p| (p + 1).min(EXPOSURE_CAP));
+            Some((d, dist))
+        })
+        .collect()
+}
+
+/// Whether every load in `permuted` keeps at least the latency cover
+/// it had in `original` (capped at [`EXPOSURE_CAP`]): a schedule may
+/// redistribute slack, but no load's hiding window may shrink below
+/// what program order gave it.
+fn keeps_loads_covered(
+    original: &[crat_ptx::Instruction],
+    permuted: &[crat_ptx::Instruction],
+) -> bool {
+    let before = load_cover(original);
+    let after = load_cover(permuted);
+    before
+        .iter()
+        .all(|(reg, &was)| after.get(reg).copied().unwrap_or(EXPOSURE_CAP) >= was)
+}
+
+/// Deduplicated `(register, occurrences)` reads of one instruction,
+/// counting a guarded definition as a read of its destination.
+fn read_counts(inst: &crat_ptx::Instruction) -> Vec<(VReg, usize)> {
+    let mut regs = inst.uses();
+    if inst.is_conditional_def() {
+        if let Some(d) = inst.def() {
+            regs.push(d);
+        }
+    }
+    regs.sort_unstable();
+    let mut out: Vec<(VReg, usize)> = Vec::with_capacity(regs.len());
+    for r in regs {
+        match out.last_mut() {
+            Some((v, c)) if *v == r => *c += 1,
+            _ => out.push((r, 1)),
+        }
+    }
+    out
+}
+
+/// Greedily schedule one block; `Some(order)` only when the chosen
+/// order differs from program order.
+fn schedule_block(kernel: &Kernel, lv: &Liveness, block: &BasicBlock) -> Option<Vec<usize>> {
+    let n = block.insts.len();
+    if n <= 1 {
+        return None;
+    }
+
+    let reads: Vec<Vec<(VReg, usize)>> = block.insts.iter().map(read_counts).collect();
+    let defs: Vec<Option<VReg>> = block.insts.iter().map(|i| i.def()).collect();
+
+    // Dependence edges: true (def -> use), output (def -> redef), anti
+    // (use -> redef), and memory (loads/stores/barriers ordered with
+    // stores and barriers as fences).
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    {
+        let mut edge_set: HashSet<(usize, usize)> = HashSet::new();
+        let mut add_edge = |a: usize, b: usize| {
+            if a != b && edge_set.insert((a, b)) {
+                succs[a].push(b);
+                indeg[b] += 1;
+            }
+        };
+        let mut last_def: HashMap<VReg, usize> = HashMap::new();
+        let mut uses_since_def: HashMap<VReg, Vec<usize>> = HashMap::new();
+        let mut last_fence: Option<usize> = None;
+        let mut loads_since_fence: Vec<usize> = Vec::new();
+        for (j, inst) in block.insts.iter().enumerate() {
+            for &(u, _) in &reads[j] {
+                if let Some(&d) = last_def.get(&u) {
+                    add_edge(d, j);
+                }
+                uses_since_def.entry(u).or_default().push(j);
+            }
+            match inst.op {
+                Op::Ld { .. } => {
+                    if let Some(f) = last_fence {
+                        add_edge(f, j);
+                    }
+                    loads_since_fence.push(j);
+                }
+                Op::St { .. } | Op::BarSync => {
+                    if let Some(f) = last_fence {
+                        add_edge(f, j);
+                    }
+                    for &l in &loads_since_fence {
+                        add_edge(l, j);
+                    }
+                    last_fence = Some(j);
+                    loads_since_fence.clear();
+                }
+                _ => {}
+            }
+            if let Some(d) = defs[j] {
+                if let Some(&p) = last_def.get(&d) {
+                    add_edge(p, j);
+                }
+                if let Some(us) = uses_since_def.get(&d) {
+                    for &u in us {
+                        add_edge(u, j);
+                    }
+                }
+                last_def.insert(d, j);
+                uses_since_def.insert(d, Vec::new());
+            }
+        }
+    }
+
+    // Liveness bookkeeping for the greedy heuristic: how many reads of
+    // each register remain unscheduled, and which values are live at
+    // the frontier. Values in `live_out` (or read by the terminator)
+    // never die inside the block.
+    let live_out = lv.live_out(block.id);
+    let term_use = block.terminator.used_reg();
+    let keeps_live = |v: VReg| live_out.contains(v.index()) || term_use == Some(v);
+    let width = |v: VReg| i64::from(kernel.reg_ty(v).reg_slots());
+
+    let mut remaining: HashMap<VReg, usize> = HashMap::new();
+    for r in &reads {
+        for &(u, c) in r {
+            *remaining.entry(u).or_insert(0) += c;
+        }
+    }
+    let mut live: HashSet<VReg> = lv
+        .live_in(block.id)
+        .iter()
+        .map(|i| VReg(i as u32))
+        .collect();
+
+    // The change in live register slots if `j` were issued now.
+    let delta = |j: usize, live: &HashSet<VReg>, remaining: &HashMap<VReg, usize>| -> i64 {
+        let mut d = 0i64;
+        let mut dies: Vec<VReg> = Vec::new();
+        for &(u, c) in &reads[j] {
+            if live.contains(&u) && !keeps_live(u) && remaining.get(&u).copied().unwrap_or(0) == c {
+                d -= width(u);
+                dies.push(u);
+            }
+        }
+        if let Some(dr) = defs[j] {
+            let self_reads = reads[j]
+                .iter()
+                .find(|&&(u, _)| u == dr)
+                .map_or(0, |&(_, c)| c);
+            let lives_after =
+                remaining.get(&dr).copied().unwrap_or(0) > self_reads || keeps_live(dr);
+            if lives_after && (!live.contains(&dr) || dies.contains(&dr)) {
+                d += width(dr);
+            }
+        }
+        d
+    };
+
+    // Scheduling rank, a greedy rendition of Goodman–Hsu integrated
+    // prepass scheduling: instructions that shrink the live set go
+    // first (most shrinkage first); among the rest, ready loads issue
+    // eagerly rather than sinking to their consumers. Both rules yield
+    // to stall avoidance — an instruction reading a value loaded fewer
+    // than `LOAD_SHADOW` slots ago ranks last, so independent work
+    // fills the load's latency shadow instead of the consumer landing
+    // right behind it and stalling the warp on the scoreboard. Ties
+    // break toward program order.
+    const LOAD_SHADOW: usize = 16;
+    let rank = |j: usize, dj: i64, slot: usize, load_pos: &HashMap<VReg, usize>| {
+        let stalls = reads[j]
+            .iter()
+            .any(|&(u, _)| load_pos.get(&u).is_some_and(|&p| slot - p < LOAD_SHADOW));
+        let tier = if stalls {
+            3
+        } else if dj < 0 {
+            0
+        } else if matches!(block.insts[j].op, Op::Ld { .. }) {
+            1
+        } else {
+            2
+        };
+        (tier, dj, j)
+    };
+
+    let mut load_pos: HashMap<VReg, usize> = HashMap::new();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut ready: Vec<usize> = (0..n).filter(|&j| indeg[j] == 0).collect();
+    while !ready.is_empty() {
+        let slot = order.len();
+        let mut best = usize::MAX;
+        let mut best_key = (u8::MAX, i64::MAX, usize::MAX);
+        for &j in &ready {
+            let key = rank(j, delta(j, &live, &remaining), slot, &load_pos);
+            if key < best_key {
+                best = j;
+                best_key = key;
+            }
+        }
+        if matches!(block.insts[best].op, Op::Ld { .. }) {
+            if let Some(d) = defs[best] {
+                load_pos.insert(d, slot);
+            }
+        }
+        ready.retain(|&j| j != best);
+
+        for &(u, c) in &reads[best] {
+            if let Some(r) = remaining.get_mut(&u) {
+                *r = r.saturating_sub(c);
+                if *r == 0 && !keeps_live(u) {
+                    live.remove(&u);
+                }
+            }
+        }
+        if let Some(dr) = defs[best] {
+            let lives_after = remaining.get(&dr).copied().unwrap_or(0) > 0 || keeps_live(dr);
+            if lives_after {
+                live.insert(dr);
+            } else {
+                live.remove(&dr);
+            }
+        }
+
+        order.push(best);
+        for &s in &succs[best] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "dependence graph has a cycle");
+
+    if order.iter().enumerate().all(|(i, &j)| i == j) {
+        None
+    } else {
+        Some(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crat_ptx::{KernelBuilder, Operand, Space, Type};
+
+    /// A block where program order piles up all values before
+    /// consuming any: ideal for the scheduler.
+    fn batched_kernel(n: usize) -> Kernel {
+        let mut b = KernelBuilder::new("batched");
+        let out = b.param_ptr("out");
+        let vals: Vec<VReg> = (0..n)
+            .map(|i| b.mov(Type::U32, Operand::Imm(i as i64)))
+            .collect();
+        let mut sum = vals[0];
+        for &v in &vals[1..] {
+            sum = b.add(Type::U32, sum, v);
+        }
+        let tid = b.special_tid_x(Type::U32);
+        let addr = b.wide_address(out, tid, 4);
+        b.st(Space::Global, Type::U32, addr, sum);
+        b.finish()
+    }
+
+    #[test]
+    fn interleaves_producers_with_consumers() {
+        let k = batched_kernel(12);
+        let (sched, report) = min_reg_schedule(&k);
+        assert!(sched.validate().is_ok());
+        assert!(report.max_live_after < report.max_live_before, "{report:?}");
+        assert!(report.blocks_reordered > 0);
+        // The reduction still stores the same value set: same
+        // instruction multiset per block.
+        let mut a: Vec<String> = k.blocks()[0]
+            .insts
+            .iter()
+            .map(|i| format!("{i:?}"))
+            .collect();
+        let mut b: Vec<String> = sched.blocks()[0]
+            .insts
+            .iter()
+            .map(|i| format!("{i:?}"))
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn keeps_original_when_no_improvement() {
+        // A pure chain has only one topological order.
+        let mut b = KernelBuilder::new("chain");
+        let mut v = b.mov(Type::U32, Operand::Imm(1));
+        for _ in 0..6 {
+            v = b.add(Type::U32, v, Operand::Imm(3));
+        }
+        let k = b.finish();
+        let (sched, report) = min_reg_schedule(&k);
+        assert_eq!(sched, k);
+        assert_eq!(report.blocks_reordered, 0);
+        assert_eq!(report.max_live_before, report.max_live_after);
+    }
+
+    #[test]
+    fn stores_never_cross_each_other() {
+        let mut b = KernelBuilder::new("stores");
+        let out = b.param_ptr("out");
+        let tid = b.special_tid_x(Type::U32);
+        let addr = b.wide_address(out, tid, 4);
+        let x = b.mov(Type::U32, Operand::Imm(1));
+        let y = b.mov(Type::U32, Operand::Imm(2));
+        b.st(Space::Global, Type::U32, addr, x);
+        b.st(Space::Global, Type::U32, addr, y);
+        let k = b.finish();
+        let (sched, _) = min_reg_schedule(&k);
+        let stores: Vec<_> = sched.blocks()[0]
+            .insts
+            .iter()
+            .filter_map(|i| match &i.op {
+                Op::St { src, .. } => Some(*src),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stores, vec![Operand::Reg(x), Operand::Reg(y)]);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let k = batched_kernel(10);
+        let (s1, r1) = min_reg_schedule(&k);
+        let (s2, r2) = min_reg_schedule(&k);
+        assert_eq!(s1, s2);
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,294 @@
+//! The pluggable allocator-strategy layer.
+//!
+//! The CRAT pipeline originally hardwired one allocation algorithm
+//! (Chaitin–Briggs with a linear-scan degradation rung). The TPSC
+//! winner, however, is decided by *how few registers an allocator can
+//! reach at acceptable spill cost* — a knob different algorithms turn
+//! differently. This module abstracts allocation behind
+//! [`AllocatorStrategy`] so the design-point sweep can run a roster of
+//! competing strategies per point and keep the best:
+//!
+//! * [`StrategyKind::Briggs`] — the build–color–spill allocator
+//!   ([`crate::allocate`]), today's default;
+//! * [`StrategyKind::SchedBriggs`] — the min-reg pre-scheduler
+//!   ([`crate::min_reg_schedule`]) composed with Briggs;
+//! * [`StrategyKind::Ssa`] — Braun–Hack-style spill minimization
+//!   ([`crate::allocate_ssa`]), which picks spill candidates by
+//!   furthest next use before coloring;
+//! * [`StrategyKind::LinearScan`] — the Poletto–Sarkar scan
+//!   ([`crate::allocate_linear_scan`]), kept as the degradation rung
+//!   rather than a roster member.
+//!
+//! Strategies obtain their budget-independent analyses through a
+//! [`ContextSource`], so a caching engine (crat-core's `EvalEngine`)
+//! can share one [`AllocContext`] across every strategy and budget
+//! that allocates the same kernel.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crat_ptx::Kernel;
+
+use crate::context::AllocContext;
+use crate::sched::min_reg_schedule;
+use crate::{
+    allocate_linear_scan_with, allocate_with, ssa_spill::allocate_ssa_with, AllocError,
+    AllocOptions, Allocation,
+};
+
+/// Identifies one allocation strategy.
+///
+/// This is the per-strategy identifier shared by the whole stack: the
+/// roster in `crat-core`'s pipeline, the engine's per-strategy
+/// counters, the CLI's `--alloc-strategy` flag and report columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Chaitin–Briggs build–color–spill ([`crate::allocate`]).
+    Briggs,
+    /// Min-reg pre-scheduling followed by Briggs.
+    SchedBriggs,
+    /// Braun–Hack SSA spill minimization ([`crate::allocate_ssa`]).
+    Ssa,
+    /// Linear scan ([`crate::allocate_linear_scan`]); the degradation
+    /// rung, not a roster member.
+    LinearScan,
+}
+
+impl StrategyKind {
+    /// Every strategy, in counter-index order.
+    pub const ALL: [StrategyKind; 4] = [
+        StrategyKind::Briggs,
+        StrategyKind::SchedBriggs,
+        StrategyKind::Ssa,
+        StrategyKind::LinearScan,
+    ];
+
+    /// The default competition roster, in escalation order.
+    pub const ROSTER: [StrategyKind; 3] = [
+        StrategyKind::Briggs,
+        StrategyKind::SchedBriggs,
+        StrategyKind::Ssa,
+    ];
+
+    /// A dense index for per-strategy counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            StrategyKind::Briggs => 0,
+            StrategyKind::SchedBriggs => 1,
+            StrategyKind::Ssa => 2,
+            StrategyKind::LinearScan => 3,
+        }
+    }
+
+    /// Human-readable label used in reports and CSV columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            StrategyKind::Briggs => "briggs",
+            StrategyKind::SchedBriggs => "sched+briggs",
+            StrategyKind::Ssa => "ssa",
+            StrategyKind::LinearScan => "linear-scan",
+        }
+    }
+
+    /// Parse a CLI spelling (`briggs`, `sched-briggs`, `ssa`,
+    /// `linear-scan`); `sched+briggs` is accepted as an alias.
+    pub fn parse(s: &str) -> Option<StrategyKind> {
+        match s {
+            "briggs" => Some(StrategyKind::Briggs),
+            "sched-briggs" | "sched+briggs" => Some(StrategyKind::SchedBriggs),
+            "ssa" => Some(StrategyKind::Ssa),
+            "linear-scan" => Some(StrategyKind::LinearScan),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Supplies the budget-independent analyses ([`AllocContext`]) a
+/// strategy needs for the kernel it is about to allocate.
+///
+/// The pipeline's engine implements this with its structural-hash
+/// cache, so the scheduled kernel of [`StrategyKind::SchedBriggs`]
+/// shares a context with the plain kernel whenever scheduling was a
+/// no-op, and every roster member reuses one context per kernel.
+pub trait ContextSource {
+    /// A context built from exactly this `kernel`.
+    fn context(&self, kernel: &Kernel) -> Arc<AllocContext>;
+}
+
+/// A [`ContextSource`] with no cache: builds a fresh context on every
+/// call. The standalone-use default.
+pub struct FreshContext;
+
+impl ContextSource for FreshContext {
+    fn context(&self, kernel: &Kernel) -> Arc<AllocContext> {
+        Arc::new(AllocContext::build(kernel))
+    }
+}
+
+/// One allocation algorithm, pluggable into the design-point sweep.
+pub trait AllocatorStrategy: Sync {
+    /// Which strategy this is.
+    fn kind(&self) -> StrategyKind;
+
+    /// Allocate `kernel` within `opts`, drawing shared analyses from
+    /// `ctxs`.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`crate::allocate`].
+    fn allocate(
+        &self,
+        kernel: &Kernel,
+        ctxs: &dyn ContextSource,
+        opts: &AllocOptions,
+    ) -> Result<Allocation, AllocError>;
+}
+
+/// [`StrategyKind::Briggs`] as a strategy object.
+struct BriggsStrategy;
+
+impl AllocatorStrategy for BriggsStrategy {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Briggs
+    }
+
+    fn allocate(
+        &self,
+        kernel: &Kernel,
+        ctxs: &dyn ContextSource,
+        opts: &AllocOptions,
+    ) -> Result<Allocation, AllocError> {
+        allocate_with(kernel, &ctxs.context(kernel), opts)
+    }
+}
+
+/// [`StrategyKind::SchedBriggs`]: min-reg schedule, then Briggs.
+struct SchedBriggsStrategy;
+
+impl AllocatorStrategy for SchedBriggsStrategy {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::SchedBriggs
+    }
+
+    fn allocate(
+        &self,
+        kernel: &Kernel,
+        ctxs: &dyn ContextSource,
+        opts: &AllocOptions,
+    ) -> Result<Allocation, AllocError> {
+        let (scheduled, _report) = min_reg_schedule(kernel);
+        allocate_with(&scheduled, &ctxs.context(&scheduled), opts)
+    }
+}
+
+/// [`StrategyKind::Ssa`] as a strategy object.
+struct SsaStrategy;
+
+impl AllocatorStrategy for SsaStrategy {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Ssa
+    }
+
+    fn allocate(
+        &self,
+        kernel: &Kernel,
+        ctxs: &dyn ContextSource,
+        opts: &AllocOptions,
+    ) -> Result<Allocation, AllocError> {
+        allocate_ssa_with(kernel, &ctxs.context(kernel), opts)
+    }
+}
+
+/// [`StrategyKind::LinearScan`] as a strategy object.
+struct LinearScanStrategy;
+
+impl AllocatorStrategy for LinearScanStrategy {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::LinearScan
+    }
+
+    fn allocate(
+        &self,
+        kernel: &Kernel,
+        ctxs: &dyn ContextSource,
+        opts: &AllocOptions,
+    ) -> Result<Allocation, AllocError> {
+        allocate_linear_scan_with(kernel, &ctxs.context(kernel), opts)
+    }
+}
+
+/// The strategy object for `kind` (all strategies are stateless).
+pub fn strategy(kind: StrategyKind) -> &'static dyn AllocatorStrategy {
+    match kind {
+        StrategyKind::Briggs => &BriggsStrategy,
+        StrategyKind::SchedBriggs => &SchedBriggsStrategy,
+        StrategyKind::Ssa => &SsaStrategy,
+        StrategyKind::LinearScan => &LinearScanStrategy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crat_ptx::{KernelBuilder, Operand, Type};
+
+    fn small_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("strategy_smoke");
+        let accs: Vec<_> = (0..8).map(|i| b.mov(Type::U32, Operand::Imm(i))).collect();
+        let mut sum = accs[0];
+        for &a in &accs[1..] {
+            sum = b.add(Type::U32, sum, a);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn kinds_round_trip_labels() {
+        for kind in StrategyKind::ALL {
+            assert_eq!(StrategyKind::parse(kind.label()), Some(kind));
+            assert_eq!(kind.to_string(), kind.label());
+        }
+        assert_eq!(StrategyKind::parse("nope"), None);
+        assert_eq!(
+            StrategyKind::parse("sched-briggs"),
+            Some(StrategyKind::SchedBriggs)
+        );
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        for (i, kind) in StrategyKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+
+    #[test]
+    fn every_strategy_allocates_a_small_kernel() {
+        let k = small_kernel();
+        for kind in StrategyKind::ALL {
+            let s = strategy(kind);
+            assert_eq!(s.kind(), kind);
+            let a = s
+                .allocate(&k, &FreshContext, &AllocOptions::new(16))
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(a.slots_used <= 16, "{kind}");
+            assert!(a.kernel.validate().is_ok(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn briggs_strategy_matches_direct_allocate() {
+        let k = small_kernel();
+        let direct = crate::allocate(&k, &AllocOptions::new(6)).unwrap();
+        let via = strategy(StrategyKind::Briggs)
+            .allocate(&k, &FreshContext, &AllocOptions::new(6))
+            .unwrap();
+        assert_eq!(direct, via);
+    }
+}

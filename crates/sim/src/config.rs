@@ -303,6 +303,9 @@ pub mod fault {
     /// optimizer's allocation ladder to force its linear-scan
     /// fallback).
     static BRIGGS_FAILURES: AtomicU64 = AtomicU64::new(0);
+    /// Pending injected SSA-allocator failures (the roster's
+    /// spill-minimizing strategy; consumed like Briggs failures).
+    static SSA_FAILURES: AtomicU64 = AtomicU64::new(0);
 
     /// Arm the next `n` simulations (process-wide) to panic with
     /// [`INJECTED_SIM_PANIC`]. Test-only: callers must serialize tests
@@ -318,10 +321,18 @@ pub mod fault {
         BRIGGS_FAILURES.store(n, Ordering::SeqCst);
     }
 
+    /// Arm the next `n` SSA allocations (process-wide) to report
+    /// failure, exercising the roster's degradation behaviour.
+    /// Test-only.
+    pub fn arm_ssa_failures(n: u64) {
+        SSA_FAILURES.store(n, Ordering::SeqCst);
+    }
+
     /// Disarm every pending fault.
     pub fn disarm_all() {
         SIM_PANICS.store(0, Ordering::SeqCst);
         BRIGGS_FAILURES.store(0, Ordering::SeqCst);
+        SSA_FAILURES.store(0, Ordering::SeqCst);
     }
 
     /// Consume one pending fault from `counter`; false when disarmed.
@@ -338,6 +349,12 @@ pub mod fault {
     /// Consume one pending Briggs failure (polled by `crat-core`).
     pub fn take_briggs_failure() -> bool {
         take(&BRIGGS_FAILURES)
+    }
+
+    /// Consume one pending SSA-allocator failure (polled by
+    /// `crat-core`).
+    pub fn take_ssa_failure() -> bool {
+        take(&SSA_FAILURES)
     }
 
     /// Panic if a simulator panic is armed (polled at simulation

@@ -1,0 +1,66 @@
+//! Per-app allocator-strategy winners: run the full suite through the
+//! CRAT pipeline under the default strategy roster and report, for
+//! each app, which allocator produced the TPSC-winning candidate at
+//! the chosen design point — plus how often each strategy won across
+//! all candidate points. This regenerates the strategy-winner table in
+//! `EXPERIMENTS.md`.
+//!
+//! Run with: `cargo run --release --example strategy_winners`
+
+use crat_suite::core::{optimize_with, AllocStrategy, CratOptions, EvalEngine};
+use crat_suite::sim::GpuConfig;
+use crat_suite::workloads::{build_kernel, launch_sized, suite};
+
+const GRID_BLOCKS: u32 = 30;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gpu = GpuConfig::fermi();
+    let engine = EvalEngine::new(2);
+    let opts = CratOptions::new();
+
+    println!(
+        "{:<6} {:>4} {:>4}  {:<14} {:<30}",
+        "app", "reg", "TLP", "winner", "per-point winners"
+    );
+    let mut non_briggs_apps = 0usize;
+    for app in suite::all() {
+        let kernel = build_kernel(app);
+        let launch = launch_sized(app, GRID_BLOCKS);
+        let sol = optimize_with(&engine, &kernel, &gpu, &launch, &opts)?;
+        let winner = sol.winner();
+        let per_point: Vec<String> = sol
+            .candidates
+            .iter()
+            .map(|c| format!("{}@r{}", c.strategy.label(), c.point.reg))
+            .collect();
+        if winner.strategy != AllocStrategy::Briggs {
+            non_briggs_apps += 1;
+        }
+        println!(
+            "{:<6} {:>4} {:>4}  {:<14} {}",
+            app.abbr,
+            winner.allocation.slots_used,
+            winner.achieved_tlp,
+            winner.strategy.label(),
+            per_point.join(" ")
+        );
+    }
+
+    let stats = engine.stats();
+    println!();
+    for kind in AllocStrategy::ALL {
+        let s = stats.strategies[kind.index()];
+        if s.attempts > 0 {
+            println!(
+                "{:<14} {:>3} wins / {:>3} attempts, {:>6} spill bytes, {:>3} ctx reuses",
+                kind.label(),
+                s.wins,
+                s.attempts,
+                s.spill_bytes,
+                s.ctx_reuse
+            );
+        }
+    }
+    println!("\n{non_briggs_apps} of 22 apps chose a non-Briggs winner");
+    Ok(())
+}

@@ -46,4 +46,15 @@ cargo bench -p crat-bench --bench sim_throughput
 echo "== alloc sweep smoke test"
 cargo bench -p crat-bench --bench alloc_sweep
 
+# Strategy-roster smoke tier: one app optimized end to end under every
+# pinnable allocator strategy plus the default roster; each run must
+# succeed and report a chosen design point. Then the roster-vs-pinned
+# bench (recorded numbers live in BENCH_alloc_strategies.json).
+echo "== strategy roster smoke test"
+for strat in roster briggs sched-briggs ssa; do
+  out=$(cargo run -q --release -p crat-cli -- app BAK --grid 30 --alloc-strategy "$strat")
+  echo "$out" | grep -q "CRAT" || { echo "strategy $strat produced no CRAT line"; exit 1; }
+done
+cargo bench -p crat-bench --bench alloc_strategies
+
 echo "All checks passed."

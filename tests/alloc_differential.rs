@@ -10,9 +10,12 @@
 //! divergence isolates to the analysis sharing or the bit-matrix
 //! interference representation.
 
-use crat_suite::core::{analyze, optimize_with, CratOptions, EvalEngine};
+use crat_suite::core::{
+    analyze, optimize_with, AllocStrategy, CratOptions, EvalEngine, StrategyRoster,
+};
 use crat_suite::regalloc::{
-    allocate_with, reference_alloc, AllocContext, AllocOptions, ShmSpillConfig,
+    allocate_with, reference_alloc, AllocContext, AllocError, AllocOptions, Allocation,
+    ShmSpillConfig,
 };
 use crat_suite::sim::GpuConfig;
 use crat_suite::workloads::{build_kernel, launch_sized, suite};
@@ -125,5 +128,86 @@ fn optimization_is_identical_across_thread_counts() {
         let stats = e4.stats();
         assert!(stats.alloc_ctx_builds >= 1);
         assert!(stats.allocs_run >= 1);
+    }
+}
+
+/// The reference counterpart of the pipeline's `+2` budget-escalation
+/// ladder: the same seven attempts, the same escalation rule, but over
+/// the from-scratch `reference_alloc` instead of the shared-context
+/// strategy layer.
+fn reference_escalate(
+    kernel: &crat_suite::ptx::Kernel,
+    budget: u32,
+    shm: Option<ShmSpillConfig>,
+) -> Result<Allocation, AllocError> {
+    let mut budget = budget;
+    for attempt in 0..7 {
+        let mut opts = AllocOptions::new(budget);
+        if let Some(s) = shm {
+            opts = opts.with_shm_spill(s);
+        }
+        match reference_alloc(kernel, &opts) {
+            Ok(a) => return Ok(a),
+            Err(AllocError::BudgetTooSmall { .. }) if attempt < 6 => budget += 2,
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("the final attempt either succeeds or returns its error")
+}
+
+#[test]
+fn pinned_briggs_pipeline_matches_the_reference_path() {
+    // End-to-end differential over the whole suite: with the roster
+    // pinned to Briggs, every candidate the full pipeline produces —
+    // engine cache, strategy layer, escalation ladder and all — must
+    // be bit-identical to the reference allocator run from scratch at
+    // the same design point with the same spare-shared-memory budget.
+    let gpu = GpuConfig::fermi();
+    let opts = CratOptions {
+        roster: StrategyRoster::Pinned(AllocStrategy::Briggs),
+        ..CratOptions::new()
+    };
+    for app in suite::all() {
+        let kernel = build_kernel(app);
+        let launch = launch_sized(app, 6);
+        let usage = analyze(&kernel, &gpu, &launch);
+        let engine = EvalEngine::new(2);
+        let sol = optimize_with(&engine, &kernel, &gpu, &launch, &opts)
+            .unwrap_or_else(|err| panic!("{}: pinned optimize failed: {err}", app.abbr));
+        assert!(
+            !sol.candidates.is_empty(),
+            "app {} has no candidates",
+            app.abbr
+        );
+        for cand in &sol.candidates {
+            assert_eq!(
+                cand.strategy,
+                AllocStrategy::Briggs,
+                "app {}: pinned roster must record Briggs",
+                app.abbr
+            );
+            // Reproduce the pipeline's per-point spare-shm computation
+            // (Algorithm 1's SpareShmSize with the 128-byte margin).
+            let per_block = gpu.shmem_per_sm / cand.point.tlp.max(1);
+            let spare = per_block
+                .saturating_sub(usage.shm_size.div_ceil(128) * 128)
+                .saturating_sub(128);
+            let shm = Some(ShmSpillConfig {
+                spare_bytes: spare,
+                block_size: usage.block_size,
+            });
+            let reference =
+                reference_escalate(&kernel, cand.point.reg, shm).unwrap_or_else(|err| {
+                    panic!(
+                        "{}: reference path failed at reg={}: {err}",
+                        app.abbr, cand.point.reg
+                    )
+                });
+            assert_eq!(
+                cand.allocation, reference,
+                "app {} diverges from the reference at reg={} tlp={}",
+                app.abbr, cand.point.reg, cand.point.tlp
+            );
+        }
     }
 }

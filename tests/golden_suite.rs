@@ -172,13 +172,15 @@ fn golden_suite_matches_snapshots() {
 /// caught nothing.
 #[test]
 fn degradation_path_inert_on_healthy_inputs() {
-    use crat_suite::core::{optimize_with, AllocStrategy, CratOptions, EvalEngine};
+    use crat_suite::core::{optimize_with, AllocStrategy, CratOptions, EvalEngine, StrategyRoster};
 
     let engine = EvalEngine::new(0);
     let gpu = GpuConfig::fermi();
     for app in suite::all() {
         let kernel = build_kernel(app);
         let launch = launch_sized(app, GRID_BLOCKS);
+        // The default roster: every point settles on a competitive
+        // strategy, never the fallback.
         let sol = optimize_with(&engine, &kernel, &gpu, &launch, &CratOptions::new())
             .unwrap_or_else(|err| panic!("{}: healthy optimize failed: {err}", app.abbr));
         assert!(
@@ -194,6 +196,19 @@ fn degradation_path_inert_on_healthy_inputs() {
             "{}: healthy run used the linear-scan fallback",
             app.abbr
         );
+        assert!(sol
+            .candidates
+            .iter()
+            .all(|c| c.strategy != AllocStrategy::LinearScan));
+        assert!(!sol.is_degraded());
+        // Pinned to Briggs, every candidate records that strategy —
+        // the pre-roster pipeline's behavior, preserved exactly.
+        let pinned = CratOptions {
+            roster: StrategyRoster::Pinned(AllocStrategy::Briggs),
+            ..CratOptions::new()
+        };
+        let sol = optimize_with(&engine, &kernel, &gpu, &launch, &pinned)
+            .unwrap_or_else(|err| panic!("{}: pinned optimize failed: {err}", app.abbr));
         assert!(sol
             .candidates
             .iter()
